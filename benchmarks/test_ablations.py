@@ -1,0 +1,126 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not a paper figure — these quantify the pieces this reproduction adds
+on top of the paper's written specification:
+
+* **binding strategy**: conflict-aware + predictor-arbitrated binding
+  vs. the pure total-``r_i`` maximizer;
+* **top-k predictor rerank** at inference: k = 5 vs. the plain argmax
+  classifier (k = 1);
+* **fairness-aware reward** (the paper's Section V-B extension): adding
+  an unfairness penalty to the reward should buy fairness at a bounded
+  throughput cost.
+
+Each ablation trains its own (small-budget) agent, so this file is
+skippable via ``-k 'not ablation'`` when in a hurry.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ActionCatalog
+from repro.core.evaluation import profile_all_benchmarks
+from repro.core.metrics import evaluate_schedule
+from repro.core.optimizer import OnlineOptimizer
+from repro.core.rewards import RewardConfig
+from repro.core.trainer import OfflineTrainer
+from repro.workloads.generator import paper_queues
+
+ABLATION_EPISODES = int(os.environ.get("REPRO_ABLATION_EPISODES", "500"))
+QUEUES = ("Q1", "Q5", "Q7", "Q11")
+
+
+def _evaluate(trainer, result, rerank_top_k=5):
+    profile_all_benchmarks(result.repository)
+    optimizer = OnlineOptimizer(
+        result.agent,
+        result.repository,
+        ActionCatalog(c_max=trainer.c_max),
+        trainer.window_size,
+        rerank_top_k=rerank_top_k,
+    )
+    qs = paper_queues()
+    metrics = [
+        evaluate_schedule(optimizer.optimize(qs[q].window(12)).schedule)
+        for q in QUEUES
+    ]
+    return (
+        float(np.mean([m.throughput_gain for m in metrics])),
+        float(np.mean([m.fairness for m in metrics])),
+    )
+
+
+@pytest.fixture(scope="module")
+def base_training():
+    trainer = OfflineTrainer(window_size=12, c_max=4, seed=0)
+    return trainer, trainer.train(episodes=ABLATION_EPISODES)
+
+
+def test_ablation_rerank_topk(base_training, benchmark):
+    trainer, result = base_training
+    gain_k5, _ = _evaluate(trainer, result, rerank_top_k=5)
+    gain_k1, _ = _evaluate(trainer, result, rerank_top_k=1)
+    print(
+        f"\n=== ablation: top-k rerank  k=1 -> {gain_k1:.3f}, "
+        f"k=5 -> {gain_k5:.3f} ==="
+    )
+    # the rerank must not hurt, and typically helps
+    assert gain_k5 >= gain_k1 - 0.02
+    benchmark.pedantic(
+        _evaluate, args=(trainer, result), kwargs={"rerank_top_k": 1},
+        rounds=1, iterations=1,
+    )
+
+
+def test_ablation_binding_strategy(benchmark):
+    """Train with each binding strategy and compare.
+
+    At the reduced ablation budget (500 episodes, 4 queues) the two
+    strategies land within training noise of each other — the
+    conflict-aware term's benefit shows at the group-search level (see
+    the conflict-separation unit test) but is partially subsumed by the
+    predictor arbitration and the agent's own learning. The assertion
+    is therefore a sanity band, not an ordering.
+    """
+    results = {}
+    for binding in ("auto", "optimal"):
+        trainer = OfflineTrainer(
+            window_size=12, c_max=4, seed=0, binding=binding
+        )
+        res = trainer.train(episodes=ABLATION_EPISODES)
+        results[binding] = _evaluate(trainer, res)[0]
+    print(
+        f"\n=== ablation: binding  optimal(r_i only) -> "
+        f"{results['optimal']:.3f}, auto(conflict-aware) -> "
+        f"{results['auto']:.3f} ==="
+    )
+    assert abs(results["auto"] - results["optimal"]) < 0.15
+    assert min(results.values()) > 1.2  # both remain strong policies
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_extension_fairness_reward(benchmark):
+    plain_trainer = OfflineTrainer(window_size=12, c_max=4, seed=0)
+    plain = plain_trainer.train(episodes=ABLATION_EPISODES)
+    fair_trainer = OfflineTrainer(
+        window_size=12,
+        c_max=4,
+        seed=0,
+        reward_config=RewardConfig(fairness_weight=0.5),
+    )
+    fair = fair_trainer.train(episodes=ABLATION_EPISODES)
+
+    gain_plain, fairness_plain = _evaluate(plain_trainer, plain)
+    gain_fair, fairness_fair = _evaluate(fair_trainer, fair)
+    print(
+        f"\n=== extension: fairness-aware reward ===\n"
+        f"  throughput-only : gain {gain_plain:.3f}, fairness {fairness_plain:.3f}\n"
+        f"  +fairness term  : gain {gain_fair:.3f}, fairness {fairness_fair:.3f}"
+    )
+    # the paper's claim: fairness can be improved via the reward; allow
+    # a bounded throughput cost
+    assert fairness_fair >= fairness_plain - 0.02
+    assert gain_fair >= 0.85 * gain_plain
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

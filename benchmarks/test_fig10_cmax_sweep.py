@@ -1,0 +1,35 @@
+"""Figure 10: average throughput vs maximum concurrency C_max (W = 12).
+
+Paper shape: throughput grows with C_max — higher concurrency lets the
+flexible MPS shares and MIG isolation pack more jobs productively —
+and saturates by C_max = 4.
+"""
+
+from repro.core.evaluation import EvaluationConfig, cmax_sweep
+import os
+
+SWEEP_EPISODES = int(os.environ.get("REPRO_SWEEP_EPISODES", "800"))
+
+
+def print_series(title, rows):
+    print(f"\n=== {title} ===")
+    for key, value in rows.items():
+        print(f"  {key:<20s} {value:8.3f}")
+
+
+def test_fig10_cmax_sweep(benchmark):
+    base = EvaluationConfig(episodes=SWEEP_EPISODES)
+    cmaxes = (2, 3, 4)
+    gains = cmax_sweep(cmaxes=cmaxes, base=base)
+
+    print_series(
+        "Fig. 10: average throughput vs C_max (W = 12)",
+        {f"C_max = {c}": g for c, g in gains.items()},
+    )
+
+    values = [gains[c] for c in cmaxes]
+    assert values[-1] > values[0]  # C_max 4 beats C_max 2
+    assert values[1] >= values[0] - 0.03
+    assert all(v >= 1.0 for v in values)
+
+    benchmark.pedantic(lambda: cmax_sweep(cmaxes=(2,), base=base), rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+"""Figure 11: average per-application slowdown per method.
+
+Paper shape (C_max = 4, W = 12): co-scheduling trades individual
+application slowdown for total throughput. MIG Only (C = 2) has the
+smallest slowdown (limited concurrency), the RL method keeps slowdown
+moderate while achieving the highest throughput; Time Sharing is
+identically 1. The paper reports 1.829 average / 1.345 best-case for
+the RL method.
+"""
+
+from repro.core.evaluation import METHODS
+
+
+def test_fig11_app_slowdown(method_results, benchmark):
+    qnames = [f"Q{i}" for i in range(1, 13)]
+
+    print("\n=== Fig. 11: average per-application slowdown ===")
+    header = " ".join(f"{q:>5s}" for q in qnames)
+    print(f"{'method':<18s} {header}    AM")
+    for m in METHODS:
+        r = method_results[m]
+        row = " ".join(f"{r.per_queue[q].avg_slowdown:5.2f}" for q in qnames)
+        print(f"{m:<18s} {row} {r.mean_slowdown:5.3f}")
+
+    ts = method_results["Time Sharing"]
+    assert all(
+        abs(m.avg_slowdown - 1.0) < 1e-9 for m in ts.per_queue.values()
+    )
+    mig = method_results["MIG Only (C=2)"]
+    rl = method_results["MIG+MPS w/ RL"]
+    # MIG Only's limited concurrency keeps slowdowns lowest among the
+    # co-scheduling methods...
+    co_methods = [m for m in METHODS if m != "Time Sharing"]
+    assert mig.mean_slowdown == min(
+        method_results[m].mean_slowdown for m in co_methods
+    )
+    # ...but its throughput is also the lowest of them (paper's point)
+    assert mig.mean_throughput == min(
+        method_results[m].mean_throughput for m in co_methods
+    )
+    # the RL method trades slowdown for throughput in a bounded band
+    assert 1.0 < rl.mean_slowdown < 2.3
+    best_queue = min(
+        rl.per_queue.values(), key=lambda m: m.avg_slowdown
+    )
+    assert best_queue.avg_slowdown < rl.mean_slowdown
+
+    r = method_results["MIG+MPS w/ RL"].per_queue["Q1"]
+    benchmark(lambda: min(r.app_slowdowns) / max(r.app_slowdowns))

@@ -1,0 +1,45 @@
+"""Figure 12: fairness comparison (min/max slowdown, Mutlu 2008).
+
+Paper shape (C_max = 4, W = 12): Time Sharing is perfectly fair (1.0);
+the co-scheduling methods are comparable to each other, below Time
+Sharing, with the RL method competitive in fairness despite winning in
+throughput.
+"""
+
+import numpy as np
+
+from repro.core.evaluation import METHODS
+
+
+def test_fig12_fairness(method_results, benchmark):
+    qnames = [f"Q{i}" for i in range(1, 13)]
+
+    print("\n=== Fig. 12: fairness (min slowdown / max slowdown) ===")
+    header = " ".join(f"{q:>5s}" for q in qnames)
+    print(f"{'method':<18s} {header}    AM")
+    for m in METHODS:
+        r = method_results[m]
+        row = " ".join(f"{r.per_queue[q].fairness:5.2f}" for q in qnames)
+        print(f"{m:<18s} {row} {r.mean_fairness:5.3f}")
+
+    ts = method_results["Time Sharing"]
+    assert all(abs(m.fairness - 1.0) < 1e-9 for m in ts.per_queue.values())
+    for m in METHODS:
+        for q, metrics in method_results[m].per_queue.items():
+            assert 0.0 < metrics.fairness <= 1.0 + 1e-9, (m, q)
+    # co-scheduling trades fairness for throughput: all below 1
+    co_methods = [m for m in METHODS if m != "Time Sharing"]
+    for m in co_methods:
+        assert method_results[m].mean_fairness < 1.0
+    # the RL method is comparable with the other co-scheduling methods
+    # (within the band spanned by them, not an outlier below)
+    others = [
+        method_results[m].mean_fairness
+        for m in co_methods
+        if m != "MIG+MPS w/ RL"
+    ]
+    rl = method_results["MIG+MPS w/ RL"].mean_fairness
+    assert rl >= 0.8 * min(others)
+
+    r = method_results["MIG+MPS w/ RL"].per_queue["Q1"]
+    benchmark(lambda: np.min(r.app_slowdowns) / np.max(r.app_slowdowns))

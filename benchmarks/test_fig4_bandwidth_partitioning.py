@@ -1,0 +1,26 @@
+"""Figure 4: performance benefit of bandwidth partitioning.
+
+Paper shape: with identical compute allocations (3+4 GPCs, one GPC
+disabled by MIG), physically partitioning the memory resources beats
+sharing them for interference-prone job mixes.
+"""
+
+from repro.perfmodel.calibration import FIG4_PAIRS, bandwidth_partitioning_gain
+
+
+def test_fig4_shared_vs_partitioned(benchmark):
+    print("\n=== Fig. 4: shared vs partitioned memory (3+4 GPC split) ===")
+    results = {}
+    for pair in FIG4_PAIRS:
+        gains = bandwidth_partitioning_gain(*pair)
+        results[pair] = gains
+        print(
+            f"  {pair[0]+'+'+pair[1]:<28s} shared {gains['shared']:.3f}  "
+            f"partitioned {gains['partitioned']:.3f}"
+        )
+
+    for pair, gains in results.items():
+        assert gains["partitioned"] > gains["shared"], pair
+        assert gains["partitioned"] > 1.0, pair
+
+    benchmark(bandwidth_partitioning_gain, *FIG4_PAIRS[0])

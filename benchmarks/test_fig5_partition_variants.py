@@ -1,0 +1,23 @@
+"""Figure 5: comparison of the partitioning variants of Fig. 2.
+
+Paper shape: for a 4-program mix with exhaustively chosen pairings and
+splits, the hierarchical MIG+MPS option beats MPS-only and both
+MIG-only extremes.
+"""
+
+from repro.perfmodel.calibration import FIG5_MIX, partition_option_comparison
+
+
+def test_fig5_partitioning_options(benchmark):
+    results = partition_option_comparison(list(FIG5_MIX))
+
+    print("\n=== Fig. 5: partitioning options for mix", "+".join(FIG5_MIX), "===")
+    for option, gain in results.items():
+        print(f"  {option:<30s} {gain:.3f}")
+
+    hierarchical = results["MIG+MPS Hierarchical"]
+    assert hierarchical == max(results.values())
+    assert hierarchical > 1.0
+    assert results["MPS Only"] > 1.0
+
+    benchmark(partition_option_comparison, list(FIG5_MIX))

@@ -1,0 +1,56 @@
+"""Section V-B overhead accounting.
+
+Two claims are reproduced:
+
+* **online**: the throughput cost of the decision making is < 0.5% —
+  measured as pure agent/assignment compute time against the executed
+  schedule's makespan;
+* **offline**: the search-space bound
+  ``sum_{C=2..C_max} (W choose C) C! N_C`` lands at the order of 1e5
+  configurations for W = 12, C_max = 4 (the paper's "10^5 x t_avg"),
+  while the RL agent converges after visiting a tiny fraction of it.
+"""
+
+from math import comb, factorial
+
+from repro.core.actions import ActionCatalog
+from repro.core.optimizer import OnlineOptimizer
+from repro.gpu.arch import A100_40GB
+from repro.gpu.variants import variant_counts
+from repro.workloads.generator import paper_queues
+
+
+def search_space_bound(w: int, c_max: int) -> int:
+    n_c = variant_counts(A100_40GB, c_max)
+    return sum(comb(w, c) * factorial(c) * n_c[c] for c in range(2, c_max + 1))
+
+
+def test_offline_search_space_bound(benchmark):
+    bound = search_space_bound(12, 4)
+    print(f"\n=== Offline search-space bound (W=12, C_max=4): {bound:,} ===")
+    # the paper quotes "the order of 10^5"
+    assert 1e5 <= bound < 5e6
+    benchmark(search_space_bound, 12, 4)
+
+
+def test_online_overhead_below_half_percent(training, eval_config, benchmark):
+    optimizer = OnlineOptimizer(
+        training.agent,
+        training.repository,
+        ActionCatalog(c_max=eval_config.c_max),
+        eval_config.window_size,
+    )
+    overheads = []
+    for qname in ("Q1", "Q5", "Q9"):
+        window = paper_queues()[qname].window(12)
+        decision = optimizer.optimize(window)
+        overheads.append(decision.overhead_fraction)
+    print(
+        "\n=== Online decision overhead:",
+        ", ".join(f"{o:.5%}" for o in overheads),
+        "===",
+    )
+    assert max(overheads) < 0.005  # paper: < 0.5%
+
+    window = paper_queues()["Q1"].window(12)
+    benchmark(optimizer.optimize, window)

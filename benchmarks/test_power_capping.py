@@ -1,0 +1,86 @@
+"""Power-capped scheduling sweep (paper Section VII future work).
+
+Not a paper figure — quantifies the power extension: throughput and
+energy as a function of the device power cap. Expected shape: a loose
+cap reproduces the uncapped RL schedule; tightening the cap trades
+throughput away while bounding the estimated group draw; co-scheduling
+remains more energy-efficient than time sharing throughout (fewer
+idle-power seconds per unit of work).
+"""
+
+import numpy as np
+
+from repro.core.actions import ActionCatalog
+from repro.core.baselines import TimeSharingScheduler
+from repro.core.metrics import evaluate_schedule
+from repro.power import PowerCappedOptimizer, PowerModel, schedule_energy
+from repro.workloads.generator import paper_queues
+
+CAPS = (9999.0, 220.0, 180.0, 150.0)
+QUEUES = ("Q5", "Q7", "Q11")
+
+
+def test_power_cap_sweep(training, eval_config, benchmark):
+    pm = PowerModel()
+    qs = paper_queues()
+    rows = {}
+    for cap in CAPS:
+        optimizer = PowerCappedOptimizer(
+            training.agent,
+            training.repository,
+            ActionCatalog(c_max=eval_config.c_max),
+            eval_config.window_size,
+            power_cap_watts=cap,
+            power_model=pm,
+        )
+        gains, peaks, jps = [], [], []
+        for q in QUEUES:
+            schedule = optimizer.optimize(qs[q].window(12)).schedule
+            gains.append(evaluate_schedule(schedule).throughput_gain)
+            acct = schedule_energy(schedule, pm)
+            peaks.append(acct["peak_watts"])
+            jps.append(acct["joules_per_solo_second"])
+        rows[cap] = (
+            float(np.mean(gains)),
+            float(np.max(peaks)),
+            float(np.mean(jps)),
+        )
+
+    ts = TimeSharingScheduler()
+    ts_jps = float(
+        np.mean(
+            [
+                schedule_energy(ts.schedule(qs[q].window(12)), pm)[
+                    "joules_per_solo_second"
+                ]
+                for q in QUEUES
+            ]
+        )
+    )
+
+    print("\n=== power-capped RL scheduling (mean over Q5/Q7/Q11) ===")
+    print(f"{'cap [W]':>10s} {'throughput':>11s} {'peak [W]':>9s} {'J/solo-s':>9s}")
+    for cap, (gain, peak, jp) in rows.items():
+        label = "none" if cap > 1000 else f"{cap:.0f}"
+        print(f"{label:>10s} {gain:11.3f} {peak:9.1f} {jp:9.1f}")
+    print(f"{'(time sharing)':>10s} {'1.000':>11s} {'':9s} {ts_jps:9.1f}")
+
+    uncapped = rows[CAPS[0]]
+    tightest = rows[CAPS[-1]]
+    # tightening the cap can only cost throughput
+    assert tightest[0] <= uncapped[0] + 1e-9
+    # true (model) peak draw decreases as the cap tightens
+    assert tightest[1] <= uncapped[1] + 1e-9
+    # co-scheduling stays more energy-efficient than time sharing
+    assert uncapped[2] < ts_jps
+
+    optimizer = PowerCappedOptimizer(
+        training.agent,
+        training.repository,
+        ActionCatalog(c_max=eval_config.c_max),
+        eval_config.window_size,
+        power_cap_watts=200.0,
+        power_model=pm,
+    )
+    window = qs["Q5"].window(12)
+    benchmark(optimizer.optimize, window)

@@ -1,0 +1,40 @@
+"""Table IV: benchmark classification into CI / MI / US.
+
+The reproduction must land every one of the 27 programs in the class
+the paper prints, using the paper's procedure (1-GPC degradation rule,
+then the Compute%/Memory% > 0.8 rule).
+"""
+
+from repro.gpu.device import SimulatedGpu
+from repro.profiling.classify import classify
+from repro.profiling.profiler import NsightProfiler
+from repro.workloads.jobs import Job
+from repro.workloads.suite import BENCHMARKS, PAPER_CLASSES
+
+
+def classify_suite() -> dict[str, str]:
+    profiler = NsightProfiler(SimulatedGpu(), noise=0.02)
+    return {
+        name: classify(profiler.profile(Job.submit(name)))
+        for name in BENCHMARKS
+    }
+
+
+def test_table4_reproduction(benchmark):
+    classes = classify_suite()
+
+    print("\n=== Table IV: benchmark classifications ===")
+    for cls in ("CI", "MI", "US"):
+        members = sorted(n for n, c in classes.items() if c == cls)
+        print(f"  {cls}: {', '.join(members)}")
+
+    mismatches = {
+        n: (c, PAPER_CLASSES[n])
+        for n, c in classes.items()
+        if c != PAPER_CLASSES[n]
+    }
+    assert not mismatches, f"classification mismatches: {mismatches}"
+
+    profiler = NsightProfiler(SimulatedGpu(), noise=0.02)
+    job = Job.submit("stream")
+    benchmark(lambda: classify(profiler.profile(job)))

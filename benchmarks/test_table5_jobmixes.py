@@ -1,0 +1,41 @@
+"""Table V: the twelve inference job mixes (Q1..Q12, W = 12).
+
+Regenerates the queue table and checks every queue matches its
+category's class quotas and includes training-unseen programs.
+"""
+
+from repro.workloads.generator import (
+    MixCategory,
+    PAPER_QUEUE_CATEGORY,
+    paper_queues,
+    queue_class_counts,
+)
+from repro.workloads.suite import UNSEEN_SET
+
+
+def test_table5_reproduction(benchmark):
+    queues = paper_queues()
+
+    print("\n=== Table V: job mixes per category (W = 12) ===")
+    for name, queue in queues.items():
+        cat = PAPER_QUEUE_CATEGORY[name].value
+        starred = [
+            j.benchmark_name + "*" if j.benchmark_name in UNSEEN_SET else j.benchmark_name
+            for j in queue
+        ]
+        print(f"  {name:<4s} [{cat:<12s}] {', '.join(starred)}")
+
+    assert len(queues) == 12
+    for name, queue in queues.items():
+        counts = queue_class_counts(queue)
+        cat = PAPER_QUEUE_CATEGORY[name]
+        if cat is MixCategory.BALANCED:
+            assert counts == {"CI": 4, "MI": 4, "US": 4}, name
+        else:
+            assert counts[cat.dominant_class] == 6, name
+            assert sum(counts.values()) == 12
+        # starred (training-unseen) programs appear at inference
+    all_names = {j.benchmark_name for q in queues.values() for j in q}
+    assert all_names & set(UNSEEN_SET)
+
+    benchmark(paper_queues)

@@ -1,0 +1,45 @@
+"""Table VII: partitioning setups per concurrency level.
+
+Regenerates the variant enumeration for MPS Only and MIG+MPS w/ RL at
+C = 2..4 and checks the structural claims: the MPS-only column is the
+decile-split family; the hierarchical column adds the MIG shared /
+private forms; and the 19 MIG GI configurations back the whole thing.
+"""
+
+from repro.gpu.arch import A100_40GB
+from repro.gpu.mig import enumerate_gi_combinations
+from repro.gpu.variants import (
+    enumerate_hierarchical,
+    enumerate_mps_only,
+    variant_counts,
+)
+
+
+def test_table7_reproduction(benchmark):
+    print("\n=== Table VII: partitioning setups per concurrency ===")
+    for c in (2, 3, 4):
+        mps = enumerate_mps_only(c)
+        hier = enumerate_hierarchical(A100_40GB, c)
+        print(f"  C={c}: MPS-only {len(mps)} variants; MIG+MPS {len(hier)} variants")
+        for v in mps[:3]:
+            print(f"      {v.label}")
+        extra = [v for v in hier if v.kind != "mps_only"][:3]
+        for v in extra:
+            print(f"      {v.label}")
+
+    # Table VII row structure
+    assert len(enumerate_mps_only(2)) == 5  # (0.1,0.9)..(0.5,0.5)
+    assert len(enumerate_mps_only(3)) == 8
+    assert len(enumerate_mps_only(4)) == 9
+    counts = variant_counts(A100_40GB, 4)
+    for c in (2, 3, 4):
+        hier = enumerate_hierarchical(A100_40GB, c)
+        assert len(hier) == counts[c]
+        assert len(hier) > len(enumerate_mps_only(c))
+        for v in hier:
+            v.tree.validate(A100_40GB)
+
+    # the MIG substrate behind the table: 19 driver configurations
+    assert len(enumerate_gi_combinations(A100_40GB)) == 19
+
+    benchmark(enumerate_hierarchical, A100_40GB, 4)

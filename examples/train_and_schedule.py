@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Offline training + online scheduling — the paper's full pipeline.
+
+Scenario: an over-crowded HPC cluster queue (the paper's Section VI
+motivation). We train the dueling double DQN offline on random queues
+of the 18 training programs, then deploy it online on the paper's
+US-dominant queue Q7 — which contains programs the agent never saw in
+training — and compare against the four baselines.
+
+Training episodes are kept modest so the example finishes in a couple
+of minutes; pass a higher count as argv[1] to approach the numbers in
+EXPERIMENTS.md.
+
+Run:  python examples/train_and_schedule.py [episodes]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    ActionCatalog,
+    MigMpsDefaultScheduler,
+    MigOnlyScheduler,
+    MpsOnlyScheduler,
+    OfflineTrainer,
+    OnlineOptimizer,
+    TimeSharingScheduler,
+    evaluate_schedule,
+    format_partition,
+    paper_queues,
+)
+from repro.core.evaluation import profile_all_benchmarks
+
+EPISODES = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # offline phase: profile training programs, train the agent
+    # ------------------------------------------------------------------
+    trainer = OfflineTrainer(window_size=12, c_max=4, seed=0)
+    print(f"offline training: 20 queues x {EPISODES} episodes ...")
+    result = trainer.train(episodes=EPISODES)
+    h = result.episode_throughputs
+    print(
+        f"  convergence: first 10% {np.mean(h[:max(1, len(h)//10)]):.3f} -> "
+        f"last 10% {result.final_throughput:.3f} "
+        f"(epsilon now {result.agent.epsilon:.3f})"
+    )
+
+    # the online phase has profiles for every program (first submissions
+    # run exclusively and are profiled — here we fast-forward that)
+    profile_all_benchmarks(result.repository)
+
+    # ------------------------------------------------------------------
+    # online phase: schedule Q7 (US-dominant, includes unseen programs)
+    # ------------------------------------------------------------------
+    window = paper_queues()["Q7"].window(12)
+    optimizer = OnlineOptimizer(
+        result.agent, result.repository, ActionCatalog(c_max=4), 12
+    )
+    decision = optimizer.optimize(window)
+
+    print("\nRL schedule for Q7:")
+    for i, group in enumerate(decision.schedule.groups):
+        names = ", ".join(j.benchmark_name for j in group.jobs)
+        print(
+            f"  group {i}: C={group.concurrency} "
+            f"{format_partition(group.partition):<52s} "
+            f"t={group.corun_time:6.1f}s  [{names}]"
+        )
+    print(f"  decision overhead: {decision.overhead_fraction:.4%}")
+
+    from repro.analysis import gantt
+
+    print("\n" + gantt(decision.schedule))
+
+    # ------------------------------------------------------------------
+    # comparison against the paper's baselines
+    # ------------------------------------------------------------------
+    print(f"\n{'method':<18s} {'throughput':>10s} {'slowdown':>9s} {'fairness':>9s}")
+    rows = {
+        "Time Sharing": TimeSharingScheduler().schedule(window),
+        "MIG Only (C=2)": MigOnlyScheduler(result.repository).schedule(window),
+        "MPS Only": MpsOnlyScheduler(result.repository, 4).schedule(window),
+        "MIG+MPS Default": MigMpsDefaultScheduler(
+            result.repository, 4
+        ).schedule(window),
+        "MIG+MPS w/ RL": decision.schedule,
+    }
+    for name, schedule in rows.items():
+        m = evaluate_schedule(schedule)
+        print(
+            f"{name:<18s} {m.throughput_gain:10.3f} "
+            f"{m.avg_slowdown:9.3f} {m.fairness:9.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro — hierarchical GPU resource partitioning via reinforcement learning.
+
+A full reproduction of *"Hierarchical Resource Partitioning on Modern
+GPUs: A Reinforcement Learning Approach"* (Saroliya, Arima, Liu, Schulz —
+IEEE CLUSTER 2023) on a simulated A100-class platform.
+
+Quick tour (see ``examples/quickstart.py`` for a runnable version)::
+
+    from repro import (
+        OfflineTrainer, OnlineOptimizer, ActionCatalog,
+        evaluate_schedule, paper_queues,
+    )
+
+    trainer = OfflineTrainer(window_size=12, c_max=4)
+    result = trainer.train(episodes=2000)            # offline phase
+    optimizer = OnlineOptimizer(                     # online phase
+        result.agent, result.repository,
+        ActionCatalog(c_max=4), window_size=12,
+    )
+    window = paper_queues()["Q7"].window(12)
+    decision = optimizer.optimize(window)
+    print(evaluate_schedule(decision.schedule))
+
+Subpackages:
+
+=================== ========================================================
+``repro.gpu``       simulated A100: MIG, MPS, hierarchical partitions
+``repro.workloads`` the 27-program benchmark suite + queue generators
+``repro.perfmodel`` roofline + interference co-run performance model
+``repro.profiling`` Nsight-like counters, repository, CI/MI/US classifier
+``repro.rl``        NumPy dueling double DQN, replay, gym-style env API
+``repro.core``      the paper's contribution: problem, rewards, trainer,
+                    online optimizer, baselines, metrics, evaluation harness
+``repro.cluster``   Section VI multi-GPU extension
+=================== ========================================================
+"""
+
+from repro.gpu.arch import A100_40GB, A30_24GB, GpuSpec
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.partition import PartitionTree, format_partition, parse_partition
+from repro.gpu.variants import action_catalog
+from repro.profiling.profiler import JobProfile, NsightProfiler
+from repro.profiling.repository import ProfileRepository
+from repro.profiling.classify import classify
+from repro.workloads.jobs import Job, JobQueue
+from repro.workloads.generator import MixCategory, QueueGenerator, paper_queues
+from repro.workloads.suite import BENCHMARKS, TRAINING_SET, UNSEEN_SET
+from repro.perfmodel.corun import simulate_corun, relative_throughput
+from repro.core.actions import ActionCatalog
+from repro.core.trainer import OfflineTrainer, TrainingResult
+from repro.core.optimizer import OnlineOptimizer
+from repro.core.problem import Schedule, ScheduledGroup, SchedulingProblem
+from repro.core.metrics import ScheduleMetrics, evaluate_schedule
+from repro.core.baselines import (
+    MigMpsDefaultScheduler,
+    MigOnlyScheduler,
+    MpsOnlyScheduler,
+    TimeSharingScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100_40GB",
+    "A30_24GB",
+    "GpuSpec",
+    "SimulatedGpu",
+    "PartitionTree",
+    "format_partition",
+    "parse_partition",
+    "action_catalog",
+    "JobProfile",
+    "NsightProfiler",
+    "ProfileRepository",
+    "classify",
+    "Job",
+    "JobQueue",
+    "MixCategory",
+    "QueueGenerator",
+    "paper_queues",
+    "BENCHMARKS",
+    "TRAINING_SET",
+    "UNSEEN_SET",
+    "simulate_corun",
+    "relative_throughput",
+    "ActionCatalog",
+    "OfflineTrainer",
+    "TrainingResult",
+    "OnlineOptimizer",
+    "Schedule",
+    "ScheduledGroup",
+    "SchedulingProblem",
+    "ScheduleMetrics",
+    "evaluate_schedule",
+    "TimeSharingScheduler",
+    "MigOnlyScheduler",
+    "MpsOnlyScheduler",
+    "MigMpsDefaultScheduler",
+    "__version__",
+]

@@ -1,0 +1,158 @@
+"""Analysis and reporting utilities.
+
+Terminal-friendly (no plotting dependency) helpers used by the examples
+and handy for interactive exploration:
+
+* :func:`gantt` — ASCII Gantt chart of a schedule's groups and slots;
+* :func:`convergence_stats` — windowed summary of a training run;
+* :func:`comparison_table` — the Fig. 8-style method x queue matrix as
+  a formatted string;
+* :func:`export_results` / :func:`load_results` — JSON persistence for
+  evaluation results so expensive runs can be re-analyzed offline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.core.metrics import ScheduleMetrics
+from repro.core.problem import Schedule
+from repro.core.trainer import TrainingResult
+from repro.gpu.partition import format_partition
+
+__all__ = [
+    "gantt",
+    "convergence_stats",
+    "comparison_table",
+    "export_results",
+    "load_results",
+]
+
+
+def gantt(schedule: Schedule, width: int = 72) -> str:
+    """ASCII Gantt chart: one row per job, time left to right.
+
+    Groups run back to back on the device; within a group, each job's
+    bar spans from the group start to its own completion.
+    """
+    if not schedule.groups:
+        raise ReproError("cannot chart an empty schedule")
+    total = schedule.total_time
+    if total <= 0:
+        raise ReproError("schedule has no duration")
+    scale = width / total
+
+    lines = [
+        f"schedule: {schedule.method}  "
+        f"(total {total:.1f}s, gain x{schedule.throughput_gain:.2f})"
+    ]
+    start = 0.0
+    for gi, group in enumerate(schedule.groups):
+        label = format_partition(group.partition)
+        lines.append(f"-- group {gi}: {label}")
+        for job, finish in zip(group.jobs, group.result.finish_times):
+            pre = int(start * scale)
+            bar = max(1, int(finish * scale))
+            name = job.benchmark_name[:14]
+            lines.append(f"{name:<16s}|{' ' * pre}{'#' * bar}")
+        start += group.corun_time
+    axis = f"{'':16s}|0{'-' * (width - 8)}{total:7.1f}s"
+    lines.append(axis)
+    return "\n".join(lines)
+
+
+def convergence_stats(
+    result: TrainingResult, n_windows: int = 8
+) -> list[dict]:
+    """Windowed training diagnostics: episode range, mean return, mean
+    throughput gain."""
+    h = result.episode_throughputs
+    r = result.episode_returns
+    if not h:
+        raise ReproError("training result has no episodes")
+    chunk = max(1, len(h) // n_windows)
+    out = []
+    for i in range(0, len(h), chunk):
+        out.append(
+            {
+                "episodes": (i, min(i + chunk, len(h))),
+                "mean_return": float(np.mean(r[i : i + chunk])),
+                "mean_throughput": float(np.mean(h[i : i + chunk])),
+            }
+        )
+    return out
+
+
+def comparison_table(
+    results: dict[str, dict[str, ScheduleMetrics]],
+    metric: str = "throughput_gain",
+) -> str:
+    """Format a method x queue matrix (Fig. 8/11/12 style).
+
+    ``results`` maps method name -> {queue name -> ScheduleMetrics};
+    ``metric`` is any ScheduleMetrics attribute.
+    """
+    if not results:
+        raise ReproError("no results to tabulate")
+    queues = sorted(
+        {q for per_queue in results.values() for q in per_queue},
+        key=lambda s: (len(s), s),
+    )
+    header = f"{'method':<18s} " + " ".join(f"{q:>6s}" for q in queues) + "     AM"
+    lines = [header]
+    for method, per_queue in results.items():
+        vals = [getattr(per_queue[q], metric) for q in queues if q in per_queue]
+        row = " ".join(
+            f"{getattr(per_queue[q], metric):6.2f}" if q in per_queue else "     -"
+            for q in queues
+        )
+        lines.append(f"{method:<18s} {row} {float(np.mean(vals)):6.3f}")
+    return "\n".join(lines)
+
+
+def export_results(
+    results: dict[str, dict[str, ScheduleMetrics]], path: str | Path
+) -> None:
+    """Persist evaluation results (method -> queue -> metrics) as JSON."""
+    payload = {
+        method: {
+            q: {
+                "method": m.method,
+                "total_time": m.total_time,
+                "total_solo_time": m.total_solo_time,
+                "throughput_gain": m.throughput_gain,
+                "app_slowdowns": list(m.app_slowdowns),
+                "avg_slowdown": m.avg_slowdown,
+                "fairness": m.fairness,
+            }
+            for q, m in per_queue.items()
+        }
+        for method, per_queue in results.items()
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_results(path: str | Path) -> dict[str, dict[str, ScheduleMetrics]]:
+    """Inverse of :func:`export_results`."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict):
+        raise ReproError(f"malformed results file: {path}")
+    out: dict[str, dict[str, ScheduleMetrics]] = {}
+    for method, per_queue in payload.items():
+        out[method] = {
+            q: ScheduleMetrics(
+                method=d["method"],
+                total_time=float(d["total_time"]),
+                total_solo_time=float(d["total_solo_time"]),
+                throughput_gain=float(d["throughput_gain"]),
+                app_slowdowns=tuple(d["app_slowdowns"]),
+                avg_slowdown=float(d["avg_slowdown"]),
+                fairness=float(d["fairness"]),
+            )
+            for q, d in per_queue.items()
+        }
+    return out

@@ -1,0 +1,227 @@
+"""Command-line interface: ``repro-gpu`` / ``python -m repro``.
+
+Subcommands cover the pipeline stages:
+
+* ``profile``  — profile suite programs, print the Table III counters,
+  optionally persist the repository to JSON;
+* ``classify`` — reproduce the Table IV CI/MI/US classification;
+* ``variants`` — list partition variants per concurrency (Table VII)
+  and the 19 MIG configurations;
+* ``train``    — run offline training, report convergence, save weights;
+* ``schedule`` — schedule one of the paper's queues (Q1..Q12) with a
+  chosen method and print the resulting groups and metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core.actions import ActionCatalog
+from repro.core.baselines import (
+    MigMpsDefaultScheduler,
+    MigOnlyScheduler,
+    MpsOnlyScheduler,
+    TimeSharingScheduler,
+)
+from repro.core.evaluation import profile_all_benchmarks
+from repro.core.metrics import evaluate_schedule
+from repro.core.optimizer import OnlineOptimizer
+from repro.core.trainer import OfflineTrainer
+from repro.gpu.arch import A100_40GB
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.mig import enumerate_gi_combinations
+from repro.gpu.partition import format_partition
+from repro.gpu.variants import enumerate_hierarchical, enumerate_mps_only
+from repro.profiling.classify import classify
+from repro.profiling.profiler import NsightProfiler
+from repro.profiling.repository import ProfileRepository
+from repro.workloads.generator import paper_queues
+from repro.workloads.jobs import Job
+from repro.workloads.suite import BENCHMARKS
+
+__all__ = ["main"]
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    device = SimulatedGpu(A100_40GB)
+    profiler = NsightProfiler(device, noise=args.noise)
+    repo = ProfileRepository()
+    names = args.programs or sorted(BENCHMARKS)
+    print(f"{'program':<18s} {'solo[s]':>8s} {'1gpc[s]':>8s} "
+          f"{'SM%':>6s} {'Mem%':>6s}")
+    for name in names:
+        job = Job.submit(name)
+        profile = profiler.profile(job)
+        repo.store(job, profile)
+        c = profile.counters
+        print(
+            f"{name:<18s} {profile.solo_time:8.2f} {profile.one_gpc_time:8.2f} "
+            f"{c.compute_sm_pct:6.1f} {c.memory_pct:6.1f}"
+        )
+    if args.output:
+        repo.save(args.output)
+        print(f"\nsaved {len(repo)} profiles to {args.output}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    device = SimulatedGpu(A100_40GB)
+    profiler = NsightProfiler(device, noise=args.noise)
+    by_class: dict[str, list[str]] = {"CI": [], "MI": [], "US": []}
+    for name in sorted(BENCHMARKS):
+        profile = profiler.profile(Job.submit(name))
+        by_class[classify(profile)].append(name)
+    for cls, members in by_class.items():
+        print(f"{cls}: {', '.join(members)}")
+    return 0
+
+
+def _cmd_variants(args: argparse.Namespace) -> int:
+    print("MIG GI configurations (19 on the A100):")
+    for cfg in enumerate_gi_combinations(A100_40GB):
+        print("  " + " + ".join(f"{w}g@{s}" for s, w in cfg))
+    for c in range(2, args.c_max + 1):
+        mps = enumerate_mps_only(c)
+        hier = enumerate_hierarchical(A100_40GB, c)
+        print(f"\nC={c}: {len(mps)} MPS-only, {len(hier)} MIG+MPS variants")
+        if args.verbose:
+            for v in hier:
+                print(f"  {v.label}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    trainer = OfflineTrainer(
+        window_size=args.window,
+        c_max=args.c_max,
+        n_training_queues=args.queues,
+        seed=args.seed,
+    )
+    print(
+        f"training: W={args.window} C_max={args.c_max} "
+        f"{args.queues} queues x {args.episodes} episodes"
+    )
+    result = trainer.train(episodes=args.episodes)
+    h = result.episode_throughputs
+    chunk = max(1, len(h) // 8)
+    for i in range(0, len(h), chunk):
+        print(
+            f"  episodes {i:5d}-{min(i + chunk, len(h)):5d}: "
+            f"mean gain {np.mean(h[i:i + chunk]):.3f}"
+        )
+    print(f"final epsilon: {result.agent.epsilon:.4f}")
+    if args.output:
+        from repro.rl.checkpoint import save_agent
+
+        save_agent(result.agent, args.output)
+        print(f"saved agent checkpoint to {args.output}")
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    queues = paper_queues()
+    if args.queue not in queues:
+        print(f"unknown queue {args.queue}; choose from {sorted(queues)}")
+        return 2
+    window = queues[args.queue].window(args.window)
+
+    repo = ProfileRepository()
+    profile_all_benchmarks(repo)
+
+    if args.method == "rl":
+        trainer = OfflineTrainer(
+            window_size=args.window, c_max=args.c_max, seed=args.seed
+        )
+        result = trainer.train(episodes=args.episodes)
+        profile_all_benchmarks(result.repository)
+        optimizer = OnlineOptimizer(
+            result.agent,
+            result.repository,
+            ActionCatalog(c_max=args.c_max),
+            args.window,
+        )
+        schedule = optimizer.optimize(window).schedule
+    else:
+        scheduler = {
+            "timeshare": TimeSharingScheduler(),
+            "mig": MigOnlyScheduler(repo),
+            "mps": MpsOnlyScheduler(repo, args.c_max),
+            "default": MigMpsDefaultScheduler(repo, args.c_max),
+        }[args.method]
+        schedule = scheduler.schedule(window)
+
+    print(f"\nschedule for {args.queue} ({schedule.method}):")
+    for i, group in enumerate(schedule.groups):
+        names = ", ".join(j.benchmark_name for j in group.jobs)
+        print(
+            f"  group {i}: C={group.concurrency} "
+            f"{format_partition(group.partition):<55s} "
+            f"t={group.corun_time:7.1f}s  [{names}]"
+        )
+    metrics = evaluate_schedule(schedule)
+    print(
+        f"\nthroughput x{metrics.throughput_gain:.3f}  "
+        f"avg slowdown {metrics.avg_slowdown:.3f}  "
+        f"fairness {metrics.fairness:.3f}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gpu",
+        description="Hierarchical GPU resource partitioning via RL "
+        "(CLUSTER 2023 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="profile suite programs")
+    p.add_argument("programs", nargs="*", help="program names (default: all)")
+    p.add_argument("--noise", type=float, default=0.01)
+    p.add_argument("--output", help="save repository JSON here")
+    p.set_defaults(fn=_cmd_profile)
+
+    p = sub.add_parser("classify", help="reproduce Table IV")
+    p.add_argument("--noise", type=float, default=0.02)
+    p.set_defaults(fn=_cmd_classify)
+
+    p = sub.add_parser("variants", help="list partition variants")
+    p.add_argument("--c-max", type=int, default=4)
+    p.add_argument("--verbose", action="store_true")
+    p.set_defaults(fn=_cmd_variants)
+
+    p = sub.add_parser("train", help="offline RL training")
+    p.add_argument("--window", type=int, default=12)
+    p.add_argument("--c-max", type=int, default=4)
+    p.add_argument("--queues", type=int, default=20)
+    p.add_argument("--episodes", type=int, default=2000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", help="save the trained agent checkpoint (.npz) here")
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("schedule", help="schedule a Table V queue")
+    p.add_argument("queue", help="Q1..Q12")
+    p.add_argument(
+        "--method",
+        choices=("rl", "timeshare", "mig", "mps", "default"),
+        default="rl",
+    )
+    p.add_argument("--window", type=int, default=12)
+    p.add_argument("--c-max", type=int, default=4)
+    p.add_argument("--episodes", type=int, default=800)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_schedule)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

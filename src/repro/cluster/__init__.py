@@ -1,0 +1,37 @@
+"""Cluster-scale extension (paper Section VI).
+
+The paper argues the node-local optimization carries over to clusters
+by adding one more level of resource assignment — node/GPU selection —
+on top of the hierarchical partitioning. This package implements that
+extension:
+
+* :mod:`repro.cluster.node` — a node hosting one or more simulated
+  GPUs, each with its own wall clock;
+* :mod:`repro.cluster.scheduler` — a two-level scheduler: the top level
+  dispatches job windows to the least-loaded GPU, the bottom level is
+  the node-local RL optimizer (or any window scheduler);
+* :mod:`repro.cluster.policy` — the policy-selection mechanism the
+  paper sketches: co-scheduling for over-crowded queues, plain FCFS
+  when the system is lightly loaded;
+* :mod:`repro.cluster.batch` — a Slurm-shaped batch-system facade
+  (sbatch/squeue/sinfo/sacct) over the two-level scheduler, the
+  integration surface the paper names as future work.
+"""
+
+from repro.cluster.node import GpuNode, ClusterState
+from repro.cluster.scheduler import ClusterScheduler, DispatchRecord
+from repro.cluster.policy import PolicySelector, FcfsPolicy, CoSchedulingPolicy
+from repro.cluster.batch import BatchSystem, BatchJob, JobState
+
+__all__ = [
+    "GpuNode",
+    "ClusterState",
+    "ClusterScheduler",
+    "DispatchRecord",
+    "PolicySelector",
+    "FcfsPolicy",
+    "CoSchedulingPolicy",
+    "BatchSystem",
+    "BatchJob",
+    "JobState",
+]

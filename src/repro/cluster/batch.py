@@ -1,0 +1,218 @@
+"""A Slurm-like batch-system facade over the cluster scheduler.
+
+The paper's stated integration target is "an existing HPC cluster
+management tool such as Slurm" (Sections VI/VII). This module provides
+that integration surface: a miniature batch system with the familiar
+verbs —
+
+* :meth:`BatchSystem.sbatch` — submit a job (returns a job id),
+* :meth:`BatchSystem.squeue` — pending/running/completed job states,
+* :meth:`BatchSystem.sinfo` — per-GPU node states,
+* :meth:`BatchSystem.tick` — advance simulated wall-clock time,
+  dispatching windows to free GPUs under the configured policy
+  selector (co-scheduling when crowded, FCFS otherwise).
+
+Time is event-driven: the system dispatches whenever a GPU is free and
+enough jobs are pending; job completion times come from the underlying
+schedule simulation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.cluster.node import ClusterState
+from repro.cluster.policy import PolicySelector
+from repro.workloads.jobs import Job
+
+__all__ = ["JobState", "BatchJob", "BatchSystem"]
+
+
+class JobState(enum.Enum):
+    PENDING = "PD"
+    RUNNING = "R"
+    COMPLETED = "CD"
+
+
+@dataclass
+class BatchJob:
+    """Accounting record for one submission."""
+
+    job: Job
+    submit_time: float
+    state: JobState = JobState.PENDING
+    node: str | None = None
+    start_time: float | None = None
+    end_time: float | None = None
+
+    @property
+    def wait_time(self) -> float | None:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def turnaround(self) -> float | None:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.submit_time
+
+
+class BatchSystem:
+    """Miniature batch scheduler with a Slurm-shaped interface."""
+
+    def __init__(
+        self,
+        cluster: ClusterState,
+        selector: PolicySelector,
+        window_size: int = 12,
+        min_batch: int = 2,
+    ):
+        if window_size < 1:
+            raise SchedulingError("window size must be positive")
+        if min_batch < 1:
+            raise SchedulingError("min batch must be positive")
+        self.cluster = cluster
+        self.selector = selector
+        self.window_size = window_size
+        self.min_batch = min_batch
+        self.now = 0.0
+        self._records: dict[str, BatchJob] = {}
+        self._pending: list[str] = []
+
+    # ------------------------------------------------------------------
+    # user-facing verbs
+    # ------------------------------------------------------------------
+    def sbatch(self, benchmark_name: str, user: str = "hpcuser") -> str:
+        """Submit one job; returns its job id."""
+        job = Job.submit(benchmark_name, user=user)
+        self._records[job.job_id] = BatchJob(job=job, submit_time=self.now)
+        self._pending.append(job.job_id)
+        return job.job_id
+
+    def squeue(self, state: JobState | None = None) -> list[BatchJob]:
+        """Job records, optionally filtered by state, oldest first."""
+        records = sorted(
+            self._records.values(), key=lambda r: r.submit_time
+        )
+        if state is None:
+            return records
+        return [r for r in records if r.state == state]
+
+    def sinfo(self) -> list[dict]:
+        """Per-node view: name, busy-until, whether it is free now."""
+        return [
+            {
+                "node": n.name,
+                "busy_until": n.available_at,
+                "free": n.available_at <= self.now + 1e-9,
+            }
+            for n in self.cluster.nodes
+        ]
+
+    def scancel(self, job_id: str) -> None:
+        """Cancel a pending job (running jobs cannot be preempted —
+        MIG/MPS reconfiguration requires an idle device)."""
+        record = self._records.get(job_id)
+        if record is None:
+            raise SchedulingError(f"unknown job id {job_id!r}")
+        if record.state is not JobState.PENDING:
+            raise SchedulingError(
+                f"job {job_id} is {record.state.value}; only pending jobs "
+                "can be cancelled"
+            )
+        self._pending.remove(job_id)
+        del self._records[job_id]
+
+    # ------------------------------------------------------------------
+    # time advance / dispatch
+    # ------------------------------------------------------------------
+    def tick(self, until: float) -> int:
+        """Advance the clock to ``until``, dispatching whenever a GPU is
+        free and at least ``min_batch`` jobs are pending. Returns how
+        many dispatches happened."""
+        if until < self.now:
+            raise SchedulingError("time cannot run backwards")
+        dispatched = 0
+        self.now = until
+        while True:
+            # mark completions up to the current time
+            for r in self._records.values():
+                if (
+                    r.state is JobState.RUNNING
+                    and r.end_time is not None
+                    and r.end_time <= self.now + 1e-9
+                ):
+                    r.state = JobState.COMPLETED
+            node = self.cluster.least_loaded()
+            if node.available_at > self.now + 1e-9:
+                break  # every GPU busy beyond the horizon
+            if len(self._pending) < self.min_batch:
+                break
+            self._dispatch(node)
+            dispatched += 1
+        return dispatched
+
+    def drain(self) -> float:
+        """Dispatch everything pending (advancing time as needed) and
+        return the final makespan."""
+        while self._pending:
+            horizon = max(self.now, self.cluster.least_loaded().available_at)
+            saved_min = self.min_batch
+            self.min_batch = 1  # allow the final partial window
+            try:
+                if self.tick(horizon) == 0:
+                    self.now = horizon + 1e-6
+            finally:
+                self.min_batch = saved_min
+        self.now = max(self.now, self.cluster.makespan)
+        for r in self._records.values():
+            if r.state is JobState.RUNNING:
+                r.state = JobState.COMPLETED
+        return self.cluster.makespan
+
+    def _dispatch(self, node) -> None:
+        take = min(self.window_size, len(self._pending))
+        ids = self._pending[:take]
+        self._pending = self._pending[take:]
+        window = [self._records[i].job for i in ids]
+        free = sum(1 for info in self.sinfo() if info["free"])
+        policy = self.selector.select(
+            queue_depth=len(self._pending) + take, free_gpus=max(free, 1)
+        )
+        schedule = policy.schedule(window)
+        start = max(self.now, node.available_at)
+        node.device.clock = start
+        node.execute_schedule(schedule)
+        # per-job completion: group start offset + the job's own finish
+        offset = start
+        finish_of: dict[str, float] = {}
+        for group in schedule.groups:
+            for job, t in zip(group.jobs, group.result.finish_times):
+                finish_of[job.job_id] = offset + t
+            offset += group.corun_time
+        for jid in ids:
+            r = self._records[jid]
+            r.state = JobState.RUNNING
+            r.node = node.name
+            r.start_time = start
+            r.end_time = finish_of[jid]
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def sacct(self) -> dict:
+        """Aggregate accounting over completed jobs."""
+        done = [r for r in self._records.values() if r.state is JobState.COMPLETED]
+        if not done:
+            raise SchedulingError("no completed jobs yet")
+        waits = [r.wait_time for r in done]
+        turns = [r.turnaround for r in done]
+        return {
+            "completed": len(done),
+            "mean_wait": sum(waits) / len(waits),
+            "mean_turnaround": sum(turns) / len(turns),
+            "makespan": self.cluster.makespan,
+        }

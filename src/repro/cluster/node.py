@@ -1,0 +1,83 @@
+"""Cluster nodes: named GPUs with independent clocks.
+
+The cluster layer only needs each device's availability horizon (when
+its current work drains) and a way to execute a scheduled window on it;
+both come from :class:`repro.gpu.device.SimulatedGpu`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.core.problem import Schedule
+from repro.gpu.arch import A100_40GB, GpuSpec
+from repro.gpu.device import SimulatedGpu
+
+__all__ = ["GpuNode", "ClusterState"]
+
+
+@dataclass
+class GpuNode:
+    """One GPU in the cluster (the paper's node/GPU allocation unit)."""
+
+    name: str
+    device: SimulatedGpu
+
+    @classmethod
+    def create(cls, name: str, spec: GpuSpec = A100_40GB) -> "GpuNode":
+        return cls(name=name, device=SimulatedGpu(spec))
+
+    @property
+    def available_at(self) -> float:
+        """Wall-clock time at which this GPU becomes free."""
+        return self.device.clock
+
+    def execute_schedule(self, schedule: Schedule) -> float:
+        """Run a node-local schedule's groups back to back.
+
+        Returns the completion time on this GPU's clock. Groups were
+        already simulated by the window scheduler; here the device
+        replays them to advance its clock and keep per-GPU history —
+        which also re-validates every partition against the device.
+        """
+        if not schedule.groups:
+            raise SchedulingError("cannot execute an empty schedule")
+        for group in schedule.groups:
+            self.device.run_group(list(group.jobs), group.partition)
+        return self.device.clock
+
+
+@dataclass
+class ClusterState:
+    """All nodes plus global accounting."""
+
+    nodes: list[GpuNode] = field(default_factory=list)
+
+    @classmethod
+    def homogeneous(
+        cls, n_gpus: int, spec: GpuSpec = A100_40GB
+    ) -> "ClusterState":
+        if n_gpus <= 0:
+            raise SchedulingError("a cluster needs at least one GPU")
+        return cls(
+            nodes=[GpuNode.create(f"gpu{i:02d}", spec) for i in range(n_gpus)]
+        )
+
+    def least_loaded(self) -> GpuNode:
+        return min(self.nodes, key=lambda n: n.available_at)
+
+    @property
+    def makespan(self) -> float:
+        return max(n.available_at for n in self.nodes)
+
+    @property
+    def total_busy_time(self) -> float:
+        return sum(n.available_at for n in self.nodes)
+
+    def utilization(self) -> float:
+        """Fraction of cluster-time busy until the global makespan."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return self.total_busy_time / (span * len(self.nodes))

@@ -1,0 +1,66 @@
+"""Window-scheduling policies and the load-dependent selector.
+
+Section VI of the paper: co-scheduling pays off on over-crowded systems
+(always-runnable jobs); under light load, plain FCFS without
+co-scheduling can be the better choice. :class:`PolicySelector` makes
+that switch on queue depth, the "policy selection mechanism" the paper
+leaves as future work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.core.optimizer import OnlineOptimizer
+from repro.core.problem import Schedule, ScheduledGroup
+from repro.workloads.jobs import Job
+
+__all__ = ["FcfsPolicy", "CoSchedulingPolicy", "PolicySelector"]
+
+
+class FcfsPolicy:
+    """First come, first served: exclusive runs in submission order."""
+
+    name = "FCFS"
+
+    def schedule(self, window: list[Job]) -> Schedule:
+        if not window:
+            raise SchedulingError("empty window")
+        sched = Schedule(method=self.name)
+        for job in window:
+            sched.append(ScheduledGroup.run_solo(job))
+        return sched
+
+
+class CoSchedulingPolicy:
+    """The node-local RL optimizer wrapped as a policy."""
+
+    name = "MIG+MPS w/ RL"
+
+    def __init__(self, optimizer: OnlineOptimizer):
+        self.optimizer = optimizer
+
+    def schedule(self, window: list[Job]) -> Schedule:
+        return self.optimizer.optimize(window).schedule
+
+
+@dataclass
+class PolicySelector:
+    """Chooses the policy from the system state (queue depth).
+
+    ``crowding_threshold`` is the queue depth (in jobs per free GPU)
+    at which co-scheduling becomes worthwhile; below it, FCFS avoids
+    any co-run slowdown for jobs that would not have waited anyway.
+    """
+
+    co_scheduling: CoSchedulingPolicy
+    fcfs: FcfsPolicy
+    crowding_threshold: int = 4
+
+    def select(self, queue_depth: int, free_gpus: int):
+        if free_gpus <= 0:
+            raise SchedulingError("policy selection needs at least one GPU")
+        if queue_depth / free_gpus >= self.crowding_threshold:
+            return self.co_scheduling
+        return self.fcfs

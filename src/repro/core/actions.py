@@ -1,0 +1,62 @@
+"""The agent's action space: the 29-template catalog with validity masks.
+
+An action is one *group template*: a concurrency level plus a complete
+hierarchical partition (see :func:`repro.gpu.variants.action_catalog`
+for the composition matching Table VI's ``A = 29``). A template is
+valid in a state iff its concurrency fits both the remaining window and
+the scheduler's ``C_max``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.gpu.arch import A100_40GB, GpuSpec
+from repro.gpu.variants import PartitionVariant, action_catalog
+
+__all__ = ["ActionCatalog"]
+
+
+class ActionCatalog:
+    """Immutable view over the 29 group templates."""
+
+    def __init__(self, spec: GpuSpec = A100_40GB, c_max: int = 4):
+        if c_max < 1:
+            raise SchedulingError("C_max must be at least 1")
+        self.spec = spec
+        self.c_max = c_max
+        self.variants: list[PartitionVariant] = action_catalog(spec)
+
+    def __len__(self) -> int:
+        return len(self.variants)
+
+    @property
+    def n_actions(self) -> int:
+        return len(self.variants)
+
+    def variant(self, action: int) -> PartitionVariant:
+        if not 0 <= action < len(self.variants):
+            raise SchedulingError(
+                f"action {action} out of range [0, {len(self.variants)})"
+            )
+        return self.variants[action]
+
+    def concurrency(self, action: int) -> int:
+        return self.variant(action).concurrency
+
+    def mask(self, n_remaining: int) -> np.ndarray:
+        """Boolean validity mask for a state with ``n_remaining``
+        schedulable jobs.
+
+        A template needs exactly its concurrency in jobs, bounded by
+        ``C_max``. With fewer than 2 jobs left no template is valid —
+        the environment then drains the remainder with solo runs.
+        """
+        limit = min(n_remaining, self.c_max)
+        return np.array(
+            [v.concurrency <= limit for v in self.variants], dtype=bool
+        )
+
+    def actions_with_concurrency(self, c: int) -> list[int]:
+        return [i for i, v in enumerate(self.variants) if v.concurrency == c]

@@ -1,0 +1,250 @@
+"""Binding jobs to the slots of a chosen partition template.
+
+Once the agent (or a baseline's search) picks a template, concrete jobs
+must fill its slots. The paper's intermediate reward ``r_i`` scores
+exactly such bindings from profile data, so:
+
+* :func:`assign_optimal` — the default (used by the environment and the
+  online optimizer): the exact total-``r_i`` maximizer, solved as a
+  rectangular linear-sum-assignment problem over the (job, slot) reward
+  matrix — O(n^3), which both *selects* the jobs and *binds* them.
+* :func:`assign_greedy` — a cheap heuristic: walk the template's slots
+  from the largest compute share down, binding the still-unassigned job
+  with the highest ``r_i`` for that slot. Kept for ablation.
+* :func:`assign_exhaustive` — brute-force enumeration over selections
+  and slot permutations (deduplicating identically-shaped slots);
+  pins the optimality of :func:`assign_optimal` in tests.
+
+All return indices into the candidate list, slot-ordered.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.errors import SchedulingError
+from repro.core.rewards import WindowStats, intermediate_reward
+from repro.gpu.partition import PartitionTree, Slot
+from repro.profiling.profiler import JobProfile
+
+__all__ = [
+    "assign_optimal",
+    "assign_conflict_aware",
+    "assign_greedy",
+    "assign_exhaustive",
+    "iter_slot_assignments",
+    "CONFLICT_WEIGHT",
+]
+
+#: Weight of the profile-derived contention penalty in the
+#: conflict-aware binding objective (see :func:`assign_conflict_aware`).
+CONFLICT_WEIGHT = 3.0
+
+
+def _check(tree: PartitionTree, n_candidates: int) -> list[Slot]:
+    slots = tree.slots()
+    if n_candidates < len(slots):
+        raise SchedulingError(
+            f"{len(slots)}-slot template needs at least that many candidate "
+            f"jobs; got {n_candidates}"
+        )
+    return slots
+
+
+def assign_optimal(
+    tree: PartitionTree,
+    profiles: list[JobProfile],
+    stats: WindowStats | None = None,
+) -> list[int]:
+    """Exact max-total-``r_i`` selection + binding via the Hungarian
+    algorithm on the rectangular (job, slot) reward matrix."""
+    slots = _check(tree, len(profiles))
+    if stats is None:
+        stats = WindowStats.from_profiles(profiles)
+    reward = np.empty((len(profiles), len(slots)))
+    for j, profile in enumerate(profiles):
+        for s, slot in enumerate(slots):
+            reward[j, s] = intermediate_reward(profile, slot, stats)
+    rows, cols = linear_sum_assignment(reward, maximize=True)
+    binding = [0] * len(slots)
+    for j, s in zip(rows, cols):
+        binding[s] = int(j)
+    return binding
+
+
+def _binding_score(
+    tree: PartitionTree,
+    slots: list[Slot],
+    binding: list[int],
+    profiles: list[JobProfile],
+    stats: WindowStats,
+    lam: float,
+) -> float:
+    """Conflict-aware binding objective.
+
+    Total intermediate reward minus a contention penalty computed from
+    profile data only: for each memory domain, every bound job pays its
+    own average DRAM demand (``Memory%``) times the summed demand of
+    its domain co-residents, normalized by the domain's bandwidth
+    fraction and weighted by the job's squared duration ratio (the same
+    long-job emphasis ``r_i`` uses). This is the profile-visible
+    estimate of the interference the performance model charges — what a
+    conflict-blind assignment cannot avoid.
+    """
+    total = 0.0
+    for j, slot in zip(binding, slots):
+        total += intermediate_reward(profiles[j], slot, stats)
+    if lam:
+        for domain in tree.mem_domains():
+            if len(domain) < 2:
+                continue
+            demands = [
+                profiles[binding[s]].counters.memory_pct / 100.0 for s in domain
+            ]
+            alpha = slots[domain[0]].mem_fraction
+            dsum = sum(demands)
+            for s, d in zip(domain, demands):
+                p = profiles[binding[s]]
+                dur = p.solo_time / max(stats.mean_solo_time, 1e-9)
+                total -= lam * d * (dsum - d) / alpha * dur**2
+    return total
+
+
+def assign_conflict_aware(
+    tree: PartitionTree,
+    profiles: list[JobProfile],
+    stats: WindowStats | None = None,
+    lam: float = CONFLICT_WEIGHT,
+) -> list[int]:
+    """Conflict-aware selection + binding.
+
+    Starts from the :func:`assign_optimal` solution (which maximizes
+    pure ``r_i``) and improves the conflict-aware objective by local
+    search: swapping jobs between slots and replacing bound jobs with
+    unbound candidates until a local optimum (at most a few passes —
+    the neighborhood is tiny).
+    """
+    slots = _check(tree, len(profiles))
+    if stats is None:
+        stats = WindowStats.from_profiles(profiles)
+    binding = assign_optimal(tree, profiles, stats)
+    best = _binding_score(tree, slots, binding, profiles, stats, lam)
+    for _ in range(4):
+        improved = False
+        bound = set(binding)
+        # swap jobs between two slots
+        for a in range(len(slots)):
+            for b in range(a + 1, len(slots)):
+                cand = binding.copy()
+                cand[a], cand[b] = cand[b], cand[a]
+                score = _binding_score(tree, slots, cand, profiles, stats, lam)
+                if score > best + 1e-12:
+                    binding, best, improved = cand, score, True
+                    bound = set(binding)
+        # replace a bound job with an unbound candidate
+        for a in range(len(slots)):
+            for j in range(len(profiles)):
+                if j in bound:
+                    continue
+                cand = binding.copy()
+                cand[a] = j
+                score = _binding_score(tree, slots, cand, profiles, stats, lam)
+                if score > best + 1e-12:
+                    binding, best, improved = cand, score, True
+                    bound = set(binding)
+        if not improved:
+            break
+    return binding
+
+
+def assign_greedy(
+    tree: PartitionTree,
+    profiles: list[JobProfile],
+    stats: WindowStats | None = None,
+) -> list[int]:
+    """Greedy ``r_i``-maximizing binding.
+
+    Slots are visited from the largest compute fraction down so the
+    most consequential placements are decided first. Returns candidate
+    indices in slot order.
+    """
+    slots = _check(tree, len(profiles))
+    if stats is None:
+        stats = WindowStats.from_profiles(profiles)
+    order = sorted(
+        range(len(slots)),
+        key=lambda i: (slots[i].compute_fraction, slots[i].mem_fraction),
+        reverse=True,
+    )
+    taken: set[int] = set()
+    chosen: dict[int, int] = {}
+    for slot_idx in order:
+        slot = slots[slot_idx]
+        best_job, best_r = -1, -float("inf")
+        for j, profile in enumerate(profiles):
+            if j in taken:
+                continue
+            r = intermediate_reward(profile, slot, stats)
+            if r > best_r:
+                best_job, best_r = j, r
+        taken.add(best_job)
+        chosen[slot_idx] = best_job
+    return [chosen[i] for i in range(len(slots))]
+
+
+def _slot_shape(slot: Slot) -> tuple[float, float]:
+    return (round(slot.compute_fraction, 6), round(slot.mem_fraction, 6))
+
+
+def iter_slot_assignments(
+    tree: PartitionTree, n_candidates: int
+) -> list[tuple[int, ...]]:
+    """All distinct bindings of candidate indices to the template's slots.
+
+    Bindings that differ only by swapping jobs between *identical*
+    slots (same compute and memory shape) are collapsed — e.g. the
+    ``(0.25)x4`` MPS split has one distinct binding per job subset, not
+    24.
+    """
+    slots = _check(tree, n_candidates)
+    seen: set[tuple] = set()
+    out: list[tuple[int, ...]] = []
+    shapes = [_slot_shape(s) for s in slots]
+    for perm in itertools.permutations(range(n_candidates), len(slots)):
+        # canonical key: jobs grouped by slot shape, order-free within
+        key_map: dict[tuple[float, float], list[int]] = {}
+        for job, shape in zip(perm, shapes):
+            key_map.setdefault(shape, []).append(job)
+        key = tuple(
+            (shape, tuple(sorted(jobs))) for shape, jobs in sorted(key_map.items())
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(perm)
+    return out
+
+
+def assign_exhaustive(
+    tree: PartitionTree,
+    profiles: list[JobProfile],
+    stats: WindowStats | None = None,
+) -> list[int]:
+    """Binding maximizing the total intermediate reward, by enumeration."""
+    slots = _check(tree, len(profiles))
+    if stats is None:
+        stats = WindowStats.from_profiles(profiles)
+    best: tuple[int, ...] | None = None
+    best_r = -float("inf")
+    for perm in iter_slot_assignments(tree, len(profiles)):
+        total = sum(
+            intermediate_reward(profiles[j], slot, stats)
+            for j, slot in zip(perm, slots)
+        )
+        if total > best_r:
+            best, best_r = perm, total
+    assert best is not None
+    return list(best)

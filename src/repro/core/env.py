@@ -1,0 +1,209 @@
+"""The co-scheduling RL environment (gymnasium protocol).
+
+An **episode** drains one job window. Each **step** the agent picks one
+of the 29 group templates; jobs are bound to the template's slots by
+profile-driven assignment (the pure and conflict-aware intermediate-
+reward maximizers, arbitrated by the analytic predictor — all
+computable before launch), the group is co-run on the simulated
+device, and the step reward combines the group's intermediate rewards
+with its measured final reward (Table VI). When fewer than two jobs
+remain, the environment drains them with solo runs (no agent decision
+exists there) and the episode terminates.
+
+The observation is the ``W x (f + 5)`` window encoding; ``info`` always
+carries ``action_mask`` (templates whose concurrency no longer fits are
+invalid) and, at termination, the completed :class:`Schedule` for
+metric extraction.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.core.actions import ActionCatalog
+from repro.core.assignment import assign_conflict_aware, assign_optimal
+from repro.core.predictor import AnalyticPredictor
+from repro.core.features import FeatureExtractor
+from repro.core.problem import Schedule, ScheduledGroup, SchedulingProblem
+from repro.core.rewards import RewardConfig, WindowStats, group_reward, intermediate_reward
+from repro.profiling.profiler import JobProfile
+from repro.profiling.repository import ProfileRepository
+from repro.rl.env import Env
+from repro.rl.spaces import Discrete
+from repro.workloads.jobs import Job
+
+__all__ = ["CoSchedulingEnv"]
+
+
+class CoSchedulingEnv(Env):
+    """RL environment over a set of profiled job windows."""
+
+    def __init__(
+        self,
+        windows: list[list[Job]],
+        repository: ProfileRepository,
+        catalog: ActionCatalog,
+        window_size: int,
+        reward_config: RewardConfig | None = None,
+        seed: int = 0,
+        shuffle_windows: bool = True,
+        binding: str = "auto",
+    ):
+        if binding not in ("auto", "optimal", "conflict"):
+            raise SchedulingError(
+                f"binding must be auto/optimal/conflict; got {binding!r}"
+            )
+        if not windows:
+            raise SchedulingError("the environment needs at least one window")
+        for w in windows:
+            if len(w) > window_size:
+                raise SchedulingError(
+                    f"window of {len(w)} jobs exceeds the configured size "
+                    f"{window_size}"
+                )
+            for job in w:
+                repository.lookup(job)  # fail fast on missing profiles
+        self.windows = windows
+        self.repository = repository
+        self.catalog = catalog
+        self.extractor = FeatureExtractor(window_size)
+        self.reward_config = reward_config or RewardConfig()
+        self.predictor = AnalyticPredictor()
+        self.observation_space = self.extractor.observation_space()
+        self.action_space = Discrete(catalog.n_actions, seed=seed)
+        self._rng = np.random.default_rng(seed)
+        self.shuffle_windows = shuffle_windows
+        self.binding = binding
+        self._episode = -1
+
+        # per-episode state
+        self._jobs: list[Job] = []
+        self._profiles: list[JobProfile] = []
+        self._available: list[bool] = []
+        self._stats: WindowStats | None = None
+        self._schedule: Schedule | None = None
+
+    # ------------------------------------------------------------------
+    # episode control
+    # ------------------------------------------------------------------
+    def reset(
+        self, *, seed: int | None = None, options: dict | None = None
+    ) -> tuple[np.ndarray, dict[str, Any]]:
+        """Start draining the next window.
+
+        ``options['window_index']`` pins a specific window (used for
+        deterministic evaluation); otherwise windows are drawn randomly
+        (training) or cycled (``shuffle_windows=False``).
+        """
+        if seed is not None:
+            self._rng = np.random.default_rng(seed)
+            self.action_space.seed(seed)
+        self._episode += 1
+        if options and "window_index" in options:
+            idx = int(options["window_index"]) % len(self.windows)
+        elif self.shuffle_windows:
+            idx = int(self._rng.integers(len(self.windows)))
+        else:
+            idx = self._episode % len(self.windows)
+        self._jobs = list(self.windows[idx])
+        self._profiles = [self.repository.lookup(j) for j in self._jobs]
+        self._available = [True] * len(self._jobs)
+        self._stats = WindowStats.from_profiles(self._profiles)
+        self._schedule = Schedule(method="MIG+MPS w/ RL")
+        return self._observe(), self._info()
+
+    def _observe(self) -> np.ndarray:
+        return self.extractor.encode(self._profiles, self._available)
+
+    def _n_remaining(self) -> int:
+        return sum(self._available)
+
+    def _info(self) -> dict[str, Any]:
+        return {
+            "action_mask": self.catalog.mask(self._n_remaining()),
+            "n_remaining": self._n_remaining(),
+        }
+
+    def _bind(self, tree, cand_profiles) -> list[int]:
+        """Bind candidate jobs to the template's slots.
+
+        In ``auto`` mode two profile-driven candidate bindings are
+        produced — the pure ``r_i`` maximizer and the conflict-aware
+        variant — and the analytic predictor arbitrates between them;
+        ``optimal``/``conflict`` pin one binder (ablation). Everything
+        here is computable before launching the group, as it must be
+        online.
+        """
+        if self.binding == "optimal":
+            return assign_optimal(tree, cand_profiles, self._stats)
+        if self.binding == "conflict":
+            return assign_conflict_aware(tree, cand_profiles, self._stats)
+        options = []
+        for binder in (assign_conflict_aware, assign_optimal):
+            binding = binder(tree, cand_profiles, self._stats)
+            est = self.predictor.predict_group(
+                [cand_profiles[i] for i in binding], tree
+            ).makespan
+            options.append((est, binding))
+        return min(options, key=lambda x: x[0])[1]
+
+    # ------------------------------------------------------------------
+    # transition
+    # ------------------------------------------------------------------
+    def step(
+        self, action: int
+    ) -> tuple[np.ndarray, float, bool, bool, dict[str, Any]]:
+        if self._schedule is None:
+            raise SchedulingError("call reset() before step()")
+        mask = self.catalog.mask(self._n_remaining())
+        if not mask[action]:
+            raise SchedulingError(
+                f"action {action} (C={self.catalog.concurrency(action)}) is "
+                f"invalid with {self._n_remaining()} jobs remaining"
+            )
+        variant = self.catalog.variant(action)
+        candidates = [i for i, a in enumerate(self._available) if a]
+        cand_profiles = [self._profiles[i] for i in candidates]
+        binding = self._bind(variant.tree, cand_profiles)
+        chosen = [candidates[b] for b in binding]
+
+        slots = variant.tree.slots()
+        r_is = [
+            intermediate_reward(self._profiles[i], slot, self._stats)
+            for i, slot in zip(chosen, slots)
+        ]
+        group = ScheduledGroup.run([self._jobs[i] for i in chosen], variant.tree)
+        self._schedule.append(group)
+        for i in chosen:
+            self._available[i] = False
+
+        reward = group_reward(
+            r_is,
+            group.solo_run_time,
+            group.corun_time,
+            self.reward_config,
+            slowdowns=group.result.slowdowns,
+        )
+
+        terminated = False
+        if self._n_remaining() < 2:
+            for i, avail in enumerate(self._available):
+                if avail:
+                    self._schedule.append(ScheduledGroup.run_solo(self._jobs[i]))
+                    self._available[i] = False
+            terminated = True
+
+        info = self._info()
+        if terminated:
+            info["schedule"] = self._schedule
+            problem = SchedulingProblem(
+                window=tuple(self._jobs), c_max=self.catalog.c_max
+            )
+            # Structural constraints must hold by construction; the
+            # throughput constraint is learned, not enforced, in
+            # training (the optimizer enforces it online).
+            problem.validate(self._schedule, strict_gain=False)
+        return self._observe(), reward, terminated, False, info

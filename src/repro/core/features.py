@@ -1,0 +1,130 @@
+"""State featurization: the ``W x (f + 5)`` input layer of Table VI.
+
+Each of the ``W`` window positions contributes ``f + 5`` features:
+
+* ``f = 12`` — the Table III counters of the job's profile, each scaled
+  by a fixed normalizer so every feature lands near [0, 1] (neural nets
+  dislike mixing percentages with cycle counts);
+* ``+5`` — the Table VI profile ratios (ComputeRatio, MemoryRatio,
+  DurationRatio, all relative to the *current window* means), an
+  availability flag (1 while the job is still schedulable, 0 once it
+  has been placed into a group), and the job's class index
+  (CI/MI/US -> 0/0.5/1), which the classifier derives from the same
+  profile data the paper's pipeline has.
+
+Placed jobs keep their profile features but drop their availability
+flag to 0 — the agent sees what has already been consumed, mirroring
+how the paper's window state "represents all the jobs in the current
+job window".
+
+The window is a *set*: two queues holding the same jobs in different
+submission order pose the same decision problem. The encoder therefore
+sorts the window canonically (by class, then descending solo time)
+before laying out features, which makes the network permutation
+invariant and is what lets a policy trained on 20 random queues
+transfer to the unseen Table V mixes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.profiling.classify import classify
+from repro.profiling.profiler import JobProfile
+from repro.rl.spaces import Box
+from repro.workloads.suite import CLASS_CI, CLASS_MI, CLASS_US
+
+__all__ = ["FeatureExtractor", "N_COUNTER_FEATURES", "N_EXTRA_FEATURES"]
+
+#: f in the paper's input-layer formula.
+N_COUNTER_FEATURES = 12
+#: the +5.
+N_EXTRA_FEATURES = 5
+
+#: Fixed normalizers per counter (vector order of HardwareCounters).
+_COUNTER_SCALE = np.array(
+    [
+        60.0,  # duration [s]
+        100.0,  # memory_pct
+        1e11,  # elapsed_cycles
+        1e6,  # grid_size
+        256.0,  # registers_per_thread
+        2e12,  # dram_throughput [B/s]
+        1e13,  # l1_tex_throughput
+        5e12,  # l2_throughput
+        1e11,  # sm_active_cycles
+        100.0,  # compute_sm_pct
+        32.0,  # waves_per_sm
+        64.0,  # achieved_active_warps_per_sm
+    ]
+)
+
+_CLASS_INDEX = {CLASS_CI: 0.0, CLASS_MI: 0.5, CLASS_US: 1.0}
+
+
+class FeatureExtractor:
+    """Builds the flat observation vector for a window of profiles."""
+
+    def __init__(self, window_size: int):
+        if window_size <= 0:
+            raise SchedulingError("window size must be positive")
+        self.window_size = window_size
+
+    @property
+    def features_per_job(self) -> int:
+        return N_COUNTER_FEATURES + N_EXTRA_FEATURES
+
+    @property
+    def n_inputs(self) -> int:
+        """Total input width: ``W x (f + 5)``."""
+        return self.window_size * self.features_per_job
+
+    def observation_space(self) -> Box:
+        return Box(low=0.0, high=np.inf, shape=(self.n_inputs,))
+
+    def encode(
+        self, profiles: list[JobProfile], available: list[bool]
+    ) -> np.ndarray:
+        """Encode a window state.
+
+        ``profiles`` are the window's jobs in queue order (length must
+        not exceed the window size; shorter windows are zero-padded so
+        a trained network can serve late, partially-drained windows).
+        ``available[i]`` marks whether job ``i`` is still schedulable.
+        """
+        if len(profiles) != len(available):
+            raise SchedulingError("profiles and availability flags must align")
+        if len(profiles) > self.window_size:
+            raise SchedulingError(
+                f"window holds at most {self.window_size} jobs; got {len(profiles)}"
+            )
+        out = np.zeros((self.window_size, self.features_per_job))
+        if profiles:
+            order = sorted(
+                range(len(profiles)),
+                key=lambda i: (
+                    _CLASS_INDEX[classify(profiles[i])],
+                    -profiles[i].solo_time,
+                ),
+            )
+            profiles = [profiles[i] for i in order]
+            available = [available[i] for i in order]
+            mean_compute = np.mean(
+                [p.counters.compute_sm_pct for p in profiles]
+            )
+            mean_memory = np.mean([p.counters.memory_pct for p in profiles])
+            mean_solo = np.mean([p.solo_time for p in profiles])
+            for i, (p, avail) in enumerate(zip(profiles, available)):
+                counters = p.counters.as_vector() / _COUNTER_SCALE
+                ratios = np.array(
+                    [
+                        p.counters.compute_sm_pct / max(mean_compute, 1e-9),
+                        p.counters.memory_pct / max(mean_memory, 1e-9),
+                        p.solo_time / max(mean_solo, 1e-9),
+                        1.0 if avail else 0.0,
+                        _CLASS_INDEX[classify(p)],
+                    ]
+                )
+                out[i] = np.concatenate([counters, ratios])
+        return out.ravel()

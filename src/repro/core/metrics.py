@@ -1,0 +1,59 @@
+"""Evaluation metrics (paper Section V-B).
+
+* **Relative throughput** (Fig. 8): ``SoloRunTime / CoRunTime`` of the
+  whole window — solo meaning time-shared execution with the full
+  device.
+* **AppSlowdown** (Fig. 11): per job,
+  ``CoRunAppTime(J) / SoloRunAppTime(J)``; a job's co-run time is its
+  own completion time inside its group.
+* **Fairness** (Fig. 12, after Mutlu & Moscibroda 2008):
+  ``min AppSlowdown / max AppSlowdown`` over the queue — 1.0 when every
+  job suffers equally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.core.problem import Schedule
+
+__all__ = ["ScheduleMetrics", "evaluate_schedule"]
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """All Section V-B metrics for one schedule of one window."""
+
+    method: str
+    total_time: float
+    total_solo_time: float
+    throughput_gain: float
+    app_slowdowns: tuple[float, ...]
+    avg_slowdown: float
+    fairness: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.method}: throughput x{self.throughput_gain:.3f}, "
+            f"avg slowdown {self.avg_slowdown:.3f}, "
+            f"fairness {self.fairness:.3f}"
+        )
+
+
+def evaluate_schedule(schedule: Schedule) -> ScheduleMetrics:
+    """Compute throughput, slowdown, and fairness for a schedule."""
+    if not schedule.groups:
+        raise SchedulingError("cannot evaluate an empty schedule")
+    slowdowns: list[float] = []
+    for group in schedule.groups:
+        slowdowns.extend(group.result.slowdowns)
+    return ScheduleMetrics(
+        method=schedule.method,
+        total_time=schedule.total_time,
+        total_solo_time=schedule.total_solo_time,
+        throughput_gain=schedule.throughput_gain,
+        app_slowdowns=tuple(slowdowns),
+        avg_slowdown=sum(slowdowns) / len(slowdowns),
+        fairness=min(slowdowns) / max(slowdowns),
+    )

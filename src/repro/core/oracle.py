@@ -1,0 +1,99 @@
+"""Oracle scheduler: the policy-class upper bound.
+
+Research aid, not a deployable method: at every step it *simulates*
+each of the 29 catalog templates (with the same binding the RL
+environment uses) and greedily commits the one with the best measured
+rate gain — i.e. a policy with a perfect one-step value function. On
+real hardware this would mean running every candidate group once per
+decision, which is exactly what an online scheduler cannot do; here it
+bounds what the trained agent's template-choice policy class can
+achieve, and the gap between the agent and this oracle measures
+training quality (see DESIGN.md "Interpretation choices").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.core.actions import ActionCatalog
+from repro.core.env import CoSchedulingEnv
+from repro.core.problem import Schedule, ScheduledGroup
+from repro.core.rewards import WindowStats
+from repro.profiling.repository import ProfileRepository
+from repro.workloads.jobs import Job
+
+__all__ = ["OracleScheduler"]
+
+
+class OracleScheduler:
+    """Greedy-by-simulation search over the 29-template action space."""
+
+    name = "Oracle (simulated greedy)"
+
+    def __init__(
+        self,
+        repository: ProfileRepository,
+        catalog: ActionCatalog | None = None,
+        window_size: int = 12,
+    ):
+        self.repository = repository
+        self.catalog = catalog or ActionCatalog()
+        self.window_size = window_size
+
+    def schedule(self, window: list[Job]) -> Schedule:
+        if not window:
+            raise SchedulingError("empty window")
+        if len(window) > self.window_size:
+            raise SchedulingError(
+                f"window of {len(window)} exceeds {self.window_size}"
+            )
+        # reuse the environment's binding machinery without an agent
+        env = CoSchedulingEnv(
+            windows=[window],
+            repository=self.repository,
+            catalog=self.catalog,
+            window_size=self.window_size,
+            shuffle_windows=False,
+        )
+        env.reset(options={"window_index": 0})
+
+        jobs = list(window)
+        profiles = [self.repository.lookup(j) for j in jobs]
+        stats = WindowStats.from_profiles(profiles)
+        env._stats = stats  # keep ratios pinned to the full window
+
+        available = [True] * len(jobs)
+        schedule = Schedule(method=self.name)
+        while sum(available) >= 2:
+            mask = self.catalog.mask(sum(available))
+            candidates = [i for i, a in enumerate(available) if a]
+            cand_profiles = [profiles[i] for i in candidates]
+            best: tuple[float, ScheduledGroup, list[int]] | None = None
+            for action in np.flatnonzero(mask):
+                variant = self.catalog.variant(int(action))
+                binding = env._bind(variant.tree, cand_profiles)
+                chosen = [candidates[b] for b in binding]
+                group = ScheduledGroup.run(
+                    [jobs[i] for i in chosen], variant.tree
+                )
+                # rate gain — the paper's r_f, the greedy criterion that
+                # empirically tracks the DP optimum closest
+                score = (
+                    group.solo_run_time - group.corun_time
+                ) / group.corun_time
+                if best is None or score > best[0]:
+                    best = (score, group, chosen)
+            assert best is not None
+            _, group, chosen = best
+            if group.result.beats_time_sharing():
+                schedule.append(group)
+            else:
+                for i in chosen:
+                    schedule.append(ScheduledGroup.run_solo(jobs[i]))
+            for i in chosen:
+                available[i] = False
+        for i, a in enumerate(available):
+            if a:
+                schedule.append(ScheduledGroup.run_solo(jobs[i]))
+        return schedule

@@ -1,0 +1,152 @@
+"""The optimization problem of Section IV-A, in executable form.
+
+Given a window of ``W`` jobs and a concurrency cap ``C_max``, a feasible
+solution is a pair ``(L_JS, L_R)``: disjoint job sets covering the
+window, each with a hierarchical partition sized to its concurrency.
+:class:`Schedule` carries a solution plus its simulated outcome;
+:meth:`SchedulingProblem.validate` enforces every constraint from the
+paper's formulation:
+
+* ``CoRunTime(JS_i, R_i) <= SoloRunTime(JS_i)`` for every group,
+* ``1 <= C_i <= C_max``,
+* ``|L_JS| == |L_R|`` (structural here: each group stores its own R),
+* the groups partition the window (mutually exclusive, collectively
+  exhaustive, sizes summing to W).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.gpu.partition import CiNode, GiNode, PartitionTree
+from repro.perfmodel.corun import CoRunResult, simulate_corun
+from repro.workloads.jobs import Job
+
+__all__ = ["solo_partition", "ScheduledGroup", "Schedule", "SchedulingProblem"]
+
+
+def solo_partition() -> PartitionTree:
+    """The trivial partition: the whole device for one job."""
+    return PartitionTree(gis=(GiNode(1.0, (CiNode(1.0),)),), mig_enabled=False)
+
+
+@dataclass(frozen=True)
+class ScheduledGroup:
+    """One co-scheduling set ``JS_i`` with its resource setup ``R_i``
+    and simulated outcome."""
+
+    jobs: tuple[Job, ...]
+    partition: PartitionTree
+    result: CoRunResult
+
+    @property
+    def concurrency(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def corun_time(self) -> float:
+        return self.result.makespan
+
+    @property
+    def solo_run_time(self) -> float:
+        return self.result.solo_run_time
+
+    @classmethod
+    def run(cls, jobs: list[Job], partition: PartitionTree) -> "ScheduledGroup":
+        """Simulate a group under a partition and record the outcome."""
+        result = simulate_corun([j.model for j in jobs], partition)
+        return cls(jobs=tuple(jobs), partition=partition, result=result)
+
+    @classmethod
+    def run_solo(cls, job: Job) -> "ScheduledGroup":
+        return cls.run([job], solo_partition())
+
+
+@dataclass
+class Schedule:
+    """A complete solution: ordered groups draining one window."""
+
+    groups: list[ScheduledGroup] = field(default_factory=list)
+    method: str = "unknown"
+
+    @property
+    def jobs(self) -> list[Job]:
+        return [j for g in self.groups for j in g.jobs]
+
+    @property
+    def total_time(self) -> float:
+        """The objective: sum of group co-run times (groups run back to
+        back on the one device)."""
+        return sum(g.corun_time for g in self.groups)
+
+    @property
+    def total_solo_time(self) -> float:
+        return sum(g.solo_run_time for g in self.groups)
+
+    @property
+    def throughput_gain(self) -> float:
+        """Relative throughput vs. time sharing the same window."""
+        return self.total_solo_time / self.total_time
+
+    def append(self, group: ScheduledGroup) -> None:
+        self.groups.append(group)
+
+
+@dataclass(frozen=True)
+class SchedulingProblem:
+    """Problem instance: the window and its attributes (Fig. 6)."""
+
+    window: tuple[Job, ...]
+    c_max: int
+
+    def __post_init__(self) -> None:
+        if not self.window:
+            raise SchedulingError("the job window is empty")
+        if self.c_max < 1:
+            raise SchedulingError("C_max must be at least 1")
+
+    @property
+    def w(self) -> int:
+        return len(self.window)
+
+    def validate(self, schedule: Schedule, strict_gain: bool = True) -> None:
+        """Check a schedule against every Section IV-A constraint.
+
+        ``strict_gain`` toggles the first constraint (co-run beats time
+        sharing per group); schedulers enforce it via solo fallback, so
+        violations indicate a scheduler bug.
+        """
+        window_ids = [j.job_id for j in self.window]
+        scheduled_ids = [j.job_id for g in schedule.groups for j in g.jobs]
+        if len(scheduled_ids) != len(set(scheduled_ids)):
+            raise SchedulingError("a job appears in more than one group")
+        if sorted(scheduled_ids) != sorted(window_ids):
+            missing = set(window_ids) - set(scheduled_ids)
+            extra = set(scheduled_ids) - set(window_ids)
+            raise SchedulingError(
+                f"groups must partition the window exactly "
+                f"(missing={sorted(missing)}, extra={sorted(extra)})"
+            )
+        if sum(g.concurrency for g in schedule.groups) != self.w:
+            raise SchedulingError("group sizes do not sum to W")
+        for i, g in enumerate(schedule.groups):
+            if not 1 <= g.concurrency <= self.c_max:
+                raise SchedulingError(
+                    f"group {i} has concurrency {g.concurrency}; "
+                    f"allowed range is [1, {self.c_max}]"
+                )
+            if g.partition.n_slots != g.concurrency:
+                raise SchedulingError(
+                    f"group {i}: partition provides {g.partition.n_slots} "
+                    f"slots for {g.concurrency} jobs"
+                )
+            if strict_gain and not g.result.beats_time_sharing():
+                raise SchedulingError(
+                    f"group {i} co-runs slower than time sharing "
+                    f"({g.corun_time:.2f}s vs {g.solo_run_time:.2f}s)"
+                )
+
+    def objective(self, schedule: Schedule) -> float:
+        """The minimized quantity: total co-run time over all groups."""
+        return schedule.total_time

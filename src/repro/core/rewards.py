@@ -1,0 +1,137 @@
+"""Reward functions (paper Table VI).
+
+Two signals drive the agent:
+
+* the **intermediate reward** ``r_i`` scores the binding of one job to
+  one slot *before launching it*, from profile data alone::
+
+      r_i = (SmAllocRatio x ComputeRatio
+             + MemoryAllocRatio x MemoryRatio) x DurationRatio^2
+
+  ``SmAllocRatio`` / ``MemoryAllocRatio`` are the slot's fractions of
+  the device's SMs / bandwidth; ``ComputeRatio`` / ``MemoryRatio`` /
+  ``DurationRatio`` are the job's Compute(SM)%, Memory%, and solo time
+  each divided by the window mean. It rewards putting resources where
+  they are needed, and the squared duration ratio prioritizes long
+  jobs (a starved long job drags the whole window's makespan).
+
+* the **final reward** ``r_f`` is the measured outcome::
+
+      r_f = (SoloRunTime / CoRunTime - 1) x 100
+
+  i.e. the percentage throughput gain of the co-run over time sharing
+  for the group, available only after completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.gpu.partition import Slot
+from repro.profiling.profiler import JobProfile
+
+__all__ = [
+    "RewardConfig",
+    "WindowStats",
+    "intermediate_reward",
+    "final_reward",
+    "fairness_penalty",
+    "group_reward",
+]
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Weights combining the two Table VI signals into the step reward.
+
+    The paper uses both signals but does not publish their relative
+    weight; ``intermediate_weight`` scales the summed ``r_i`` of a
+    group against its ``r_f`` (which is in percent and therefore
+    naturally an order of magnitude larger).
+
+    ``fairness_weight`` enables the extension the paper proposes in
+    Section V-B ("we can improve the fairness in our approach by taking
+    it into account in the reward function"): each group pays a penalty
+    proportional to the spread of its members' slowdowns, in the same
+    percent units as ``r_f``. Zero (the default) reproduces the paper's
+    throughput-only objective.
+    """
+
+    intermediate_weight: float = 1.0
+    final_weight: float = 1.0
+    fairness_weight: float = 0.0
+
+
+@dataclass(frozen=True)
+class WindowStats:
+    """Window means normalizing the per-job profile ratios."""
+
+    mean_compute_pct: float
+    mean_memory_pct: float
+    mean_solo_time: float
+
+    @classmethod
+    def from_profiles(cls, profiles: list[JobProfile]) -> "WindowStats":
+        if not profiles:
+            raise SchedulingError("window stats need at least one profile")
+        n = len(profiles)
+        return cls(
+            mean_compute_pct=sum(p.counters.compute_sm_pct for p in profiles) / n,
+            mean_memory_pct=sum(p.counters.memory_pct for p in profiles) / n,
+            mean_solo_time=sum(p.solo_time for p in profiles) / n,
+        )
+
+
+def intermediate_reward(
+    profile: JobProfile, slot: Slot, stats: WindowStats
+) -> float:
+    """``r_i`` for binding ``profile``'s job to ``slot`` (Table VI)."""
+    compute_ratio = profile.counters.compute_sm_pct / max(
+        stats.mean_compute_pct, 1e-9
+    )
+    memory_ratio = profile.counters.memory_pct / max(stats.mean_memory_pct, 1e-9)
+    duration_ratio = profile.solo_time / max(stats.mean_solo_time, 1e-9)
+    return (
+        slot.compute_fraction * compute_ratio
+        + slot.mem_fraction * memory_ratio
+    ) * duration_ratio**2
+
+
+def final_reward(solo_run_time: float, corun_time: float) -> float:
+    """``r_f``: percentage throughput gain over time sharing (Table VI)."""
+    if corun_time <= 0:
+        raise SchedulingError("co-run time must be positive")
+    return (solo_run_time / corun_time - 1.0) * 100.0
+
+
+def fairness_penalty(slowdowns: tuple[float, ...] | list[float]) -> float:
+    """Unfairness of one group, in percent: how far the worst member's
+    slowdown exceeds the best member's (0 for solo runs and perfectly
+    balanced groups)."""
+    if len(slowdowns) < 2:
+        return 0.0
+    worst, best = max(slowdowns), min(slowdowns)
+    if best <= 0:
+        raise SchedulingError("slowdowns must be positive")
+    return (worst / best - 1.0) * 100.0
+
+
+def group_reward(
+    intermediate_rewards: list[float],
+    solo_run_time: float,
+    corun_time: float,
+    config: RewardConfig,
+    slowdowns: tuple[float, ...] | list[float] = (),
+) -> float:
+    """The step reward for scheduling one group.
+
+    ``weighted sum(r_i) + weighted r_f - weighted unfairness`` — the
+    last term only contributes when the fairness extension is enabled.
+    """
+    reward = config.intermediate_weight * sum(intermediate_rewards) + (
+        config.final_weight * final_reward(solo_run_time, corun_time)
+    )
+    if config.fairness_weight and slowdowns:
+        reward -= config.fairness_weight * fairness_penalty(slowdowns)
+    return reward

@@ -1,0 +1,153 @@
+"""Offline training (paper Fig. 7, left half).
+
+The trainer owns the full offline pipeline:
+
+1. profile every training-set benchmark on the simulated device
+   (populating the Job Profiles Repository),
+2. generate the 20 random training queues (all three classes present,
+   unseen programs excluded — Section V-A2),
+3. run dueling-double-DQN episodes against the co-scheduling
+   environment until the requested episode budget is spent, with the
+   epsilon schedule decaying from 1.0 to the 0.01 floor.
+
+The result carries the trained agent plus per-episode diagnostics
+(return, throughput gain, TD loss) so convergence can be inspected and
+regression-tested.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.core.actions import ActionCatalog
+from repro.core.env import CoSchedulingEnv
+from repro.core.features import FeatureExtractor
+from repro.core.rewards import RewardConfig
+from repro.gpu.arch import A100_40GB, GpuSpec
+from repro.gpu.device import SimulatedGpu
+from repro.profiling.profiler import NsightProfiler
+from repro.profiling.repository import ProfileRepository
+from repro.rl.dqn import DQNConfig, DuelingDoubleDQNAgent
+from repro.workloads.generator import QueueGenerator
+from repro.workloads.jobs import Job
+from repro.workloads.suite import TRAINING_SET
+
+__all__ = ["TrainingResult", "OfflineTrainer"]
+
+
+@dataclass
+class TrainingResult:
+    """Trained agent + per-episode diagnostics."""
+
+    agent: DuelingDoubleDQNAgent
+    repository: ProfileRepository
+    episode_returns: list[float] = field(default_factory=list)
+    episode_throughputs: list[float] = field(default_factory=list)
+
+    @property
+    def final_throughput(self) -> float:
+        """Mean throughput gain over the last 10% of episodes."""
+        tail = max(1, len(self.episode_throughputs) // 10)
+        return float(np.mean(self.episode_throughputs[-tail:]))
+
+
+class OfflineTrainer:
+    """End-to-end offline phase on a simulated device."""
+
+    def __init__(
+        self,
+        spec: GpuSpec = A100_40GB,
+        window_size: int = 12,
+        c_max: int = 4,
+        n_training_queues: int = 20,
+        seed: int = 0,
+        reward_config: RewardConfig | None = None,
+        profile_noise: float = 0.01,
+        dqn_overrides: dict | None = None,
+        binding: str = "auto",
+    ):
+        if window_size < 2:
+            raise TrainingError("training needs windows of at least 2 jobs")
+        self.spec = spec
+        self.window_size = window_size
+        self.c_max = c_max
+        self.n_training_queues = n_training_queues
+        self.seed = seed
+        self.reward_config = reward_config or RewardConfig()
+        self.profile_noise = profile_noise
+        self.binding = binding
+        self.catalog = ActionCatalog(spec, c_max=c_max)
+        extractor = FeatureExtractor(window_size)
+        cfg_kwargs = {
+            "n_inputs": extractor.n_inputs,
+            "n_actions": self.catalog.n_actions,
+            "seed": seed,
+        }
+        cfg_kwargs.update(dqn_overrides or {})
+        self.dqn_config = DQNConfig(**cfg_kwargs)
+
+    # ------------------------------------------------------------------
+    def build_repository(self) -> ProfileRepository:
+        """Profile all training-set programs (the offline profiling box
+        of Fig. 7). Unseen programs are profiled online when first
+        submitted, not here."""
+        device = SimulatedGpu(self.spec)
+        profiler = NsightProfiler(device, noise=self.profile_noise)
+        repo = ProfileRepository()
+        for name in TRAINING_SET:
+            job = Job.submit(name)
+            repo.store(job, profiler.profile(job))
+        return repo
+
+    def build_env(self, repository: ProfileRepository) -> CoSchedulingEnv:
+        gen = QueueGenerator(seed=self.seed, training_only=True)
+        queues = gen.training_queues(
+            n=self.n_training_queues, w=self.window_size
+        )
+        windows = [q.window(self.window_size) for q in queues]
+        return CoSchedulingEnv(
+            windows=windows,
+            repository=repository,
+            catalog=self.catalog,
+            window_size=self.window_size,
+            reward_config=self.reward_config,
+            seed=self.seed,
+            binding=self.binding,
+        )
+
+    # ------------------------------------------------------------------
+    def train(
+        self,
+        episodes: int = 400,
+        repository: ProfileRepository | None = None,
+    ) -> TrainingResult:
+        """Run the offline training loop."""
+        if episodes <= 0:
+            raise TrainingError("episode budget must be positive")
+        repo = repository or self.build_repository()
+        env = self.build_env(repo)
+        agent = DuelingDoubleDQNAgent(self.dqn_config)
+        result = TrainingResult(agent=agent, repository=repo)
+
+        for _ in range(episodes):
+            obs, info = env.reset()
+            done = False
+            ep_return = 0.0
+            while not done:
+                mask = info["action_mask"]
+                action = agent.act(obs, mask)
+                next_obs, reward, terminated, truncated, info = env.step(action)
+                done = terminated or truncated
+                agent.observe(
+                    obs, action, reward, next_obs, done, info["action_mask"]
+                )
+                obs = next_obs
+                ep_return += reward
+            result.episode_returns.append(ep_return)
+            result.episode_throughputs.append(
+                info["schedule"].throughput_gain
+            )
+        return result

@@ -1,0 +1,60 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single except clause,
+while still being able to distinguish configuration mistakes (invalid MIG
+layouts, malformed partition strings) from runtime scheduling failures.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "PartitionError",
+    "MigError",
+    "MpsError",
+    "ProfileError",
+    "SchedulingError",
+    "TrainingError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid hardware or scheduler configuration was supplied."""
+
+
+class PartitionError(ConfigurationError):
+    """A hierarchical partition description is malformed or infeasible."""
+
+
+class MigError(PartitionError):
+    """A MIG (physical partitioning) rule was violated.
+
+    Examples: requesting an unsupported GI profile, exceeding the GPC
+    budget, or reconfiguring while jobs are resident.
+    """
+
+
+class MpsError(PartitionError):
+    """An MPS (logical partitioning) rule was violated.
+
+    Examples: active-thread percentages outside (0, 100], or launching
+    more MPS clients than the configured concurrency allows.
+    """
+
+
+class ProfileError(ReproError):
+    """A job profile is missing, malformed, or inconsistent."""
+
+
+class SchedulingError(ReproError):
+    """A co-scheduling decision violates the problem constraints."""
+
+
+class TrainingError(ReproError):
+    """The offline RL training loop was configured or used incorrectly."""

@@ -1,0 +1,71 @@
+"""Simulated modern-GPU substrate: architecture, MIG, MPS, partitions.
+
+This subpackage models everything the paper's scheduler touches on a real
+NVIDIA A100:
+
+* :mod:`repro.gpu.arch` — the device topology (GPCs, SMs, LLC slices, HBM
+  stacks) and peak rates.
+* :mod:`repro.gpu.mig` — Multi-Instance GPU: coarse, physical partitioning
+  into GPU instances (GIs) and compute instances (CIs) at GPC granularity,
+  including the placement-rule table that yields exactly the 19 supported
+  A100 configurations the paper cites.
+* :mod:`repro.gpu.mps` — Multi-Process Service: fine, logical partitioning
+  via active-thread percentages inside a CI (or the bare GPU).
+* :mod:`repro.gpu.partition` — the hierarchical partition tree combining
+  both levels, plus the paper's bracket notation
+  (``[(0.1)+(0.9),1m]``, ``[{0.375},0.5m]+[{0.5},0.5m]``).
+* :mod:`repro.gpu.variants` — enumeration of the partition variants per
+  concurrency level (Table VII) and the 29-entry action catalog.
+* :mod:`repro.gpu.device` — a simulated device that accepts partition
+  configurations and runs jobs under the performance model.
+"""
+
+from repro.gpu.arch import GpuSpec, A100_40GB, A30_24GB
+from repro.gpu.mig import (
+    GiProfile,
+    GpuInstance,
+    ComputeInstance,
+    MigManager,
+    enumerate_gi_combinations,
+)
+from repro.gpu.mps import MpsControl, MpsClient
+from repro.gpu.partition import (
+    MpsShare,
+    CiNode,
+    GiNode,
+    PartitionTree,
+    format_partition,
+    parse_partition,
+)
+from repro.gpu.variants import (
+    PartitionVariant,
+    enumerate_mps_only,
+    enumerate_hierarchical,
+    action_catalog,
+)
+from repro.gpu.device import SimulatedGpu, LaunchResult
+
+__all__ = [
+    "GpuSpec",
+    "A100_40GB",
+    "A30_24GB",
+    "GiProfile",
+    "GpuInstance",
+    "ComputeInstance",
+    "MigManager",
+    "enumerate_gi_combinations",
+    "MpsControl",
+    "MpsClient",
+    "MpsShare",
+    "CiNode",
+    "GiNode",
+    "PartitionTree",
+    "format_partition",
+    "parse_partition",
+    "PartitionVariant",
+    "enumerate_mps_only",
+    "enumerate_hierarchical",
+    "action_catalog",
+    "SimulatedGpu",
+    "LaunchResult",
+]

@@ -1,0 +1,225 @@
+"""GPU architecture specification for the simulated device.
+
+The model follows the NVIDIA Ampere layout the paper describes (Fig. 1):
+a GPU is a set of GPCs (Graphics Processing Clusters), each GPC a set of
+SMs; LLC slices and HBM stacks are shared by default but can be carved
+into per-GI private slices by MIG.
+
+Only quantities the scheduler and performance model observe are kept:
+counts, peak rates, and the MIG slice geometry. Cycle-level details
+(warp schedulers, register files) appear solely as occupancy terms in the
+profiling counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import gb_per_s, gib, mib, tflops
+
+__all__ = ["SlicePlacement", "GpuSpec", "A100_40GB", "A30_24GB", "H100_80GB"]
+
+
+@dataclass(frozen=True)
+class SlicePlacement:
+    """Allowed placement rule for a MIG GPU-instance profile.
+
+    ``compute_slices``
+        number of compute slices (== GPC count) the profile occupies.
+    ``memory_slices``
+        number of memory slices bound to the profile.
+    ``starts``
+        tuple of legal start offsets (in compute-slice coordinates).
+
+    On the A100 the driver only places instances at fixed offsets; this
+    is what limits the total number of configurations to 19.
+    """
+
+    compute_slices: int
+    memory_slices: int
+    starts: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a (simulated) MIG-capable GPU.
+
+    The default construction corresponds to no particular product;
+    use the module-level :data:`A100_40GB` instance for the paper's
+    evaluation platform.
+    """
+
+    name: str
+    n_gpcs: int
+    sms_per_gpc: int
+    # MIG geometry: number of compute slices available once MIG is on.
+    # On the A100, enabling MIG costs one GPC (8 -> 7 usable).
+    mig_compute_slices: int
+    mig_memory_slices: int
+    # Peak rates for the whole (non-MIG) device.
+    peak_fp64_flops: float
+    peak_fp32_flops: float
+    mem_bandwidth: float  # bytes/s
+    mem_capacity: float  # bytes
+    llc_capacity: float  # bytes
+    sm_clock_hz: float
+    max_warps_per_sm: int
+    max_mps_clients: int
+    # MIG GI profiles supported by the driver, keyed by marketing name.
+    gi_profiles: dict[str, SlicePlacement] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.n_gpcs <= 0 or self.sms_per_gpc <= 0:
+            raise ConfigurationError("GPU must have positive GPC/SM counts")
+        if not 0 < self.mig_compute_slices <= self.n_gpcs:
+            raise ConfigurationError(
+                "MIG compute slices must be in (0, n_gpcs]; "
+                f"got {self.mig_compute_slices} for {self.n_gpcs} GPCs"
+            )
+        for pname, prof in self.gi_profiles.items():
+            if prof.compute_slices > self.mig_compute_slices:
+                raise ConfigurationError(
+                    f"profile {pname} wider than the MIG slice budget"
+                )
+            for s in prof.starts:
+                if s < 0 or s + prof.compute_slices > self.mig_compute_slices:
+                    raise ConfigurationError(
+                        f"profile {pname} start {s} overflows the slice space"
+                    )
+
+    @property
+    def total_sms(self) -> int:
+        """SM count of the full, non-MIG device."""
+        return self.n_gpcs * self.sms_per_gpc
+
+    def compute_fraction_of_slices(self, slices: int) -> float:
+        """Fraction of full-device compute owned by ``slices`` MIG slices.
+
+        One compute slice corresponds to one GPC, and the full device has
+        ``n_gpcs`` GPCs, so a 4-slice GI on an 8-GPC A100 owns 0.5 of the
+        device — matching the paper's ``{0.5}`` notation.
+        """
+        if not 0 <= slices <= self.mig_compute_slices:
+            raise ConfigurationError(f"invalid slice count {slices}")
+        return slices / self.n_gpcs
+
+    def memory_fraction_of_slices(self, slices: int) -> float:
+        """Fraction of full-device bandwidth owned by ``slices`` memory slices."""
+        if not 0 <= slices <= self.mig_memory_slices:
+            raise ConfigurationError(f"invalid memory slice count {slices}")
+        return slices / self.mig_memory_slices
+
+    def memory_slices_for_gpcs(self, gpcs: int) -> int:
+        """Memory slices bound to a GI of ``gpcs`` GPCs.
+
+        Resolved through the profile table: on the A100 the mapping is
+        not purely proportional — ``3g.20gb`` owns 4 memory slices
+        (20 GB), the same as ``4g.20gb``, which is why the paper's
+        4GPC+3GPC private split reads ``[{0.375},0.5m]+[{0.5},0.5m]``.
+        """
+        for placement in self.gi_profiles.values():
+            if placement.compute_slices == gpcs:
+                return placement.memory_slices
+        if gpcs >= self.mig_compute_slices:
+            return self.mig_memory_slices
+        return gpcs
+
+
+def _a100_profiles() -> dict[str, SlicePlacement]:
+    """The five A100 GI profiles with their driver placement rules.
+
+    The start offsets replicate the A100 MIG placement table: 1g anywhere
+    in 0..6, 2g at even offsets {0, 2, 4}, 3g at {0, 4}, 4g and 7g only
+    at 0. Under these rules the number of *maximal* (no further GI
+    placeable) configurations is exactly 19, which is the variant count
+    the paper cites in Section III-A.
+    """
+    return {
+        "1g.5gb": SlicePlacement(1, 1, tuple(range(7))),
+        "2g.10gb": SlicePlacement(2, 2, (0, 2, 4)),
+        "3g.20gb": SlicePlacement(3, 4, (0, 4)),
+        "4g.20gb": SlicePlacement(4, 4, (0,)),
+        "7g.40gb": SlicePlacement(7, 8, (0,)),
+    }
+
+
+#: The paper's evaluation platform: NVIDIA A100 40GB PCIe (Table II).
+A100_40GB = GpuSpec(
+    name="NVIDIA A100 40GB PCIe",
+    n_gpcs=8,
+    sms_per_gpc=14,  # 108 SMs enabled on the 40GB part; 14 average per GPC
+    mig_compute_slices=7,
+    mig_memory_slices=8,
+    peak_fp64_flops=tflops(9.7),
+    peak_fp32_flops=tflops(19.5),
+    mem_bandwidth=gb_per_s(1555),
+    mem_capacity=gib(40),
+    llc_capacity=mib(40),
+    sm_clock_hz=1.41e9,
+    max_warps_per_sm=64,
+    max_mps_clients=48,
+    gi_profiles=_a100_profiles(),
+)
+
+
+def _h100_profiles() -> dict[str, SlicePlacement]:
+    """H100 GI profiles: same 7-slice topology as the A100, with the
+    memory-slice table scaled to the 80 GB part (1g.10gb etc.)."""
+    return {
+        "1g.10gb": SlicePlacement(1, 1, tuple(range(7))),
+        "2g.20gb": SlicePlacement(2, 2, (0, 2, 4)),
+        "3g.40gb": SlicePlacement(3, 4, (0, 4)),
+        "4g.40gb": SlicePlacement(4, 4, (0,)),
+        "7g.80gb": SlicePlacement(7, 8, (0,)),
+    }
+
+
+#: A Hopper-generation part: same MIG topology, higher peak rates. Used
+#: to demonstrate the pipeline is architecture-parametric (the paper's
+#: model coefficients are hardware-specific; retraining per device is
+#: expected and cheap on the simulator).
+H100_80GB = GpuSpec(
+    name="NVIDIA H100 80GB PCIe",
+    n_gpcs=8,
+    sms_per_gpc=16,  # 114 SMs enabled on the PCIe part; 16 per full GPC
+    mig_compute_slices=7,
+    mig_memory_slices=8,
+    peak_fp64_flops=tflops(26.0),
+    peak_fp32_flops=tflops(51.0),
+    mem_bandwidth=gb_per_s(2000),
+    mem_capacity=gib(80),
+    llc_capacity=mib(50),
+    sm_clock_hz=1.755e9,
+    max_warps_per_sm=64,
+    max_mps_clients=48,
+    gi_profiles=_h100_profiles(),
+)
+
+
+def _a30_profiles() -> dict[str, SlicePlacement]:
+    """A30 GI profiles (4 compute slices)."""
+    return {
+        "1g.6gb": SlicePlacement(1, 1, tuple(range(4))),
+        "2g.12gb": SlicePlacement(2, 2, (0, 2)),
+        "4g.24gb": SlicePlacement(4, 4, (0,)),
+    }
+
+
+#: A smaller MIG-capable part, used in tests to show the model generalizes.
+A30_24GB = GpuSpec(
+    name="NVIDIA A30 24GB",
+    n_gpcs=4,
+    sms_per_gpc=14,
+    mig_compute_slices=4,
+    mig_memory_slices=4,
+    peak_fp64_flops=tflops(5.2),
+    peak_fp32_flops=tflops(10.3),
+    mem_bandwidth=gb_per_s(933),
+    mem_capacity=gib(24),
+    llc_capacity=mib(24),
+    sm_clock_hz=1.44e9,
+    max_warps_per_sm=64,
+    max_mps_clients=48,
+    gi_profiles=_a30_profiles(),
+)

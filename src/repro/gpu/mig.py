@@ -1,0 +1,334 @@
+"""MIG (Multi-Instance GPU): coarse-grained physical partitioning.
+
+A MIG-enabled GPU is carved into **GPU instances** (GIs) at GPC
+granularity. Each GI owns its compute slices and a proportional set of
+memory slices (LLC + HBM blocks), giving full performance isolation
+between GIs. Inside a GI, one or more **compute instances** (CIs) share
+the GI's memory resources but own disjoint subsets of its compute
+slices.
+
+The model enforces the A100 restrictions the paper lists in
+Section III-A:
+
+1. Turning MIG on costs one GPC (8 GPCs -> 7 compute slices).
+2. Reconfiguration is only legal while no job is resident.
+3. Only the driver's placement table is allowed, which limits the
+   number of distinct configurations (19 on the A100 — verified by
+   :func:`enumerate_gi_combinations` and the test suite).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import MigError
+from repro.gpu.arch import GpuSpec, SlicePlacement
+
+__all__ = [
+    "GiProfile",
+    "GpuInstance",
+    "ComputeInstance",
+    "MigManager",
+    "enumerate_gi_combinations",
+]
+
+
+@dataclass(frozen=True)
+class GiProfile:
+    """A GPU-instance profile resolved against a device spec."""
+
+    name: str
+    compute_slices: int
+    memory_slices: int
+    starts: tuple[int, ...]
+
+    @classmethod
+    def from_placement(cls, name: str, placement: SlicePlacement) -> "GiProfile":
+        return cls(
+            name=name,
+            compute_slices=placement.compute_slices,
+            memory_slices=placement.memory_slices,
+            starts=placement.starts,
+        )
+
+
+@dataclass
+class ComputeInstance:
+    """A compute instance: a contiguous run of compute slices inside a GI."""
+
+    ci_id: int
+    gi_id: int
+    compute_slices: int
+    resident_jobs: list[str] = field(default_factory=list)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self.resident_jobs)
+
+
+@dataclass
+class GpuInstance:
+    """A GPU instance: isolated compute + memory slices."""
+
+    gi_id: int
+    profile: GiProfile
+    start: int
+    cis: list[ComputeInstance] = field(default_factory=list)
+
+    @property
+    def compute_slices(self) -> int:
+        return self.profile.compute_slices
+
+    @property
+    def memory_slices(self) -> int:
+        return self.profile.memory_slices
+
+    @property
+    def end(self) -> int:
+        """One past the last compute slice this GI occupies."""
+        return self.start + self.profile.compute_slices
+
+    @property
+    def busy(self) -> bool:
+        return any(ci.busy for ci in self.cis)
+
+    def unallocated_slices(self) -> int:
+        return self.compute_slices - sum(ci.compute_slices for ci in self.cis)
+
+
+#: CI sizes the A100 driver supports inside a GI (subset limited by GI width).
+_CI_SIZES = (1, 2, 3, 4, 7)
+
+
+class MigManager:
+    """Driver-like state machine for MIG configuration on one device.
+
+    Usage mirrors ``nvidia-smi mig``::
+
+        mig = MigManager(A100_40GB)
+        mig.enable()
+        gi4 = mig.create_gi("4g.20gb")
+        gi3 = mig.create_gi("3g.20gb")
+        ci = mig.create_ci(gi4, 4)
+
+    All mutating calls raise :class:`MigError` when a placement or
+    lifecycle rule is violated, exactly where the real driver would
+    return an error.
+    """
+
+    def __init__(self, spec: GpuSpec):
+        self.spec = spec
+        self.enabled = False
+        self._next_gi = 0
+        self._next_ci = 0
+        self._gis: dict[int, GpuInstance] = {}
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def gis(self) -> list[GpuInstance]:
+        """Current GPU instances ordered by start slice."""
+        return sorted(self._gis.values(), key=lambda g: g.start)
+
+    @property
+    def busy(self) -> bool:
+        return any(gi.busy for gi in self._gis.values())
+
+    def enable(self) -> None:
+        """Turn MIG mode on. Only legal while the device is idle."""
+        if self.busy:
+            raise MigError("cannot enable MIG while jobs are resident")
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Turn MIG mode off, destroying all instances. Device must be idle."""
+        if self.busy:
+            raise MigError("cannot disable MIG while jobs are resident")
+        self._gis.clear()
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Destroy all GIs/CIs (device must be idle); MIG stays enabled."""
+        if self.busy:
+            raise MigError("cannot reconfigure MIG while jobs are resident")
+        self._gis.clear()
+
+    # ------------------------------------------------------------------
+    # GPU instances
+    # ------------------------------------------------------------------
+    def profile(self, name: str) -> GiProfile:
+        try:
+            placement = self.spec.gi_profiles[name]
+        except KeyError:
+            raise MigError(
+                f"unknown GI profile {name!r}; supported: "
+                f"{sorted(self.spec.gi_profiles)}"
+            ) from None
+        return GiProfile.from_placement(name, placement)
+
+    def profile_for_slices(self, compute_slices: int) -> GiProfile:
+        """Find the GI profile with exactly ``compute_slices`` slices."""
+        for name, placement in self.spec.gi_profiles.items():
+            if placement.compute_slices == compute_slices:
+                return GiProfile.from_placement(name, placement)
+        raise MigError(f"no GI profile with {compute_slices} compute slices")
+
+    def _occupied(self) -> set[int]:
+        occ: set[int] = set()
+        for gi in self._gis.values():
+            occ.update(range(gi.start, gi.end))
+        return occ
+
+    def _memory_slices_used(self) -> int:
+        return sum(gi.memory_slices for gi in self._gis.values())
+
+    def create_gi(self, profile_name: str, start: int | None = None) -> GpuInstance:
+        """Create a GPU instance; picks the first legal placement if
+        ``start`` is omitted."""
+        if not self.enabled:
+            raise MigError("MIG is not enabled")
+        if self.busy:
+            raise MigError("cannot create GIs while jobs are resident")
+        prof = self.profile(profile_name)
+        if self._memory_slices_used() + prof.memory_slices > self.spec.mig_memory_slices:
+            raise MigError(
+                f"profile {profile_name} needs {prof.memory_slices} memory "
+                f"slices but only "
+                f"{self.spec.mig_memory_slices - self._memory_slices_used()} remain"
+            )
+        occupied = self._occupied()
+        candidates = prof.starts if start is None else (start,)
+        for s in candidates:
+            if s not in prof.starts:
+                raise MigError(
+                    f"profile {profile_name} cannot start at slice {s}; "
+                    f"legal starts: {prof.starts}"
+                )
+            span = set(range(s, s + prof.compute_slices))
+            if span & occupied:
+                continue
+            gi = GpuInstance(gi_id=self._next_gi, profile=prof, start=s)
+            self._next_gi += 1
+            self._gis[gi.gi_id] = gi
+            return gi
+        raise MigError(
+            f"no free placement for profile {profile_name} "
+            f"(occupied slices: {sorted(occupied)})"
+        )
+
+    def destroy_gi(self, gi: GpuInstance) -> None:
+        if gi.busy:
+            raise MigError(f"GI {gi.gi_id} has resident jobs")
+        self._gis.pop(gi.gi_id, None)
+
+    # ------------------------------------------------------------------
+    # compute instances
+    # ------------------------------------------------------------------
+    def create_ci(self, gi: GpuInstance, compute_slices: int) -> ComputeInstance:
+        """Create a compute instance of ``compute_slices`` inside ``gi``."""
+        if gi.gi_id not in self._gis:
+            raise MigError(f"GI {gi.gi_id} does not exist on this device")
+        if compute_slices not in _CI_SIZES:
+            raise MigError(
+                f"unsupported CI size {compute_slices}; allowed: {_CI_SIZES}"
+            )
+        if compute_slices > gi.unallocated_slices():
+            raise MigError(
+                f"GI {gi.gi_id} has only {gi.unallocated_slices()} free "
+                f"slices, cannot allocate a {compute_slices}-slice CI"
+            )
+        ci = ComputeInstance(
+            ci_id=self._next_ci, gi_id=gi.gi_id, compute_slices=compute_slices
+        )
+        self._next_ci += 1
+        gi.cis.append(ci)
+        return ci
+
+    def destroy_ci(self, gi: GpuInstance, ci: ComputeInstance) -> None:
+        if ci.busy:
+            raise MigError(f"CI {ci.ci_id} has resident jobs")
+        gi.cis.remove(ci)
+
+    # ------------------------------------------------------------------
+    # introspection used by the scheduler
+    # ------------------------------------------------------------------
+    def configuration(self) -> tuple[tuple[int, int], ...]:
+        """The current layout as ``((start, compute_slices), ...)``."""
+        return tuple((gi.start, gi.compute_slices) for gi in self.gis)
+
+    def apply_layout(self, slice_counts: tuple[int, ...]) -> list[GpuInstance]:
+        """Reset and create one GI per entry of ``slice_counts``.
+
+        Convenience used by the schedulers: ``apply_layout((4, 3))``
+        produces the paper's 4GPC+3GPC split.
+        """
+        self.reset()
+        gis = []
+        for n in slice_counts:
+            prof = self.profile_for_slices(n)
+            gis.append(self.create_gi(prof.name))
+        return gis
+
+
+def enumerate_gi_combinations(spec: GpuSpec, maximal_only: bool = True):
+    """Enumerate legal GI configurations under the placement rules.
+
+    A configuration is a set of non-overlapping GI placements that also
+    respects the memory-slice budget; when ``maximal_only`` no further
+    GI can be added. Placements are position-sensitive (a 2g GI at slice
+    0 differs from one at slice 2), matching how the driver reports
+    configurations. Under the A100 rules — including the memory budget,
+    which is what blocks ``3g + 3g + 1g`` (4 + 4 + 1 = 9 > 8 memory
+    slices) and leaves ``3g + 3g`` maximal with an unusable compute
+    slice — this yields exactly the **19 variants** quoted in the paper.
+
+    Returns a sorted list of configurations, each a tuple of
+    ``(start, compute_slices)`` pairs sorted by start.
+    """
+    profiles = [
+        GiProfile.from_placement(name, pl) for name, pl in spec.gi_profiles.items()
+    ]
+    placements = [
+        (start, prof.compute_slices, prof.memory_slices)
+        for prof in profiles
+        for start in prof.starts
+    ]
+    n = spec.mig_compute_slices
+    mem_budget = spec.mig_memory_slices
+    mem_by_width = {p.compute_slices: p.memory_slices for p in profiles}
+
+    results: set[tuple[tuple[int, int], ...]] = set()
+
+    def fits(config: list[tuple[int, int]], cand: tuple[int, int, int]) -> bool:
+        cs, cw, cm = cand
+        cand_span = set(range(cs, cs + cw))
+        mem_used = cm
+        for s, w in config:
+            if cand_span & set(range(s, s + w)):
+                return False
+            mem_used += mem_by_width[w]
+        return mem_used <= mem_budget
+
+    def recurse(config: list[tuple[int, int]]) -> None:
+        extended = False
+        for cand in placements:
+            if fits(config, cand):
+                extended = True
+                nxt = sorted(config + [cand[:2]])
+                key = tuple(nxt)
+                if key not in _seen:
+                    _seen.add(key)
+                    recurse(nxt)
+        if config and (not maximal_only or not extended):
+            results.add(tuple(sorted(config)))
+
+    _seen: set[tuple[tuple[int, int], ...]] = set()
+    recurse([])
+    # Sanity: every configuration must fit in the slice budget.
+    for cfg in results:
+        used = sum(w for _, w in cfg)
+        if used > n:
+            raise MigError(f"enumeration bug: configuration {cfg} overflows")
+    return sorted(results)

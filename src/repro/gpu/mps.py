@@ -1,0 +1,145 @@
+"""MPS (Multi-Process Service): fine-grained logical partitioning.
+
+MPS lets multiple client processes share the compute resources of a GPU
+(or of one MIG compute instance) concurrently. Each client is assigned
+an *active thread percentage* — the share of SMs its kernels may occupy.
+Unlike MIG, MPS provides no memory-side isolation: all clients in the
+same scope contend for the same LLC/HBM bandwidth.
+
+The model captures what the paper's scheduler configures:
+
+* per-client active-thread percentages (``CUDA_MPS_ACTIVE_THREAD_PERCENTAGE``),
+* the *default mode*, where every client may use 100% of the SMs and the
+  hardware time-multiplexes them (used by the ``MIG+MPS Default``
+  baseline),
+* the client-count cap of the control daemon.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MpsError
+from repro.units import clamp
+
+__all__ = ["MpsClient", "MpsControl", "DEFAULT_MODE"]
+
+#: Sentinel percentage for MPS default mode (no partitioning; clients
+#: time-share the full SM array).
+DEFAULT_MODE = 100.0
+
+
+@dataclass(frozen=True)
+class MpsClient:
+    """One MPS client: a job bound to a share of the compute resources."""
+
+    job_id: str
+    active_thread_pct: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.active_thread_pct <= 100.0:
+            raise MpsError(
+                "active thread percentage must be in (0, 100]; "
+                f"got {self.active_thread_pct} for job {self.job_id!r}"
+            )
+
+    @property
+    def compute_share(self) -> float:
+        """The client's share as a fraction of its scope's SMs."""
+        return self.active_thread_pct / 100.0
+
+
+@dataclass
+class MpsControl:
+    """An MPS control daemon scoped to one CI (or the bare device).
+
+    ``scope_compute_fraction`` is the fraction of *full-device* compute
+    owned by the scope this daemon controls: 1.0 on a bare GPU, or
+    ``slices / n_gpcs`` inside a MIG CI. Client shares multiply into it,
+    so a 50% client inside a 4-slice CI of an 8-GPC device owns 0.25 of
+    the device — exactly the ``(0.5){0.5}`` composition in the paper's
+    partition notation.
+    """
+
+    scope_compute_fraction: float = 1.0
+    max_clients: int = 48
+    default_mode: bool = False
+    _clients: dict[str, MpsClient] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.scope_compute_fraction <= 1.0:
+            raise MpsError(
+                f"scope fraction must be in (0, 1]; got {self.scope_compute_fraction}"
+            )
+        if self.max_clients <= 0:
+            raise MpsError("max_clients must be positive")
+
+    @property
+    def clients(self) -> list[MpsClient]:
+        return list(self._clients.values())
+
+    @property
+    def total_allocated_pct(self) -> float:
+        return sum(c.active_thread_pct for c in self._clients.values())
+
+    def connect(self, job_id: str, active_thread_pct: float | None = None) -> MpsClient:
+        """Register a client.
+
+        In default mode the percentage argument is ignored and the
+        client gets the full scope (hardware time-multiplexing decides
+        actual occupancy). In partitioned mode the percentage is
+        mandatory, and the daemon refuses oversubscription beyond 100%
+        of the scope — the real daemon allows it, but the paper's
+        configurations never oversubscribe and the scheduler treats it
+        as a configuration error.
+        """
+        if job_id in self._clients:
+            raise MpsError(f"job {job_id!r} is already connected")
+        if len(self._clients) >= self.max_clients:
+            raise MpsError(
+                f"MPS client limit reached ({self.max_clients}); "
+                f"cannot connect {job_id!r}"
+            )
+        if self.default_mode:
+            pct = DEFAULT_MODE
+        else:
+            if active_thread_pct is None:
+                raise MpsError(
+                    "partitioned MPS requires an active thread percentage"
+                )
+            pct = active_thread_pct
+            if self.total_allocated_pct + pct > 100.0 + 1e-9:
+                raise MpsError(
+                    f"oversubscription: {self.total_allocated_pct:.1f}% already "
+                    f"allocated, cannot add {pct:.1f}% for {job_id!r}"
+                )
+        client = MpsClient(job_id=job_id, active_thread_pct=pct)
+        self._clients[job_id] = client
+        return client
+
+    def disconnect(self, job_id: str) -> None:
+        if job_id not in self._clients:
+            raise MpsError(f"job {job_id!r} is not connected")
+        del self._clients[job_id]
+
+    def quit(self) -> None:
+        """Tear the daemon down, disconnecting every client."""
+        self._clients.clear()
+
+    def device_compute_fraction(self, job_id: str) -> float:
+        """Fraction of *full-device* compute granted to ``job_id``.
+
+        In default mode clients time-share the scope: with ``k`` active
+        clients, each effectively sees ``1/k`` of the scope on average
+        (the hardware scheduler interleaves them). This is what makes
+        the ``MIG+MPS Default`` baseline weaker than tuned percentages.
+        """
+        try:
+            client = self._clients[job_id]
+        except KeyError:
+            raise MpsError(f"job {job_id!r} is not connected") from None
+        if self.default_mode:
+            share = 1.0 / max(1, len(self._clients))
+        else:
+            share = client.compute_share
+        return clamp(share * self.scope_compute_fraction, 0.0, 1.0)

@@ -1,0 +1,365 @@
+"""Partitioning-variant enumeration (paper Table VII) and action catalog.
+
+Two distinct consumers:
+
+* The **exhaustive baselines** (MPS Only, MIG Only) sweep every variant
+  from :func:`enumerate_mps_only` / :func:`enumerate_mig_only` /
+  :func:`enumerate_hierarchical`, matching the paper's "determined
+  through an exhaustive search".
+* The **RL agent** acts over a fixed, curated catalog of exactly **29
+  group templates** (Table VI fixes the advantage-head width at
+  ``A = 29``), produced by :func:`action_catalog`. The catalog spans
+  concurrency 2–4 and all four partitioning styles of Fig. 2.
+
+MPS splits are expressed in *deciles* (the paper sweeps active-thread
+percentages in 10% steps: ``(0.1)+(0.9)`` … ``(0.5)+(0.5)``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.errors import PartitionError
+from repro.gpu.arch import A100_40GB, GpuSpec
+from repro.gpu.partition import CiNode, GiNode, MpsShare, PartitionTree
+
+__all__ = [
+    "PartitionVariant",
+    "decile_compositions",
+    "enumerate_mps_only",
+    "enumerate_mig_only",
+    "enumerate_hierarchical",
+    "action_catalog",
+    "variant_counts",
+]
+
+#: Variant kinds, matching the options of the paper's Fig. 2.
+KIND_MPS = "mps_only"
+KIND_MIG_SHARED = "mig_shared"
+KIND_MIG_PRIVATE = "mig_private"
+KIND_HIERARCHICAL = "hierarchical"
+
+
+@dataclass(frozen=True)
+class PartitionVariant:
+    """A concrete partition choice for one co-scheduling group."""
+
+    tree: PartitionTree
+    kind: str
+    concurrency: int
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.tree.n_slots != self.concurrency:
+            raise PartitionError(
+                f"variant {self.label!r} declares concurrency "
+                f"{self.concurrency} but provides {self.tree.n_slots} slots"
+            )
+
+
+@lru_cache(maxsize=None)
+def decile_compositions(n_parts: int, total: int = 10) -> tuple[tuple[int, ...], ...]:
+    """Unordered partitions of ``total`` deciles into ``n_parts`` parts >= 1.
+
+    Returned non-decreasing, e.g. ``decile_compositions(2)`` is
+    ``((1, 9), (2, 8), (3, 7), (4, 6), (5, 5))`` — the paper's
+    ``[(0.1)+(0.9),1m] … [(0.5)+(0.5),1m]`` sweep.
+    """
+    out = []
+
+    def rec(remaining: int, parts_left: int, minimum: int, acc: tuple[int, ...]):
+        if parts_left == 1:
+            if remaining >= minimum:
+                out.append(acc + (remaining,))
+            return
+        for first in range(minimum, remaining // parts_left + 1):
+            rec(remaining - first, parts_left - 1, first, acc + (first,))
+
+    rec(total, n_parts, 1, ())
+    return tuple(out)
+
+
+def _mps_tree(deciles: tuple[int, ...], scope_mem: float = 1.0) -> PartitionTree:
+    shares = tuple(MpsShare(d / 10.0) for d in deciles)
+    return PartitionTree(
+        gis=(GiNode(mem_fraction=scope_mem, cis=(CiNode(1.0, shares),)),),
+        mig_enabled=False,
+    )
+
+
+def enumerate_mps_only(concurrency: int) -> list[PartitionVariant]:
+    """All MPS-only variants for a given concurrency (Table VII column 2).
+
+    Full device (8/8 GPCs, all bandwidth), one MPS share per job, shares
+    in deciles summing to 100%.
+    """
+    if concurrency < 1:
+        raise PartitionError("concurrency must be >= 1")
+    variants = []
+    for deciles in decile_compositions(concurrency):
+        tree = _mps_tree(deciles)
+        label = "[" + "+".join(f"({d / 10:.1f})" for d in deciles) + ",1m]"
+        variants.append(
+            PartitionVariant(tree, KIND_MPS, concurrency, label)
+        )
+    return variants
+
+
+def _gi_private(spec: GpuSpec, gpcs: int, shares: tuple[MpsShare, ...] = (MpsShare(1.0),)) -> GiNode:
+    """A private GI of ``gpcs`` GPCs holding a single CI."""
+    mem = spec.memory_slices_for_gpcs(gpcs) / spec.mig_memory_slices
+    return GiNode(mem_fraction=mem, cis=(CiNode(gpcs / spec.n_gpcs, shares),))
+
+
+def enumerate_mig_only(
+    spec: GpuSpec = A100_40GB, concurrency: int = 2
+) -> list[PartitionVariant]:
+    """MIG-only variants: one job per CI, no MPS inside.
+
+    For concurrency 2 on the A100 this includes the paper's two options
+    (Fig. 2): the 3+4 shared-memory split (two CIs inside one 7-GPC GI)
+    and the 3+4 private split (two GIs). Wider concurrency uses the
+    driver's GI combination table.
+    """
+    from repro.gpu.mig import enumerate_gi_combinations
+
+    variants = []
+    # Shared-memory option: a single full-width GI subdivided into CIs.
+    for sizes in _ci_partitions(spec.mig_compute_slices, concurrency):
+        cis = tuple(CiNode(s / spec.n_gpcs) for s in sizes)
+        tree = PartitionTree(gis=(GiNode(1.0, cis),), mig_enabled=True)
+        label = "[" + "+".join("{%g}" % (s / spec.n_gpcs) for s in sizes) + ",1m]"
+        variants.append(PartitionVariant(tree, KIND_MIG_SHARED, concurrency, label))
+    # Private option: one GI per job.
+    for combo in enumerate_gi_combinations(spec, maximal_only=False):
+        if len(combo) != concurrency:
+            continue
+        gis = tuple(_gi_private(spec, w) for _, w in combo)
+        try:
+            tree = PartitionTree(gis=gis, mig_enabled=True)
+            tree.validate(spec)
+        except PartitionError:
+            continue
+        label = "+".join(
+            "[{%g},%gm]" % (w / spec.n_gpcs, g.mem_fraction)
+            for (_, w), g in zip(combo, gis)
+        )
+        variants.append(PartitionVariant(tree, KIND_MIG_PRIVATE, concurrency, label))
+    # De-duplicate private variants that differ only in placement.
+    seen: set[tuple] = set()
+    unique = []
+    for v in variants:
+        key = (v.kind, tuple(sorted((g.mem_fraction, g.compute_fraction) for g in v.tree.gis)),
+               tuple(sorted(ci.compute_fraction for g in v.tree.gis for ci in g.cis)))
+        if key not in seen:
+            seen.add(key)
+            unique.append(v)
+    return unique
+
+
+def _ci_partitions(total_slices: int, n_cis: int) -> list[tuple[int, ...]]:
+    """Ways to split ``total_slices`` into ``n_cis`` CI sizes from the
+    driver's CI size table (1, 2, 3, 4, 7), unordered."""
+    sizes = [s for s in (1, 2, 3, 4, 7) if s <= total_slices]
+    out = set()
+    for combo in itertools.combinations_with_replacement(sizes, n_cis):
+        if sum(combo) == total_slices:
+            out.add(tuple(sorted(combo)))
+    return sorted(out)
+
+
+def _hier_private_pair_tree(
+    spec: GpuSpec,
+    left_deciles: tuple[int, ...] | None,
+    right_deciles: tuple[int, ...] | None,
+    left_gpcs: int = 3,
+    right_gpcs: int = 4,
+) -> PartitionTree:
+    """3GPC + 4GPC private GIs; each side holds either one exclusive job
+    (``None``) or an MPS group with the given decile split."""
+
+    def gi(gpcs: int, deciles: tuple[int, ...] | None) -> GiNode:
+        shares = (
+            (MpsShare(1.0),)
+            if deciles is None
+            else tuple(MpsShare(d / 10.0) for d in deciles)
+        )
+        return _gi_private(spec, gpcs, shares)
+
+    return PartitionTree(
+        gis=(gi(left_gpcs, left_deciles), gi(right_gpcs, right_deciles)),
+        mig_enabled=True,
+    )
+
+
+def _hier_shared_tree(
+    spec: GpuSpec,
+    left_deciles: tuple[int, ...] | None,
+    right_deciles: tuple[int, ...] | None,
+    left_gpcs: int = 3,
+    right_gpcs: int = 4,
+) -> PartitionTree:
+    """One full-width GI (shared memory) with two CIs; MPS optional per CI."""
+
+    def ci(gpcs: int, deciles: tuple[int, ...] | None) -> CiNode:
+        shares = (
+            (MpsShare(1.0),)
+            if deciles is None
+            else tuple(MpsShare(d / 10.0) for d in deciles)
+        )
+        return CiNode(gpcs / spec.n_gpcs, shares)
+
+    return PartitionTree(
+        gis=(GiNode(1.0, (ci(left_gpcs, left_deciles), ci(right_gpcs, right_deciles))),),
+        mig_enabled=True,
+    )
+
+
+def enumerate_hierarchical(
+    spec: GpuSpec = A100_40GB, concurrency: int = 2
+) -> list[PartitionVariant]:
+    """The MIG+MPS variant space of Table VII for one concurrency level.
+
+    * ``C = 2``: all MPS-only splits, plus MIG 3+4 shared and private.
+    * ``C = 3``: MPS-only 3-way splits; 3+4 private with an MPS pair on
+      the 4GPC (or 3GPC) side; 3+4 shared-memory CIs with an MPS pair in
+      one CI.
+    * ``C = 4``: MPS-only 4-way splits; 3+4 private with MPS pairs on
+      both sides; 3+4 shared with MPS pairs in both CIs.
+    """
+    variants: list[PartitionVariant] = list(enumerate_mps_only(concurrency))
+    pair_splits = decile_compositions(2)  # (1,9) .. (5,5)
+
+    if concurrency == 2:
+        variants += [
+            v
+            for v in enumerate_mig_only(spec, 2)
+            if _is_3_4_split(v, spec)
+        ]
+    elif concurrency == 3:
+        for side in ("left", "right"):
+            for split in pair_splits:
+                ld, rd = (split, None) if side == "left" else (None, split)
+                tree = _hier_private_pair_tree(spec, ld, rd)
+                variants.append(
+                    PartitionVariant(
+                        tree, KIND_HIERARCHICAL, 3,
+                        _label_hier(tree),
+                    )
+                )
+                tree = _hier_shared_tree(spec, ld, rd)
+                variants.append(
+                    PartitionVariant(tree, KIND_HIERARCHICAL, 3, _label_hier(tree))
+                )
+    elif concurrency == 4:
+        for ls in pair_splits:
+            for rs in pair_splits:
+                tree = _hier_private_pair_tree(spec, ls, rs)
+                variants.append(
+                    PartitionVariant(tree, KIND_HIERARCHICAL, 4, _label_hier(tree))
+                )
+                tree = _hier_shared_tree(spec, ls, rs)
+                variants.append(
+                    PartitionVariant(tree, KIND_HIERARCHICAL, 4, _label_hier(tree))
+                )
+    else:
+        raise PartitionError(
+            f"hierarchical enumeration supports concurrency 2..4; got {concurrency}"
+        )
+    for v in variants:
+        v.tree.validate(spec)
+    return variants
+
+
+def _is_3_4_split(v: PartitionVariant, spec: GpuSpec) -> bool:
+    fracs = sorted(
+        round(ci.compute_fraction * spec.n_gpcs)
+        for gi in v.tree.gis
+        for ci in gi.cis
+    )
+    return fracs == [3, 4]
+
+
+def _label_hier(tree: PartitionTree) -> str:
+    from repro.gpu.partition import format_partition
+
+    return format_partition(tree)
+
+
+def action_catalog(spec: GpuSpec = A100_40GB) -> list[PartitionVariant]:
+    """The RL agent's fixed 29-entry action catalog.
+
+    Composition (kept deliberately small so the advantage head of
+    Table VI has exactly 29 outputs):
+
+    =====  ==================================================  =====
+    C      family                                              count
+    =====  ==================================================  =====
+    2      MPS splits (1+9 … 5+5)                              5
+    2      MIG 3+4 shared / private                            2
+    3      MPS splits (1+1+8, 1+2+7, 2+2+6, 2+3+5, 3+3+4)      5
+    3      3+4 private, MPS pair on 4GPC side (1+9, 3+7, 5+5)  3
+    3      3+4 shared, MPS pair in 4GPC CI (1+9, 3+7, 5+5)     3
+    4      MPS splits (1+1+1+7, 1+2+3+4, 2+2+3+3 + 2.5x4)      4
+    4      3+4 private, pairs both sides (skew/bal x skew/bal) 4
+    4      3+4 shared, pairs both CIs (skew/bal x skew/bal)    3
+    =====  ==================================================  =====
+
+    Total: 29.
+    """
+    catalog: list[PartitionVariant] = []
+
+    # --- C = 2 ---------------------------------------------------------
+    catalog += enumerate_mps_only(2)  # 5
+    catalog += [v for v in enumerate_mig_only(spec, 2) if _is_3_4_split(v, spec)]  # 2
+
+    # --- C = 3 ---------------------------------------------------------
+    for deciles in ((1, 1, 8), (1, 2, 7), (2, 2, 6), (2, 3, 5), (3, 3, 4)):
+        tree = _mps_tree(deciles)
+        catalog.append(PartitionVariant(tree, KIND_MPS, 3, _label_hier(tree)))
+    # private 3+4: MPS pair on the 4GPC side (skewed/balanced) or on the
+    # 3GPC side (balanced) — the lone job gets the other GI to itself
+    for left, right in ((None, (1, 9)), (None, (5, 5)), (((5, 5)), None)):
+        tree = _hier_private_pair_tree(spec, left, right)
+        catalog.append(PartitionVariant(tree, KIND_HIERARCHICAL, 3, _label_hier(tree)))
+    for left, right in ((None, (1, 9)), (None, (5, 5)), (((5, 5)), None)):
+        tree = _hier_shared_tree(spec, left, right)
+        catalog.append(PartitionVariant(tree, KIND_HIERARCHICAL, 3, _label_hier(tree)))
+
+    # --- C = 4 ---------------------------------------------------------
+    for deciles in ((1, 1, 1, 7), (1, 2, 3, 4), (2, 2, 3, 3)):
+        tree = _mps_tree(deciles)
+        catalog.append(PartitionVariant(tree, KIND_MPS, 4, _label_hier(tree)))
+    # the paper's canonical (0.25)x4 is not a whole-decile split; model it
+    # directly
+    tree = PartitionTree(
+        gis=(GiNode(1.0, (CiNode(1.0, tuple(MpsShare(0.25) for _ in range(4))),)),),
+        mig_enabled=False,
+    )
+    catalog.append(PartitionVariant(tree, KIND_MPS, 4, _label_hier(tree)))
+    for ls in ((1, 9), (5, 5)):
+        for rs in ((1, 9), (5, 5)):
+            tree = _hier_private_pair_tree(spec, ls, rs)
+            catalog.append(
+                PartitionVariant(tree, KIND_HIERARCHICAL, 4, _label_hier(tree))
+            )
+    for ls, rs in (((1, 9), (1, 9)), ((1, 9), (5, 5)), ((5, 5), (5, 5))):
+        tree = _hier_shared_tree(spec, ls, rs)
+        catalog.append(
+            PartitionVariant(tree, KIND_HIERARCHICAL, 4, _label_hier(tree))
+        )
+
+    assert len(catalog) == 29, f"action catalog must have 29 entries, got {len(catalog)}"
+    for v in catalog:
+        v.tree.validate(spec)
+    return catalog
+
+
+def variant_counts(spec: GpuSpec = A100_40GB, c_max: int = 4) -> dict[int, int]:
+    """Number of available setups ``N_C`` per concurrency (used by the
+    paper's offline-overhead bound in Section V-B)."""
+    return {
+        c: len(enumerate_hierarchical(spec, c)) for c in range(2, c_max + 1)
+    }

@@ -1,0 +1,164 @@
+"""Co-run simulation: per-job times and group makespans.
+
+``simulate_corun`` is the simulated equivalent of "launch the job set
+under this MIG/MPS configuration and measure": it binds jobs to the
+partition's slots (slot order = binding order), then advances a staged
+simulation. Between completion events every active job progresses at a
+constant rate given by the roofline + interference model; when a job
+finishes, its bandwidth demand disappears and the remaining jobs in its
+memory domain are re-solved. Compute shares stay fixed for the whole
+group — MIG/MPS setups cannot be reconfigured while programs run (paper
+Section IV-B), so an early finisher's SMs idle.
+
+The resulting semantics match the paper's metrics directly:
+
+* ``CoRunTime(JS, R)``   = the simulated makespan,
+* ``SoloRunTime(JS)``    = sum of members' solo times (time sharing),
+* relative throughput    = SoloRunTime / CoRunTime,
+* ``CoRunAppTime(J)``    = the job's own completion time (used for the
+  slowdown and fairness metrics of Figs. 11–12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.gpu.partition import PartitionTree
+from repro.perfmodel.interference import solve_domain
+from repro.workloads.kernels import KernelModel
+
+__all__ = [
+    "CoRunResult",
+    "simulate_corun",
+    "corun_time",
+    "solo_run_time",
+    "relative_throughput",
+]
+
+#: Progress below this is treated as complete (guards float residue).
+_WORK_EPS = 1e-12
+
+#: Per-co-client compute-phase inflation for MPS clients sharing one
+#: compute instance: percentage provisioning partitions SMs but the
+#: clients still contend on the shared front-end path (L2 ports,
+#: copy engines, launch/scheduling). MIG compute instances remove this
+#: by construction — a second reason hierarchical MIG+MPS beats flat
+#: MPS at high concurrency.
+MPS_COMPUTE_CROWDING = 0.11
+
+
+@dataclass(frozen=True)
+class CoRunResult:
+    """Outcome of co-running one job group under one partition."""
+
+    job_names: tuple[str, ...]
+    finish_times: tuple[float, ...]
+    solo_times: tuple[float, ...]
+    makespan: float
+
+    @property
+    def solo_run_time(self) -> float:
+        """Time-sharing execution time of the same group."""
+        return sum(self.solo_times)
+
+    @property
+    def throughput_gain(self) -> float:
+        """Relative throughput vs. time sharing (> 1 is a win)."""
+        return self.solo_run_time / self.makespan
+
+    @property
+    def slowdowns(self) -> tuple[float, ...]:
+        """Per-job AppSlowdown = CoRunAppTime / SoloRunAppTime."""
+        return tuple(
+            f / s for f, s in zip(self.finish_times, self.solo_times)
+        )
+
+    def beats_time_sharing(self) -> bool:
+        """The paper's first constraint: co-running must not lose to
+        time sharing."""
+        return self.makespan <= self.solo_run_time + 1e-9
+
+
+def simulate_corun(
+    models: list[KernelModel], tree: PartitionTree
+) -> CoRunResult:
+    """Run a job group under a partition and return measured times.
+
+    Jobs are bound to ``tree.slots()`` in order; the group size must
+    equal the slot count (slots cannot idle by construction — the
+    schedulers always pick a variant matching the group's concurrency).
+    """
+    slots = tree.slots()
+    if len(models) != len(slots):
+        raise SchedulingError(
+            f"group of {len(models)} jobs cannot fill a partition with "
+            f"{len(slots)} slots"
+        )
+    n = len(models)
+    domains = tree.mem_domains()
+    domain_bw = [tree.gis[g].mem_fraction for g in range(len(tree.gis))]
+    betas = [s.compute_fraction for s in slots]
+    ci_of_slot = [(s.gi_index, s.ci_index) for s in slots]
+
+    remaining = [1.0] * n
+    finish = [0.0] * n
+    active = set(range(n))
+    now = 0.0
+
+    while active:
+        # SM-level crowding: active clients per compute instance.
+        ci_load: dict[tuple[int, int], int] = {}
+        for i in active:
+            ci_load[ci_of_slot[i]] = ci_load.get(ci_of_slot[i], 0) + 1
+        # Solve every memory domain for the currently active jobs.
+        rates = [0.0] * n
+        for d_idx, slot_ids in enumerate(domains):
+            live = [i for i in slot_ids if i in active]
+            if not live:
+                continue
+            shares = solve_domain(
+                [models[i] for i in live],
+                [betas[i] for i in live],
+                domain_bw[d_idx],
+            )
+            for i, share in zip(live, shares):
+                crowd = 1.0 + MPS_COMPUTE_CROWDING * (ci_load[ci_of_slot[i]] - 1)
+                t = models[i].execution_time(
+                    betas[i], share.available_bw, share.pressure, crowd
+                )
+                rates[i] = 1.0 / t
+        # Advance to the next completion event.
+        dt = min(remaining[i] / rates[i] for i in active)
+        now += dt
+        done = []
+        for i in active:
+            remaining[i] -= rates[i] * dt
+            if remaining[i] <= _WORK_EPS:
+                finish[i] = now
+                done.append(i)
+        if not done:  # pragma: no cover - dt picks at least one finisher
+            raise SchedulingError("co-run simulation failed to progress")
+        active.difference_update(done)
+
+    return CoRunResult(
+        job_names=tuple(m.name for m in models),
+        finish_times=tuple(finish),
+        solo_times=tuple(m.solo_time for m in models),
+        makespan=now,
+    )
+
+
+def corun_time(models: list[KernelModel], tree: PartitionTree) -> float:
+    """``CoRunTime(JS, R)`` from the paper's problem definition."""
+    return simulate_corun(models, tree).makespan
+
+
+def solo_run_time(models: list[KernelModel]) -> float:
+    """``SoloRunTime(JS)``: time-shared execution of the group."""
+    return sum(m.solo_time for m in models)
+
+
+def relative_throughput(models: list[KernelModel], tree: PartitionTree) -> float:
+    """Throughput of co-running relative to time sharing (> 1 wins)."""
+    return simulate_corun(models, tree).throughput_gain

@@ -1,0 +1,126 @@
+"""Bandwidth sharing and interference inside one memory domain.
+
+A *memory domain* is the set of job slots that share LLC/HBM resources:
+all slots of one MIG GPU instance, or every slot on the device when MIG
+is off. MPS provides no memory isolation, so co-runners in a domain
+affect each other in two ways:
+
+1. **Bandwidth capacity** — the domain's bandwidth ``alpha`` (fraction
+   of device peak) is finite. When the summed effective demand exceeds
+   it, jobs receive demand-proportional shares (the memory controller
+   is demand-fair). Below saturation every job can still burst to the
+   full domain bandwidth during its memory phase.
+2. **Interference pressure** — even below saturation, concurrent
+   traffic degrades locality (LLC thrash, DRAM row-buffer conflicts).
+   Each job's memory phase inflates by
+   ``1 + sensitivity_j * pressure_j`` where ``pressure_j`` is the
+   summed effective demand of its co-runners. This is the effect MIG's
+   physical isolation removes (paper Fig. 4) and is why hierarchical
+   MIG+MPS beats MPS-only for conflicting mixes.
+
+A job's *effective demand* is its solo average DRAM utilization scaled
+by how much its compute throttling slows it down: a kernel running at a
+tenth of its compute rate issues its traffic over a proportionally
+longer run and presses the memory system less. The adjustment is a
+single deterministic pass (compute-side only) — demand is *not* relaxed
+by the bandwidth contention itself, otherwise saturated domains would
+talk themselves out of saturation and the capacity effect the paper
+measures in Fig. 4 would vanish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.workloads.kernels import KernelModel
+
+__all__ = ["DomainShare", "solve_domain", "effective_demand", "CROWDING_PRESSURE"]
+
+#: Extra interference pressure contributed by each additional client in
+#: the same memory domain, independent of its bandwidth demand. Models
+#: capacity effects bandwidth accounting misses — LLC set thrashing, TLB
+#: pollution, DRAM row-buffer conflicts scale with the *number* of
+#: concurrent access streams, not only their volume. This is the
+#: crowding that MIG's physical isolation removes and MPS cannot; it is
+#: why the paper's hierarchical partitioning beats MPS-only at high
+#: concurrency (Figs. 4, 5, 8).
+CROWDING_PRESSURE = 0.65
+
+
+@dataclass(frozen=True)
+class DomainShare:
+    """Resolved memory-domain state for one job.
+
+    ``available_bw``
+        bandwidth fraction (of device peak) usable by the job's memory
+        phase — the full domain below saturation, its proportional
+        share above it.
+    ``pressure``
+        summed effective co-runner demand, feeding the interference
+        term of :meth:`KernelModel.execution_time`.
+    ``effective_demand``
+        the job's own compute-pace-adjusted average demand.
+    """
+
+    available_bw: float
+    pressure: float
+    effective_demand: float
+
+
+def effective_demand(model: KernelModel, compute_fraction: float) -> float:
+    """Average DRAM utilization a job drives at a given compute share.
+
+    The solo average utilization (peak demand x memory duty cycle) is
+    scaled by the compute-side slowdown: the same bytes spread over a
+    longer run press the memory system proportionally less.
+    """
+    base = model.avg_dram_utilization
+    slowdown = (
+        model.execution_time(compute_fraction, 1.0, 0.0) / model.solo_time
+    )
+    return min(base / max(slowdown, 1e-9), model.bw_demand)
+
+
+def solve_domain(
+    models: list[KernelModel],
+    compute_fractions: list[float],
+    domain_bandwidth: float,
+) -> list[DomainShare]:
+    """Solve bandwidth shares + pressure for jobs co-located in a domain.
+
+    ``compute_fractions`` are device-level compute shares per job;
+    ``domain_bandwidth`` is the domain's fraction of device bandwidth.
+    Jobs running alone in their domain see zero pressure and the whole
+    domain bandwidth, so a single-job call degenerates to the private
+    case.
+    """
+    n = len(models)
+    if n == 0:
+        return []
+    if domain_bandwidth <= 0:
+        raise ValueError("domain bandwidth must be positive")
+    if len(compute_fractions) != n:
+        raise ValueError("one compute fraction per model is required")
+
+    demand = np.array(
+        [
+            min(effective_demand(m, beta), domain_bandwidth)
+            for m, beta in zip(models, compute_fractions)
+        ]
+    )
+    total = float(demand.sum())
+    if total > domain_bandwidth:
+        avail = domain_bandwidth * demand / total
+    else:
+        avail = np.full(n, domain_bandwidth)
+    pressure = (total - demand) + CROWDING_PRESSURE * (n - 1)
+    return [
+        DomainShare(
+            available_bw=float(a),
+            pressure=float(p),
+            effective_demand=float(d),
+        )
+        for a, p, d in zip(avail, pressure, demand)
+    ]

@@ -1,0 +1,73 @@
+"""Solo-run scaling model (roofline with Amdahl compute scaling).
+
+A kernel's run time under an allocation ``(beta, alpha)`` — fractions of
+full-device compute and bandwidth — follows a two-phase overlap model:
+
+* the compute phase inflates by Amdahl's law in ``beta``
+  (``(1 - f) + f / beta``),
+* the memory phase inflates when the granted bandwidth drops below the
+  kernel's unconstrained demand (``demand / min(demand, alpha)``),
+* the two phases overlap by the kernel's overlap factor.
+
+This reproduces the Section III observations that motivate the paper:
+compute-bound kernels keep scaling with SM share, bandwidth-bound
+kernels flat-line once ``alpha`` covers their demand, and unscalable
+kernels are insensitive to both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.kernels import KernelModel
+
+__all__ = ["solo_time", "allocation_time", "speedup_curve", "efficiency"]
+
+
+def solo_time(model: KernelModel) -> float:
+    """Solo execution time on the full device."""
+    return model.solo_time
+
+
+def allocation_time(
+    model: KernelModel,
+    compute_fraction: float,
+    bandwidth_fraction: float,
+    interference_pressure: float = 0.0,
+) -> float:
+    """Execution time under a partial allocation (possibly with
+    co-runner pressure on the memory domain)."""
+    return model.execution_time(
+        compute_fraction, bandwidth_fraction, interference_pressure
+    )
+
+
+def speedup_curve(
+    model: KernelModel,
+    compute_fractions: np.ndarray,
+    bandwidth_fraction: float = 1.0,
+) -> np.ndarray:
+    """Speedup relative to the full device across compute allocations.
+
+    Vectorized over ``compute_fractions`` for plotting/benchmark use.
+    """
+    fracs = np.asarray(compute_fractions, dtype=float)
+    if np.any(fracs <= 0) or np.any(fracs > 1 + 1e-9):
+        raise ValueError("compute fractions must lie in (0, 1]")
+    f = model.parallel_fraction
+    effective = np.minimum(fracs / model.saturation_fraction, 1.0)
+    tc = model.t_compute * ((1.0 - f) + f / effective)
+    achieved = np.minimum(model.bw_demand, bandwidth_fraction)
+    tm = model.t_memory * (model.bw_demand / achieved)
+    hi = np.maximum(tc, tm)
+    lo = np.minimum(tc, tm)
+    times = hi + (1.0 - model.overlap) * lo
+    return model.solo_time / times
+
+
+def efficiency(
+    model: KernelModel, compute_fraction: float, bandwidth_fraction: float = 1.0
+) -> float:
+    """Parallel efficiency of an allocation: speedup / resource share."""
+    t = allocation_time(model, compute_fraction, bandwidth_fraction)
+    return (model.solo_time / t) / compute_fraction

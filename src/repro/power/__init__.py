@@ -1,0 +1,24 @@
+"""Power modelling and power-capped scheduling (paper Section VII).
+
+The paper names power as the next resource dimension ("We can consider
+also ... other kinds of resources, such as power"), and its closest
+prior work (Arima et al., ICPP-W 2022 — reference [6]) co-optimizes
+partitioning under power caps. This package implements that extension:
+
+* :mod:`repro.power.model` — a device power model: per-job draw from
+  compute/memory activity, group draw with uncore overheads, and
+  energy accounting over a simulated schedule;
+* :mod:`repro.power.capping` — power-capped online optimization: the
+  action mask excludes group templates whose predicted draw exceeds
+  the cap, so the agent's decisions stay cap-feasible by construction.
+"""
+
+from repro.power.model import PowerModel, GroupPower, schedule_energy
+from repro.power.capping import PowerCappedOptimizer
+
+__all__ = [
+    "PowerModel",
+    "GroupPower",
+    "schedule_energy",
+    "PowerCappedOptimizer",
+]

@@ -1,0 +1,131 @@
+"""Device power model.
+
+Power decomposes the way GPU vendors' own models do:
+
+``P = P_idle + P_compute x (SM share x compute activity)
+           + P_memory x (bandwidth utilization)``
+
+Per job, the compute activity is its SM-busy duty cycle and the
+bandwidth utilization its effective DRAM demand — both derivable from
+the kernel model (simulation side) or the profile counters (scheduler
+side). A co-run group's draw is the idle floor plus the sum of its
+members' dynamic parts; energy is draw integrated over the group's
+makespan.
+
+Defaults are calibrated to the paper's evaluation card (A100 PCIe,
+250 W TDP, Table II): a full-tilt compute-and-bandwidth-saturating
+kernel draws the TDP, an idle board ~55 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.core.problem import Schedule
+from repro.gpu.partition import PartitionTree
+from repro.perfmodel.interference import effective_demand
+from repro.workloads.kernels import KernelModel
+
+__all__ = ["PowerModel", "GroupPower", "schedule_energy"]
+
+
+@dataclass(frozen=True)
+class GroupPower:
+    """Power/energy accounting for one co-run group."""
+
+    draw_watts: float
+    makespan: float
+
+    @property
+    def energy_joules(self) -> float:
+        return self.draw_watts * self.makespan
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Linear activity-based device power model."""
+
+    idle_watts: float = 55.0
+    compute_watts: float = 130.0  # at 100% SM share and activity
+    memory_watts: float = 65.0  # at 100% bandwidth utilization
+
+    def __post_init__(self) -> None:
+        if min(self.idle_watts, self.compute_watts, self.memory_watts) < 0:
+            raise ConfigurationError("power coefficients must be >= 0")
+
+    @property
+    def tdp_watts(self) -> float:
+        """Draw of a kernel saturating both compute and bandwidth."""
+        return self.idle_watts + self.compute_watts + self.memory_watts
+
+    # ------------------------------------------------------------------
+    def job_dynamic_watts(
+        self, model: KernelModel, compute_fraction: float
+    ) -> float:
+        """Dynamic (above-idle) draw of one job at a compute share."""
+        if not 0.0 < compute_fraction <= 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"compute fraction must be in (0, 1]; got {compute_fraction}"
+            )
+        compute_activity = compute_fraction * model.compute_duty
+        bandwidth = effective_demand(model, compute_fraction)
+        return (
+            self.compute_watts * compute_activity
+            + self.memory_watts * bandwidth
+        )
+
+    def group_watts(
+        self, models: list[KernelModel], tree: PartitionTree
+    ) -> float:
+        """Steady-state draw of a co-run group (all members active)."""
+        slots = tree.slots()
+        if len(models) != len(slots):
+            raise ConfigurationError(
+                f"group of {len(models)} cannot fill {len(slots)} slots"
+            )
+        dynamic = sum(
+            self.job_dynamic_watts(m, s.compute_fraction)
+            for m, s in zip(models, slots)
+        )
+        # dynamic draw cannot exceed what the silicon can dissipate
+        return min(
+            self.idle_watts + dynamic,
+            self.tdp_watts,
+        )
+
+    def group_power(
+        self, models: list[KernelModel], tree: PartitionTree, makespan: float
+    ) -> GroupPower:
+        if makespan <= 0:
+            raise ConfigurationError("makespan must be positive")
+        return GroupPower(
+            draw_watts=self.group_watts(models, tree), makespan=makespan
+        )
+
+
+def schedule_energy(schedule: Schedule, model: PowerModel) -> dict:
+    """Energy accounting over a completed schedule.
+
+    Returns total energy, average draw, peak group draw, and
+    energy-per-unit-of-work (joules per second of solo-equivalent work
+    completed — the efficiency metric power-capped scheduling trades
+    against throughput).
+    """
+    if not schedule.groups:
+        raise ConfigurationError("cannot account an empty schedule")
+    total_energy = 0.0
+    peak = 0.0
+    for group in schedule.groups:
+        gp = model.group_power(
+            [j.model for j in group.jobs], group.partition, group.corun_time
+        )
+        total_energy += gp.energy_joules
+        peak = max(peak, gp.draw_watts)
+    total_time = schedule.total_time
+    return {
+        "energy_joules": total_energy,
+        "avg_watts": total_energy / total_time,
+        "peak_watts": peak,
+        "joules_per_solo_second": total_energy / schedule.total_solo_time,
+    }

@@ -1,0 +1,23 @@
+"""Nsight-Compute-like profiling: counters, repository, classification.
+
+The paper characterizes every job with the hardware performance counters
+of Table III, collected from a solo run, and stores them in a *Job
+Profiles Repository* keyed by the application binary path + name
+(Section IV-B). :mod:`repro.profiling.classify` implements the
+CI/MI/US classification procedure of Section V-A2.
+"""
+
+from repro.profiling.counters import HardwareCounters, COUNTER_NAMES
+from repro.profiling.profiler import NsightProfiler, JobProfile
+from repro.profiling.repository import ProfileRepository
+from repro.profiling.classify import classify, classify_job
+
+__all__ = [
+    "HardwareCounters",
+    "COUNTER_NAMES",
+    "NsightProfiler",
+    "JobProfile",
+    "ProfileRepository",
+    "classify",
+    "classify_job",
+]

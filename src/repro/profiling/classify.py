@@ -1,0 +1,54 @@
+"""CI / MI / US classification (paper Section V-A2).
+
+The procedure, following the paper (which itself follows Arima et al.,
+ICPP Workshops 2022):
+
+1. If the performance degradation of a 1-GPC private-memory run versus
+   the full 8-GPC run is below 10%, the program is **UnScalable (US)**.
+2. Otherwise, if the ratio of ``Compute (SM) [%]`` to ``Memory [%]``
+   exceeds 0.80, it is **Compute Intensive (CI)**.
+3. Otherwise it is **Memory Intensive (MI)**.
+
+The thresholds are module constants so ablations can vary them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProfileError
+from repro.profiling.profiler import JobProfile, NsightProfiler
+from repro.workloads.jobs import Job
+from repro.workloads.suite import CLASS_CI, CLASS_MI, CLASS_US
+
+__all__ = [
+    "US_DEGRADATION_THRESHOLD",
+    "CI_RATIO_THRESHOLD",
+    "classify",
+    "classify_job",
+]
+
+#: Rule 1: a 1-GPC run within this relative slowdown marks the program US.
+US_DEGRADATION_THRESHOLD = 0.10
+
+#: Rule 2: Compute(SM)% / Memory% above this marks a scalable program CI.
+CI_RATIO_THRESHOLD = 0.80
+
+
+def classify(profile: JobProfile) -> str:
+    """Classify a profiled program into CI, MI, or US."""
+    if profile.solo_time <= 0:
+        raise ProfileError("profile has non-positive solo time")
+    degradation = profile.one_gpc_time / profile.solo_time - 1.0
+    if degradation < US_DEGRADATION_THRESHOLD:
+        return CLASS_US
+    memory_pct = profile.counters.memory_pct
+    if memory_pct <= 0:
+        return CLASS_CI
+    if profile.counters.compute_sm_pct / memory_pct > CI_RATIO_THRESHOLD:
+        return CLASS_CI
+    return CLASS_MI
+
+
+def classify_job(profiler: NsightProfiler, job: Job) -> tuple[str, JobProfile]:
+    """Profile a job and classify it in one step."""
+    profile = profiler.profile(job)
+    return classify(profile), profile

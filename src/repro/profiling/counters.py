@@ -1,0 +1,91 @@
+"""The hardware performance counter set of Table III.
+
+Twelve statistics, as collected by NVIDIA Nsight Compute on the paper's
+platform. The simulated profiler synthesizes them from the kernel model
+and the device spec; downstream code (state featurization, reward
+computation, classification) treats them as opaque measurements, exactly
+as the paper's pipeline treats real counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+
+from repro.errors import ProfileError
+
+__all__ = ["HardwareCounters", "COUNTER_NAMES"]
+
+
+@dataclass(frozen=True)
+class HardwareCounters:
+    """One profiling sample (solo run at full device).
+
+    Field units follow Nsight conventions: percentages in [0, 100],
+    throughputs in bytes/s, cycle counts dimensionless, duration in
+    seconds.
+    """
+
+    duration: float
+    memory_pct: float
+    elapsed_cycles: float
+    grid_size: float
+    registers_per_thread: float
+    dram_throughput: float
+    l1_tex_throughput: float
+    l2_throughput: float
+    sm_active_cycles: float
+    compute_sm_pct: float
+    waves_per_sm: float
+    achieved_active_warps_per_sm: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ProfileError("duration must be positive")
+        for pct_name in ("memory_pct", "compute_sm_pct"):
+            v = getattr(self, pct_name)
+            if not 0.0 <= v <= 100.0:
+                raise ProfileError(f"{pct_name} must be in [0, 100]; got {v}")
+        for nonneg in (
+            "elapsed_cycles",
+            "grid_size",
+            "registers_per_thread",
+            "dram_throughput",
+            "l1_tex_throughput",
+            "l2_throughput",
+            "sm_active_cycles",
+            "waves_per_sm",
+            "achieved_active_warps_per_sm",
+        ):
+            if getattr(self, nonneg) < 0:
+                raise ProfileError(f"{nonneg} must be >= 0")
+
+    def as_vector(self) -> np.ndarray:
+        """All counters as a float vector in declaration order."""
+        return np.array(
+            [getattr(self, f.name) for f in fields(self)], dtype=float
+        )
+
+    @classmethod
+    def from_vector(cls, vec: np.ndarray) -> "HardwareCounters":
+        names = [f.name for f in fields(cls)]
+        if len(vec) != len(names):
+            raise ProfileError(
+                f"counter vector must have {len(names)} entries; got {len(vec)}"
+            )
+        return cls(**{n: float(v) for n, v in zip(names, vec)})
+
+    def to_dict(self) -> dict[str, float]:
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, d: dict[str, float]) -> "HardwareCounters":
+        return cls(**{k: float(v) for k, v in d.items()})
+
+
+#: Counter names in vector order (also defines ``f`` in the paper's
+#: input-layer size ``W x (f + 5)``).
+COUNTER_NAMES: tuple[str, ...] = tuple(
+    f.name for f in fields(HardwareCounters)
+)

@@ -1,0 +1,92 @@
+"""The Job Profiles Repository (paper Section IV-B, Fig. 7).
+
+Profiles are keyed by the *matching function* over job submission
+information. The paper's simple scheme — application binary path plus
+name — is implemented here verbatim; the key derivation is a single
+overridable method so the "more sophisticated scheme" the paper defers
+to future work can be plugged in.
+
+Jobs without a stored profile are not co-scheduling candidates: the
+online optimizer runs them exclusively (collecting their profile for
+next time). The repository persists to JSON so the online phase can
+outlive scheduler restarts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ProfileError
+from repro.profiling.profiler import JobProfile
+from repro.workloads.jobs import Job
+
+__all__ = ["ProfileRepository"]
+
+
+class ProfileRepository:
+    """In-memory profile store with JSON persistence."""
+
+    def __init__(self) -> None:
+        self._profiles: dict[str, JobProfile] = {}
+
+    # ------------------------------------------------------------------
+    # the matching function
+    # ------------------------------------------------------------------
+    def key_for(self, job: Job) -> str:
+        """The paper's matching key: binary path + program name."""
+        return f"{job.binary_path}:{job.benchmark_name}"
+
+    # ------------------------------------------------------------------
+    # store / lookup
+    # ------------------------------------------------------------------
+    def store(self, job: Job, profile: JobProfile) -> None:
+        self._profiles[self.key_for(job)] = profile
+
+    def has(self, job: Job) -> bool:
+        return self.key_for(job) in self._profiles
+
+    def lookup(self, job: Job) -> JobProfile:
+        try:
+            return self._profiles[self.key_for(job)]
+        except KeyError:
+            raise ProfileError(
+                f"no profile for job {job.job_id} "
+                f"({self.key_for(job)}); run it exclusively first"
+            ) from None
+
+    def get(self, job: Job) -> JobProfile | None:
+        return self._profiles.get(self.key_for(job))
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, job: Job) -> bool:
+        return self.has(job)
+
+    def copy(self) -> "ProfileRepository":
+        """A shallow copy (profiles are immutable, sharing them is safe).
+
+        Useful when one trained repository seeds several online
+        optimizers that will each collect their own new profiles.
+        """
+        clone = ProfileRepository()
+        clone._profiles = dict(self._profiles)
+        return clone
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        payload = {k: p.to_dict() for k, p in self._profiles.items()}
+        Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ProfileRepository":
+        repo = cls()
+        payload = json.loads(Path(path).read_text())
+        if not isinstance(payload, dict):
+            raise ProfileError(f"malformed profile repository file: {path}")
+        for key, d in payload.items():
+            repo._profiles[key] = JobProfile.from_dict(d)
+        return repo

@@ -1,0 +1,42 @@
+"""Reinforcement-learning stack (NumPy; no external RL/DL dependency).
+
+The paper builds its agent on gymnasium + PyTorch (Table II). Neither
+is available offline here, so this package provides the same
+functionality from scratch:
+
+* :mod:`repro.rl.spaces` / :mod:`repro.rl.env` — a gymnasium-compatible
+  ``Env`` API subset (``reset``/``step`` with the 5-tuple protocol).
+* :mod:`repro.rl.nn` — fully-connected networks with manual backprop,
+  including the dueling value/advantage head of Wang et al. (2016).
+* :mod:`repro.rl.optim` — SGD with momentum and Adam.
+* :mod:`repro.rl.replay` — uniform experience replay.
+* :mod:`repro.rl.dqn` — the dueling **double** DQN agent of the paper
+  (Hasselt et al. 2016 target decoupling), with invalid-action masking.
+* :mod:`repro.rl.schedules` — the epsilon-greedy decay schedule.
+"""
+
+from repro.rl.spaces import Discrete, Box
+from repro.rl.env import Env
+from repro.rl.nn import Linear, ReLU, Sequential, DuelingQNetwork
+from repro.rl.optim import SGD, Adam
+from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.schedules import LinearDecay, ExponentialDecay
+from repro.rl.dqn import DQNConfig, DuelingDoubleDQNAgent
+
+__all__ = [
+    "Discrete",
+    "Box",
+    "Env",
+    "Linear",
+    "ReLU",
+    "Sequential",
+    "DuelingQNetwork",
+    "SGD",
+    "Adam",
+    "ReplayBuffer",
+    "Transition",
+    "LinearDecay",
+    "ExponentialDecay",
+    "DQNConfig",
+    "DuelingDoubleDQNAgent",
+]

@@ -1,0 +1,45 @@
+"""Environment base class (gymnasium 5-tuple protocol).
+
+Concrete environments implement :meth:`reset` and :meth:`step`; the
+co-scheduling environment additionally exposes an ``action_mask`` in
+``info`` because not every group template is valid in every state (a
+4-way template cannot be chosen with 3 jobs left in the window).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any
+
+import numpy as np
+
+from repro.rl.spaces import Box, Discrete
+
+__all__ = ["Env"]
+
+
+class Env(abc.ABC):
+    """Abstract RL environment.
+
+    Subclasses must set :attr:`observation_space` and
+    :attr:`action_space` before use.
+    """
+
+    observation_space: Box
+    action_space: Discrete
+
+    @abc.abstractmethod
+    def reset(
+        self, *, seed: int | None = None, options: dict | None = None
+    ) -> tuple[np.ndarray, dict[str, Any]]:
+        """Start a new episode; returns ``(observation, info)``."""
+
+    @abc.abstractmethod
+    def step(
+        self, action: int
+    ) -> tuple[np.ndarray, float, bool, bool, dict[str, Any]]:
+        """Apply an action; returns
+        ``(observation, reward, terminated, truncated, info)``."""
+
+    def close(self) -> None:  # pragma: no cover - nothing to release
+        """Release resources (no-op by default)."""

@@ -1,0 +1,219 @@
+"""Feed-forward neural networks with manual backpropagation (NumPy).
+
+Implements exactly what the paper's agent needs (Table VI): fully
+connected layers with ReLU activations and a dueling head splitting the
+Q-value into a state value ``V`` and per-action advantages ``A`` with
+the mean-advantage identifiability correction of Wang et al. (2016):
+
+    Q(s, a) = V(s) + A(s, a) - mean_a' A(s, a')
+
+All arrays are batched row-major: inputs ``(batch, in_features)``.
+Gradient correctness is pinned by finite-difference tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Parameter", "Linear", "ReLU", "Sequential", "DuelingQNetwork"]
+
+
+class Parameter:
+    """A trainable tensor with its gradient accumulator."""
+
+    __slots__ = ("value", "grad")
+
+    def __init__(self, value: np.ndarray):
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Module:
+    """Minimal module protocol: forward/backward + parameter listing."""
+
+    def parameters(self) -> list[Parameter]:
+        return []
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Affine layer ``y = x W + b`` with He-normal initialization."""
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+        if in_features <= 0 or out_features <= 0:
+            raise ConfigurationError("layer sizes must be positive")
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(in_features, out_features))
+        )
+        self.bias = Parameter(np.zeros(out_features))
+        self._x: np.ndarray | None = None
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ConfigurationError("backward called before forward")
+        grad_out = np.atleast_2d(grad_out)
+        self.weight.grad += self._x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+
+class ReLU(Module):
+    """Rectified linear activation (the paper's activation, Table VI)."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ConfigurationError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Sequential(Module):
+    """A chain of modules applied in order."""
+
+    def __init__(self, *modules: Module):
+        self.modules = list(modules)
+
+    def parameters(self) -> list[Parameter]:
+        return [p for m in self.modules for p in m.parameters()]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for m in self.modules:
+            x = m.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for m in reversed(self.modules):
+            grad_out = m.backward(grad_out)
+        return grad_out
+
+
+class DuelingQNetwork(Module):
+    """The paper's agent network (Table VI).
+
+    Trunk: fully connected 512/256/128 with ReLU. Heads: a scalar state
+    value ``V`` and an ``n_actions``-wide advantage ``A``; the output is
+    the dueling combination ``Q = V + A - mean(A)``.
+
+    ``dueling=False`` collapses the network to a plain Q head over the
+    same trunk — kept for the architecture ablation (Wang et al. 2016
+    motivates the dueling split; the ablation quantifies it here).
+    """
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_actions: int,
+        hidden: tuple[int, ...] = (512, 256, 128),
+        seed: int = 0,
+        dueling: bool = True,
+    ):
+        if n_inputs <= 0 or n_actions <= 0:
+            raise ConfigurationError("network sizes must be positive")
+        rng = np.random.default_rng(seed)
+        self.n_inputs = n_inputs
+        self.n_actions = n_actions
+        self.hidden = tuple(hidden)
+        self.dueling = dueling
+
+        layers: list[Module] = []
+        prev = n_inputs
+        for width in hidden:
+            layers.append(Linear(prev, width, rng))
+            layers.append(ReLU())
+            prev = width
+        self.trunk = Sequential(*layers)
+        self.value_head = Linear(prev, 1, rng)
+        self.advantage_head = Linear(prev, n_actions, rng)
+
+    def parameters(self) -> list[Parameter]:
+        return (
+            self.trunk.parameters()
+            + self.value_head.parameters()
+            + self.advantage_head.parameters()
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Q-values, shape ``(batch, n_actions)``."""
+        h = self.trunk.forward(np.atleast_2d(x))
+        a = self.advantage_head.forward(h)  # (batch, n_actions)
+        if not self.dueling:
+            # plain head; still evaluate V so parameter shapes (and
+            # state_dict compatibility) are identical across modes
+            self.value_head.forward(h)
+            return a
+        v = self.value_head.forward(h)  # (batch, 1)
+        return v + a - a.mean(axis=1, keepdims=True)
+
+    def backward(self, grad_q: np.ndarray) -> np.ndarray:
+        """Backprop through the dueling combination.
+
+        ``dQ_i/dA_j = delta_ij - 1/N`` and ``dQ_i/dV = 1``, so the head
+        gradients are ``dA = dQ - mean(dQ)`` and ``dV = sum(dQ)``.
+        """
+        grad_q = np.atleast_2d(grad_q)
+        if not self.dueling:
+            grad_h = self.advantage_head.backward(grad_q)
+            return self.trunk.backward(grad_h)
+        grad_v = grad_q.sum(axis=1, keepdims=True)
+        grad_a = grad_q - grad_q.mean(axis=1, keepdims=True)
+        grad_h = self.value_head.backward(grad_v)
+        grad_h = grad_h + self.advantage_head.backward(grad_a)
+        return self.trunk.backward(grad_h)
+
+    # ------------------------------------------------------------------
+    # weight transport (target-network sync, checkpointing)
+    # ------------------------------------------------------------------
+    def state_dict(self) -> list[np.ndarray]:
+        return [p.value.copy() for p in self.parameters()]
+
+    def load_state_dict(self, state: list[np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ConfigurationError(
+                f"state has {len(state)} tensors; network has {len(params)}"
+            )
+        for p, v in zip(params, state):
+            if p.value.shape != v.shape:
+                raise ConfigurationError(
+                    f"shape mismatch: {p.value.shape} vs {v.shape}"
+                )
+            p.value = v.copy()
+
+    def soft_update_from(self, other: "DuelingQNetwork", tau: float) -> None:
+        """Polyak averaging: ``theta <- tau * theta_other + (1-tau) * theta``."""
+        if not 0.0 < tau <= 1.0:
+            raise ConfigurationError("tau must be in (0, 1]")
+        for p, q in zip(self.parameters(), other.parameters()):
+            p.value = (1.0 - tau) * p.value + tau * q.value

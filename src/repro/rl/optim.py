@@ -1,0 +1,91 @@
+"""First-order optimizers over :class:`repro.rl.nn.Parameter` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.rl.nn import Parameter
+
+__all__ = ["SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm (useful for training diagnostics).
+    """
+    if max_norm <= 0:
+        raise ConfigurationError("max_norm must be positive")
+    total = float(np.sqrt(sum(float((p.grad**2).sum()) for p in params)))
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.0):
+        if lr <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError("momentum must be in [0, 1)")
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if self.momentum:
+                v *= self.momentum
+                v += p.grad
+                p.value -= self.lr * v
+            else:
+                p.value -= self.lr * p.grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise ConfigurationError("learning rate must be positive")
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ConfigurationError("betas must be in [0, 1)")
+        self.params = params
+        self.lr = lr
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self._m = [np.zeros_like(p.value) for p in params]
+        self._v = [np.zeros_like(p.value) for p in params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.b1**self._t
+        bc2 = 1.0 - self.b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            m *= self.b1
+            m += (1.0 - self.b1) * p.grad
+            v *= self.b2
+            v += (1.0 - self.b2) * p.grad**2
+            p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()

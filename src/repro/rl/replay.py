@@ -1,0 +1,109 @@
+"""Uniform experience replay.
+
+Stores ``(s, a, r, s', done, next_mask)`` transitions in a fixed-size
+ring and samples minibatches uniformly. The next-state action mask is
+kept alongside the transition because in the co-scheduling environment
+the valid-template set shrinks as the window drains — the double-DQN
+target must not bootstrap through an action that is illegal in ``s'``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Transition", "ReplayBuffer"]
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One stored interaction."""
+
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+    next_mask: np.ndarray
+
+
+@dataclass
+class Batch:
+    """A stacked minibatch (column arrays)."""
+
+    states: np.ndarray
+    actions: np.ndarray
+    rewards: np.ndarray
+    next_states: np.ndarray
+    dones: np.ndarray
+    next_masks: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+class ReplayBuffer:
+    """Fixed-capacity FIFO transition store with uniform sampling."""
+
+    def __init__(self, capacity: int, seed: int = 0):
+        if capacity <= 0:
+            raise ConfigurationError("replay capacity must be positive")
+        self.capacity = capacity
+        self._storage: list[Transition] = []
+        self._next = 0
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    @property
+    def full(self) -> bool:
+        return len(self._storage) == self.capacity
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+        next_mask: np.ndarray,
+    ) -> None:
+        """Append a transition, evicting the oldest when full."""
+        t = Transition(
+            state=np.asarray(state, dtype=np.float64).copy(),
+            action=int(action),
+            reward=float(reward),
+            next_state=np.asarray(next_state, dtype=np.float64).copy(),
+            done=bool(done),
+            next_mask=np.asarray(next_mask, dtype=bool).copy(),
+        )
+        if len(self._storage) < self.capacity:
+            self._storage.append(t)
+        else:
+            self._storage[self._next] = t
+        self._next = (self._next + 1) % self.capacity
+
+    def sample(self, batch_size: int) -> Batch:
+        """Uniformly sample ``batch_size`` transitions (with replacement
+        only when the buffer is smaller than the batch)."""
+        if not self._storage:
+            raise ConfigurationError("cannot sample from an empty buffer")
+        replace = batch_size > len(self._storage)
+        idx = self._rng.choice(len(self._storage), size=batch_size, replace=replace)
+        ts = [self._storage[i] for i in idx]
+        return Batch(
+            states=np.stack([t.state for t in ts]),
+            actions=np.array([t.action for t in ts], dtype=np.int64),
+            rewards=np.array([t.reward for t in ts], dtype=np.float64),
+            next_states=np.stack([t.next_state for t in ts]),
+            dones=np.array([t.done for t in ts], dtype=bool),
+            next_masks=np.stack([t.next_mask for t in ts]),
+        )
+
+    def clear(self) -> None:
+        self._storage.clear()
+        self._next = 0

@@ -1,0 +1,47 @@
+"""Exploration / learning-rate schedules.
+
+The paper's epsilon-greedy schedule starts at 1.0 and decays until a
+floor of 0.01 during offline training, then is pinned to 0 for online
+inference (Section V-A3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LinearDecay", "ExponentialDecay"]
+
+
+class LinearDecay:
+    """Linear interpolation from ``start`` to ``end`` over ``steps``."""
+
+    def __init__(self, start: float, end: float, steps: int):
+        if steps <= 0:
+            raise ConfigurationError("steps must be positive")
+        self.start = float(start)
+        self.end = float(end)
+        self.steps = int(steps)
+
+    def value(self, step: int) -> float:
+        if step <= 0:
+            return self.start
+        if step >= self.steps:
+            return self.end
+        frac = step / self.steps
+        return self.start + frac * (self.end - self.start)
+
+
+class ExponentialDecay:
+    """Multiplicative decay ``start * rate**step`` floored at ``end``."""
+
+    def __init__(self, start: float, end: float, rate: float):
+        if not 0.0 < rate < 1.0:
+            raise ConfigurationError("decay rate must be in (0, 1)")
+        self.start = float(start)
+        self.end = float(end)
+        self.rate = float(rate)
+
+    def value(self, step: int) -> float:
+        if step < 0:
+            return self.start
+        return max(self.end, self.start * self.rate**step)

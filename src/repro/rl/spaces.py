@@ -1,0 +1,89 @@
+"""Observation/action spaces (gymnasium-compatible subset).
+
+Only what the co-scheduling environment needs: ``Discrete`` for the
+29-way action head and ``Box`` for the flat float observation vector.
+The interfaces mirror gymnasium so the environment could be dropped
+onto the real library unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Discrete", "Box"]
+
+
+class Discrete:
+    """A finite set of actions ``{0, 1, ..., n-1}``."""
+
+    def __init__(self, n: int, seed: int | None = None):
+        if n <= 0:
+            raise ConfigurationError("Discrete space requires n > 0")
+        self.n = int(n)
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self, mask: np.ndarray | None = None) -> int:
+        """Uniform random action; ``mask`` (bool, shape ``(n,)``)
+        restricts to valid actions."""
+        if mask is None:
+            return int(self._rng.integers(self.n))
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self.n,):
+            raise ConfigurationError(
+                f"mask must have shape ({self.n},); got {mask.shape}"
+            )
+        valid = np.flatnonzero(mask)
+        if valid.size == 0:
+            raise ConfigurationError("mask excludes every action")
+        return int(self._rng.choice(valid))
+
+    def contains(self, x: int) -> bool:
+        return isinstance(x, (int, np.integer)) and 0 <= int(x) < self.n
+
+    def seed(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Discrete({self.n})"
+
+
+class Box:
+    """A box in R^n with per-dimension bounds."""
+
+    def __init__(
+        self,
+        low: float | np.ndarray,
+        high: float | np.ndarray,
+        shape: tuple[int, ...] | None = None,
+        seed: int | None = None,
+    ):
+        if shape is None:
+            low_arr = np.asarray(low, dtype=float)
+            shape = low_arr.shape
+        self.shape = tuple(shape)
+        self.low = np.broadcast_to(np.asarray(low, dtype=float), self.shape).copy()
+        self.high = np.broadcast_to(np.asarray(high, dtype=float), self.shape).copy()
+        if np.any(self.low > self.high):
+            raise ConfigurationError("Box low bound exceeds high bound")
+        self._rng = np.random.default_rng(seed)
+
+    def sample(self) -> np.ndarray:
+        finite_low = np.where(np.isfinite(self.low), self.low, -1e6)
+        finite_high = np.where(np.isfinite(self.high), self.high, 1e6)
+        return self._rng.uniform(finite_low, finite_high)
+
+    def contains(self, x: np.ndarray) -> bool:
+        x = np.asarray(x, dtype=float)
+        return (
+            x.shape == self.shape
+            and bool(np.all(x >= self.low - 1e-9))
+            and bool(np.all(x <= self.high + 1e-9))
+        )
+
+    def seed(self, seed: int) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Box(shape={self.shape})"

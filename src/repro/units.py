@@ -1,0 +1,92 @@
+"""Small unit helpers used across the GPU model and performance model.
+
+The simulator works internally in SI units: seconds, bytes, bytes/second,
+and FLOP/s. These helpers exist so module code reads like the hardware
+spec sheets it was written from (``gib_per_s(1555)``) instead of raw
+powers of ten, and so unit bugs stay greppable.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KIB",
+    "MIB",
+    "GIB",
+    "KILO",
+    "MEGA",
+    "GIGA",
+    "TERA",
+    "gib",
+    "mib",
+    "gib_per_s",
+    "gb_per_s",
+    "gflops",
+    "tflops",
+    "usec",
+    "msec",
+    "percent",
+    "clamp",
+]
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+KILO = 10**3
+MEGA = 10**6
+GIGA = 10**9
+TERA = 10**12
+
+
+def gib(x: float) -> float:
+    """Gibibytes to bytes."""
+    return x * GIB
+
+
+def mib(x: float) -> float:
+    """Mebibytes to bytes."""
+    return x * MIB
+
+
+def gib_per_s(x: float) -> float:
+    """GiB/s to bytes/s."""
+    return x * GIB
+
+
+def gb_per_s(x: float) -> float:
+    """GB/s (decimal, as used in vendor spec sheets) to bytes/s."""
+    return x * GIGA
+
+
+def gflops(x: float) -> float:
+    """GFLOP/s to FLOP/s."""
+    return x * GIGA
+
+
+def tflops(x: float) -> float:
+    """TFLOP/s to FLOP/s."""
+    return x * TERA
+
+
+def usec(x: float) -> float:
+    """Microseconds to seconds."""
+    return x * 1e-6
+
+
+def msec(x: float) -> float:
+    """Milliseconds to seconds."""
+    return x * 1e-3
+
+
+def percent(x: float) -> float:
+    """A percentage in [0, 100] to a fraction in [0, 1]."""
+    return x / 100.0
+
+
+def clamp(x: float, lo: float, hi: float) -> float:
+    """Clamp ``x`` into the closed interval [lo, hi]."""
+    if x < lo:
+        return lo
+    if x > hi:
+        return hi
+    return x

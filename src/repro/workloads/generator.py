@@ -1,0 +1,194 @@
+"""Job-mix generators: random training queues and the paper's Q1–Q12.
+
+The paper evaluates four job-mix categories (Section V-A2):
+
+* **X-dominant** (X in {CI, MI, US}): 50% of the window from class X,
+  the rest filled from the other classes round-robin. For ``W = 12``
+  that is 6 + 3 + 3.
+* **Balanced**: classes picked round-robin — 4 + 4 + 4 at ``W = 12``.
+
+Training queues are drawn only from the 18 non-starred programs and must
+contain all three classes. The exact inference mixes of Table V are
+reproduced verbatim by :func:`paper_queues`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.jobs import JobQueue
+from repro.workloads.suite import (
+    CLASS_CI,
+    CLASS_MI,
+    CLASS_US,
+    PAPER_CLASSES,
+    TRAINING_SET,
+    benchmarks_in_class,
+)
+
+__all__ = ["MixCategory", "QueueGenerator", "paper_queues", "PAPER_QUEUE_CATEGORY"]
+
+
+class MixCategory(enum.Enum):
+    """The four job-mix categories of the evaluation."""
+
+    CI_DOMINANT = "CI-dominant"
+    MI_DOMINANT = "MI-dominant"
+    US_DOMINANT = "US-dominant"
+    BALANCED = "Balanced"
+
+    @property
+    def dominant_class(self) -> str | None:
+        return {
+            MixCategory.CI_DOMINANT: CLASS_CI,
+            MixCategory.MI_DOMINANT: CLASS_MI,
+            MixCategory.US_DOMINANT: CLASS_US,
+            MixCategory.BALANCED: None,
+        }[self]
+
+
+def class_quotas(category: MixCategory, w: int) -> dict[str, int]:
+    """Per-class job counts for a window of size ``w``.
+
+    X-dominant: ceil-half from X, remainder round-robin over the other
+    two classes. Balanced: pure round-robin over (CI, MI, US).
+    """
+    if w < 3:
+        raise ConfigurationError("window must hold at least one job per class")
+    classes = [CLASS_CI, CLASS_MI, CLASS_US]
+    quotas = {c: 0 for c in classes}
+    dom = category.dominant_class
+    if dom is None:
+        for i in range(w):
+            quotas[classes[i % 3]] += 1
+    else:
+        quotas[dom] = w // 2
+        others = [c for c in classes if c != dom]
+        for i in range(w - w // 2):
+            quotas[others[i % 2]] += 1
+    return quotas
+
+
+class QueueGenerator:
+    """Random queue generator over a benchmark pool.
+
+    ``training_only`` restricts draws to the 18 non-starred programs —
+    the pool used for the paper's 20 offline-training queues.
+    """
+
+    def __init__(self, seed: int = 0, training_only: bool = True):
+        self.rng = np.random.default_rng(seed)
+        self.training_only = training_only
+
+    def _pool(self, cls: str) -> list[str]:
+        pool = benchmarks_in_class(cls)
+        if self.training_only:
+            pool = [p for p in pool if p in TRAINING_SET]
+        if not pool:
+            raise ConfigurationError(f"no benchmarks available in class {cls}")
+        return pool
+
+    def queue(
+        self,
+        category: MixCategory = MixCategory.BALANCED,
+        w: int = 12,
+        name: str | None = None,
+    ) -> JobQueue:
+        """Draw one random queue matching a mix category's quotas.
+
+        Programs are drawn with replacement only when a class quota
+        exceeds its pool size; order is shuffled so class runs do not
+        cluster at the queue head.
+        """
+        names: list[str] = []
+        for cls, count in class_quotas(category, w).items():
+            pool = self._pool(cls)
+            replace = count > len(pool)
+            names.extend(
+                self.rng.choice(pool, size=count, replace=replace).tolist()
+            )
+        self.rng.shuffle(names)
+        return JobQueue.from_benchmarks(
+            names, name=name or f"{category.value}-w{w}"
+        )
+
+    def training_queues(self, n: int = 20, w: int = 12) -> list[JobQueue]:
+        """The offline-training workload: ``n`` random queues, each
+        containing all three classes (paper Section V-A2)."""
+        cats = list(MixCategory)
+        return [
+            self.queue(cats[i % len(cats)], w, name=f"train-{i:02d}")
+            for i in range(n)
+        ]
+
+
+#: Table V verbatim: the 12 inference job mixes for W = 12.
+_PAPER_QUEUES: dict[str, list[str]] = {
+    "Q1": ["huffman", "bt_solver_C", "bt_solver_B", "hotspot3D", "heartwall",
+           "lavaMD", "lud_B", "cfd", "sp_solver_B", "pathfinder", "needle",
+           "qs_NoFission"],
+    "Q2": ["bt_solver_C", "heartwall", "lavaMD", "huffman", "hotspot",
+           "hotspot3D", "cfd", "sp_solver_C", "gaussian", "pathfinder",
+           "needle", "qs_Coral_P1"],
+    "Q3": ["huffman", "bt_solver_C", "hotspot3D", "hotspot", "heartwall",
+           "lavaMD", "lud_B", "stream", "sp_solver_C", "qs_NoFission",
+           "pathfinder", "needle"],
+    "Q4": ["bt_solver_B", "heartwall", "bt_solver_C", "lud_B", "gaussian",
+           "sp_solver_B", "cfd", "sp_solver_C", "stream", "qs_NoCollisions",
+           "pathfinder", "qs_Coral_P2"],
+    "Q5": ["heartwall", "hotspot", "bt_solver_B", "lud_B", "gaussian",
+           "randomaccess", "stream", "lud_C", "sp_solver_B", "qs_Coral_P2",
+           "dwt2d", "qs_Coral_P1"],
+    "Q6": ["bt_solver_C", "huffman", "lavaMD", "sp_solver_B", "gaussian",
+           "randomaccess", "lud_C", "stream", "cfd", "qs_NoFission",
+           "needle", "qs_Coral_P1"],
+    "Q7": ["heartwall", "hotspot", "hotspot3D", "gaussian", "stream",
+           "lud_B", "pathfinder", "qs_NoFission", "qs_Coral_P2", "backprop",
+           "qs_NoCollisions", "dwt2d"],
+    "Q8": ["bt_solver_C", "hotspot3D", "lavaMD", "stream", "cfd", "lud_B",
+           "qs_Coral_P1", "needle", "kmeans", "qs_Coral_P2", "qs_NoFission",
+           "qs_NoCollisions"],
+    "Q9": ["lavaMD", "hotspot3D", "hotspot", "sp_solver_B", "lud_C",
+           "randomaccess", "qs_Coral_P1", "dwt2d", "kmeans", "needle",
+           "qs_NoCollisions", "qs_Coral_P2"],
+    "Q10": ["lavaMD", "huffman", "hotspot3D", "bt_solver_C", "lud_C",
+            "lud_B", "stream", "sp_solver_C", "qs_NoCollisions", "needle",
+            "pathfinder", "qs_Coral_P1"],
+    "Q11": ["huffman", "hotspot3D", "hotspot", "bt_solver_B", "cfd",
+            "lud_C", "stream", "gaussian", "qs_Coral_P2", "needle",
+            "pathfinder", "dwt2d"],
+    "Q12": ["lavaMD", "hotspot", "huffman", "heartwall", "sp_solver_C",
+            "lud_C", "randomaccess", "gaussian", "needle", "pathfinder",
+            "qs_NoCollisions", "backprop"],
+}
+
+#: Category of each paper queue (derived from its class composition).
+PAPER_QUEUE_CATEGORY: dict[str, MixCategory] = {
+    "Q1": MixCategory.CI_DOMINANT, "Q2": MixCategory.CI_DOMINANT,
+    "Q3": MixCategory.CI_DOMINANT,
+    "Q4": MixCategory.MI_DOMINANT, "Q5": MixCategory.MI_DOMINANT,
+    "Q6": MixCategory.MI_DOMINANT,
+    "Q7": MixCategory.US_DOMINANT, "Q8": MixCategory.US_DOMINANT,
+    "Q9": MixCategory.US_DOMINANT,
+    "Q10": MixCategory.BALANCED, "Q11": MixCategory.BALANCED,
+    "Q12": MixCategory.BALANCED,
+}
+
+
+def paper_queues() -> dict[str, JobQueue]:
+    """The exact W=12 inference job mixes of Table V, Q1 through Q12."""
+    return {
+        qname: JobQueue.from_benchmarks(names, name=qname)
+        for qname, names in _PAPER_QUEUES.items()
+    }
+
+
+def queue_class_counts(queue: JobQueue) -> dict[str, int]:
+    """Count jobs per Table IV class in a queue (test/verification aid)."""
+    counts = {CLASS_CI: 0, CLASS_MI: 0, CLASS_US: 0}
+    for job in queue:
+        counts[PAPER_CLASSES[job.benchmark_name]] += 1
+    return counts

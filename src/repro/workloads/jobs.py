@@ -1,0 +1,101 @@
+"""Jobs and job queues.
+
+A :class:`Job` is one submission: a benchmark program plus the metadata
+the scheduler's profile-matching function uses (the paper keys the Job
+Profiles Repository on binary path + name). A :class:`JobQueue` models
+the batch queue; the scheduler only ever looks at the first ``W`` jobs
+(the *window*), per the problem definition in Section IV-A.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.workloads.kernels import KernelModel
+from repro.workloads.suite import benchmark
+
+__all__ = ["Job", "JobQueue"]
+
+_job_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One queued job.
+
+    ``job_id`` is unique per submission; ``binary_path`` is the profile
+    repository key (two submissions of the same program share profiles).
+    """
+
+    job_id: str
+    benchmark_name: str
+    binary_path: str
+    user: str = "hpcuser"
+
+    @classmethod
+    def submit(cls, benchmark_name: str, user: str = "hpcuser") -> "Job":
+        """Create a submission of a known benchmark program."""
+        benchmark(benchmark_name)  # validate the name early
+        n = next(_job_counter)
+        return cls(
+            job_id=f"job-{n:06d}",
+            benchmark_name=benchmark_name,
+            binary_path=f"/apps/bench/{benchmark_name}/bin/{benchmark_name}",
+            user=user,
+        )
+
+    @property
+    def model(self) -> KernelModel:
+        """Ground-truth kernel model (what the simulated hardware runs).
+
+        Scheduler code must not consult this — it sees only profiles.
+        """
+        return benchmark(self.benchmark_name)
+
+    @property
+    def solo_time(self) -> float:
+        """Solo execution time on the full device (the hardware truth)."""
+        return self.model.solo_time
+
+
+@dataclass
+class JobQueue:
+    """A FIFO batch queue of jobs."""
+
+    jobs: list[Job] = field(default_factory=list)
+    name: str = "queue"
+
+    @classmethod
+    def from_benchmarks(cls, names: list[str], name: str = "queue") -> "JobQueue":
+        return cls(jobs=[Job.submit(n) for n in names], name=name)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    def window(self, w: int) -> list[Job]:
+        """The first ``w`` jobs — the co-scheduling target (Fig. 6)."""
+        if w <= 0:
+            raise SchedulingError(f"window size must be positive; got {w}")
+        if w > len(self.jobs):
+            raise SchedulingError(
+                f"window size {w} exceeds queue length {len(self.jobs)}"
+            )
+        return self.jobs[:w]
+
+    def pop_window(self, w: int) -> list[Job]:
+        """Remove and return the first ``w`` jobs."""
+        window = self.window(w)
+        self.jobs = self.jobs[w:]
+        return window
+
+    def push(self, job: Job) -> None:
+        self.jobs.append(job)
+
+    @property
+    def benchmark_names(self) -> list[str]:
+        return [j.benchmark_name for j in self.jobs]

@@ -1,0 +1,314 @@
+"""Runnable NumPy reference kernels for a subset of the suite.
+
+The scheduler pipeline operates on analytic kernel models; these
+reference implementations exist so the examples (and tests) can show
+the *shape* of the workloads being modelled and produce real numbers —
+bytes moved, floating-point operations, a checksum — on the host CPU.
+They are small, faithful miniatures of the original benchmarks'
+computational patterns:
+
+==============  =====================================================
+suite program   pattern
+==============  =====================================================
+stream          triad: ``a = b + s * c`` (bandwidth bound)
+randomaccess    GUPS-style scattered XOR updates (latency bound)
+hotspot         2D 5-point stencil heat relaxation
+hotspot3D       3D 7-point stencil
+lud_*           blocked LU decomposition without pivoting
+kmeans          Lloyd iteration (assign + centroid update)
+needle          Needleman-Wunsch DP with affine-free scoring
+pathfinder      row-wise min-accumulation DP
+lavaMD          cutoff-radius particle interactions on a cell grid
+gaussian        Gaussian elimination forward sweep
+backprop        one dense-layer forward/backward pass
+qs_*            Monte Carlo particle attenuation sweep (Quicksilver)
+==============  =====================================================
+
+Every kernel takes a ``scale`` parameter so examples stay fast, and
+returns a :class:`KernelRunStats` whose checksum is deterministic for a
+given seed — the tests pin those checksums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["KernelRunStats", "REFERENCE_KERNELS", "run_reference"]
+
+
+@dataclass(frozen=True)
+class KernelRunStats:
+    """Outcome of one reference-kernel run on the host."""
+
+    name: str
+    flops: float
+    bytes_moved: float
+    checksum: float
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte — the roofline x-coordinate."""
+        return self.flops / max(self.bytes_moved, 1.0)
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+# ---------------------------------------------------------------------------
+# kernels
+# ---------------------------------------------------------------------------
+
+def stream_triad(scale: int = 1 << 20, seed: int = 0) -> KernelRunStats:
+    """STREAM triad: a = b + s * c."""
+    rng = _rng(seed)
+    b = rng.random(scale)
+    c = rng.random(scale)
+    a = b + 3.0 * c
+    return KernelRunStats(
+        name="stream",
+        flops=2.0 * scale,
+        bytes_moved=3.0 * 8 * scale,
+        checksum=float(a.sum()),
+    )
+
+
+def randomaccess_gups(scale: int = 1 << 18, seed: int = 0) -> KernelRunStats:
+    """GUPS: scattered XOR updates into a power-of-two table."""
+    rng = _rng(seed)
+    table = np.arange(scale, dtype=np.uint64)
+    idx = rng.integers(0, scale, size=scale // 2)
+    np.bitwise_xor.at(table, idx, idx.astype(np.uint64))
+    return KernelRunStats(
+        name="randomaccess",
+        flops=float(len(idx)),
+        bytes_moved=2.0 * 8 * len(idx),
+        checksum=float(table.sum() % (1 << 53)),
+    )
+
+
+def hotspot2d(scale: int = 256, iters: int = 8, seed: int = 0) -> KernelRunStats:
+    """5-point stencil heat relaxation with a power source term."""
+    rng = _rng(seed)
+    t = rng.random((scale, scale))
+    p = rng.random((scale, scale)) * 0.1
+    for _ in range(iters):
+        center = t[1:-1, 1:-1]
+        t_new = center + 0.2 * (
+            t[:-2, 1:-1] + t[2:, 1:-1] + t[1:-1, :-2] + t[1:-1, 2:]
+            - 4 * center
+        ) + p[1:-1, 1:-1]
+        t[1:-1, 1:-1] = t_new
+    n = (scale - 2) ** 2 * iters
+    return KernelRunStats(
+        name="hotspot",
+        flops=8.0 * n,
+        bytes_moved=6.0 * 8 * n,
+        checksum=float(t.sum()),
+    )
+
+
+def hotspot3d(scale: int = 48, iters: int = 4, seed: int = 0) -> KernelRunStats:
+    """7-point 3D stencil."""
+    rng = _rng(seed)
+    t = rng.random((scale, scale, scale))
+    for _ in range(iters):
+        c = t[1:-1, 1:-1, 1:-1]
+        t[1:-1, 1:-1, 1:-1] = c + 0.1 * (
+            t[:-2, 1:-1, 1:-1] + t[2:, 1:-1, 1:-1]
+            + t[1:-1, :-2, 1:-1] + t[1:-1, 2:, 1:-1]
+            + t[1:-1, 1:-1, :-2] + t[1:-1, 1:-1, 2:]
+            - 6 * c
+        )
+    n = (scale - 2) ** 3 * iters
+    return KernelRunStats(
+        name="hotspot3D",
+        flops=10.0 * n,
+        bytes_moved=8.0 * 8 * n,
+        checksum=float(t.sum()),
+    )
+
+
+def lud(scale: int = 96, seed: int = 0) -> KernelRunStats:
+    """LU decomposition (Doolittle, no pivoting) on a diagonally
+    dominant matrix."""
+    rng = _rng(seed)
+    a = rng.random((scale, scale)) + np.eye(scale) * scale
+    for k in range(scale - 1):
+        a[k + 1 :, k] /= a[k, k]
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+    return KernelRunStats(
+        name="lud_A",
+        flops=2.0 / 3.0 * scale**3,
+        bytes_moved=8.0 * scale**3 / 3.0,
+        checksum=float(np.trace(a)),
+    )
+
+
+def kmeans(scale: int = 4096, k: int = 8, iters: int = 5, seed: int = 0) -> KernelRunStats:
+    """Lloyd's algorithm on 2-D points."""
+    rng = _rng(seed)
+    pts = rng.random((scale, 2))
+    centers = pts[rng.choice(scale, size=k, replace=False)].copy()
+    for _ in range(iters):
+        d = ((pts[:, None, :] - centers[None, :, :]) ** 2).sum(axis=2)
+        assign = d.argmin(axis=1)
+        for j in range(k):
+            members = pts[assign == j]
+            if len(members):
+                centers[j] = members.mean(axis=0)
+    return KernelRunStats(
+        name="kmeans",
+        flops=float(iters * scale * k * 6),
+        bytes_moved=float(iters * scale * k * 16),
+        checksum=float(centers.sum()),
+    )
+
+
+def needleman_wunsch(scale: int = 256, seed: int = 0) -> KernelRunStats:
+    """Global sequence alignment DP (anti-diagonal dependency — the
+    reason the GPU version is unscalable)."""
+    rng = _rng(seed)
+    a = rng.integers(0, 4, size=scale)
+    b = rng.integers(0, 4, size=scale)
+    score = np.zeros((scale + 1, scale + 1))
+    score[0, :] = -np.arange(scale + 1)
+    score[:, 0] = -np.arange(scale + 1)
+    for i in range(1, scale + 1):
+        match = np.where(a[i - 1] == b, 1.0, -1.0)
+        row = score[i - 1]
+        cur = score[i]
+        for j in range(1, scale + 1):
+            cur[j] = max(
+                row[j - 1] + match[j - 1], row[j] - 1.0, cur[j - 1] - 1.0
+            )
+    return KernelRunStats(
+        name="needle",
+        flops=3.0 * scale * scale,
+        bytes_moved=4.0 * 8 * scale * scale,
+        checksum=float(score[-1, -1]),
+    )
+
+
+def pathfinder(scale: int = 2048, rows: int = 64, seed: int = 0) -> KernelRunStats:
+    """Row-by-row minimum-path accumulation."""
+    rng = _rng(seed)
+    grid = rng.integers(1, 10, size=(rows, scale)).astype(float)
+    acc = grid[0].copy()
+    for r in range(1, rows):
+        left = np.concatenate(([np.inf], acc[:-1]))
+        right = np.concatenate((acc[1:], [np.inf]))
+        acc = grid[r] + np.minimum(acc, np.minimum(left, right))
+    n = rows * scale
+    return KernelRunStats(
+        name="pathfinder",
+        flops=3.0 * n,
+        bytes_moved=4.0 * 8 * n,
+        checksum=float(acc.min()),
+    )
+
+
+def lavamd(scale: int = 512, cutoff: float = 0.25, seed: int = 0) -> KernelRunStats:
+    """Cutoff-radius pairwise interactions (dense compute)."""
+    rng = _rng(seed)
+    pos = rng.random((scale, 3))
+    q = rng.random(scale)
+    d = np.linalg.norm(pos[:, None, :] - pos[None, :, :], axis=2)
+    mask = (d < cutoff) & (d > 0)
+    inv = np.where(mask, 1.0 / np.maximum(d, 1e-9), 0.0)
+    energy = 0.5 * float((q[:, None] * q[None, :] * inv).sum())
+    n = int(mask.sum())
+    return KernelRunStats(
+        name="lavaMD",
+        flops=float(scale * scale * 9 + n * 4),
+        bytes_moved=float(scale * scale * 8),
+        checksum=energy,
+    )
+
+
+def gaussian_elim(scale: int = 96, seed: int = 0) -> KernelRunStats:
+    """Forward elimination sweep."""
+    rng = _rng(seed)
+    a = rng.random((scale, scale + 1)) + np.eye(scale, scale + 1) * scale
+    for k in range(scale - 1):
+        factors = a[k + 1 :, k] / a[k, k]
+        a[k + 1 :, k:] -= np.outer(factors, a[k, k:])
+    return KernelRunStats(
+        name="gaussian",
+        flops=2.0 / 3.0 * scale**3,
+        bytes_moved=8.0 * scale**3 / 3.0,
+        checksum=float(np.abs(np.diagonal(a)).sum()),
+    )
+
+
+def backprop_layer(scale: int = 512, hidden: int = 64, seed: int = 0) -> KernelRunStats:
+    """One dense layer forward + backward pass."""
+    rng = _rng(seed)
+    x = rng.random((32, scale))
+    w = rng.random((scale, hidden)) * 0.01
+    y = np.tanh(x @ w)
+    grad_y = y - 0.5
+    grad_w = x.T @ (grad_y * (1 - y**2))
+    return KernelRunStats(
+        name="backprop",
+        flops=4.0 * 32 * scale * hidden,
+        bytes_moved=8.0 * (x.size + w.size * 2 + y.size * 2),
+        checksum=float(grad_w.sum()),
+    )
+
+
+def quicksilver_sweep(scale: int = 1 << 14, segments: int = 8, seed: int = 0) -> KernelRunStats:
+    """Monte Carlo particle attenuation: branchy per-particle loops
+    with divergent control flow (the Quicksilver pattern)."""
+    rng = _rng(seed)
+    energy = rng.random(scale) + 0.1
+    weight = np.ones(scale)
+    absorbed = 0.0
+    for _ in range(segments):
+        sigma = 0.5 + 0.5 * np.sin(energy * 7.0) ** 2
+        step = -np.log(rng.random(scale)) / sigma
+        absorb = step < 1.0
+        absorbed += float(weight[absorb].sum() * 0.1)
+        weight[absorb] *= 0.9
+        energy = np.where(absorb, energy * 0.7 + 0.05, energy)
+    n = scale * segments
+    return KernelRunStats(
+        name="qs_Coral_P1",
+        flops=12.0 * n,
+        bytes_moved=5.0 * 8 * n,
+        checksum=absorbed,
+    )
+
+
+#: suite-program name -> runnable reference kernel
+REFERENCE_KERNELS: dict[str, Callable[..., KernelRunStats]] = {
+    "stream": stream_triad,
+    "randomaccess": randomaccess_gups,
+    "hotspot": hotspot2d,
+    "hotspot3D": hotspot3d,
+    "lud_A": lud,
+    "kmeans": kmeans,
+    "needle": needleman_wunsch,
+    "pathfinder": pathfinder,
+    "lavaMD": lavamd,
+    "gaussian": gaussian_elim,
+    "backprop": backprop_layer,
+    "qs_Coral_P1": quicksilver_sweep,
+}
+
+
+def run_reference(name: str, **kwargs) -> KernelRunStats:
+    """Run the reference kernel for a suite program name."""
+    try:
+        fn = REFERENCE_KERNELS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"no reference kernel for {name!r}; available: "
+            f"{sorted(REFERENCE_KERNELS)}"
+        ) from None
+    return fn(**kwargs)

@@ -1,0 +1,174 @@
+"""Job-arrival traces: synthetic generation and SWF-style persistence.
+
+The paper's deployment scenario is an over-crowded HPC queue (Section
+VI). This module provides the workload side of that scenario:
+
+* :class:`TraceEvent` / :class:`JobTrace` — a time-stamped sequence of
+  job submissions;
+* :func:`generate_trace` — synthetic traces with Poisson arrivals,
+  per-user program affinities, and a configurable class mix (crowded
+  queues are bursty: a Gamma-modulated rate produces realistic load
+  waves);
+* SWF-like text persistence (one event per line:
+  ``job_id submit_time user program``), so traces can be versioned and
+  exchanged like Standard Workload Format logs;
+* :func:`replay` — turn the events that have arrived by a given time
+  into a :class:`~repro.workloads.jobs.JobQueue` for the schedulers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import MixCategory, class_quotas
+from repro.workloads.jobs import Job, JobQueue
+from repro.workloads.suite import benchmarks_in_class
+
+__all__ = ["TraceEvent", "JobTrace", "generate_trace", "replay"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One job submission."""
+
+    submit_time: float
+    user: str
+    benchmark_name: str
+
+    def __post_init__(self) -> None:
+        if self.submit_time < 0:
+            raise ConfigurationError("submit time must be non-negative")
+
+
+@dataclass
+class JobTrace:
+    """A time-ordered sequence of submissions."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        self.events.sort(key=lambda e: e.submit_time)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def makespan(self) -> float:
+        return self.events[-1].submit_time if self.events else 0.0
+
+    def arrived_by(self, t: float) -> list[TraceEvent]:
+        return [e for e in self.events if e.submit_time <= t]
+
+    # ------------------------------------------------------------------
+    # SWF-like persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        lines = [f"# trace {self.name}: {len(self.events)} jobs"]
+        for i, e in enumerate(self.events):
+            lines.append(
+                f"{i} {e.submit_time:.3f} {e.user} {e.benchmark_name}"
+            )
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "JobTrace":
+        events = []
+        name = Path(path).stem
+        for line in Path(path).read_text().splitlines():
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 4:
+                raise ConfigurationError(
+                    f"malformed trace line: {line!r} "
+                    "(expected: job_id submit_time user program)"
+                )
+            _, t, user, bench = parts
+            events.append(
+                TraceEvent(
+                    submit_time=float(t), user=user, benchmark_name=bench
+                )
+            )
+        return cls(events=events, name=name)
+
+
+def generate_trace(
+    n_jobs: int,
+    mean_interarrival: float = 30.0,
+    category: MixCategory = MixCategory.BALANCED,
+    n_users: int = 6,
+    burstiness: float = 1.0,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> JobTrace:
+    """Synthesize a submission trace.
+
+    Arrivals follow a doubly-stochastic Poisson process: the base rate
+    ``1/mean_interarrival`` is modulated per arrival by a Gamma factor
+    with shape ``1/burstiness`` (burstiness 0 -> regular Poisson,
+    larger -> heavier load waves). The program mix follows the
+    category's class quotas; users have a stable affinity for a subset
+    of programs, which is what makes the profile repository's
+    binary-path matching pay off over time.
+    """
+    if n_jobs <= 0:
+        raise ConfigurationError("trace needs at least one job")
+    if mean_interarrival <= 0:
+        raise ConfigurationError("mean interarrival must be positive")
+    if burstiness < 0:
+        raise ConfigurationError("burstiness must be non-negative")
+    rng = np.random.default_rng(seed)
+
+    # program pool respecting the category quotas, cycled to n_jobs
+    quotas = class_quotas(category, max(3, min(n_jobs, 12)))
+    pool: list[str] = []
+    for cls, count in quotas.items():
+        members = benchmarks_in_class(cls)
+        pool.extend(
+            rng.choice(members, size=count, replace=True).tolist()
+        )
+    # per-user affinity: each user draws from a personal sub-pool
+    users = [f"user{u:02d}" for u in range(n_users)]
+    affinity = {
+        u: rng.choice(pool, size=max(2, len(pool) // 2), replace=True).tolist()
+        for u in users
+    }
+
+    events = []
+    t = 0.0
+    for _ in range(n_jobs):
+        if burstiness > 0:
+            rate_mod = rng.gamma(1.0 / burstiness, burstiness)
+        else:
+            rate_mod = 1.0
+        t += rng.exponential(mean_interarrival) / max(rate_mod, 1e-3)
+        user = users[int(rng.integers(n_users))]
+        bench = str(rng.choice(affinity[user]))
+        events.append(
+            TraceEvent(submit_time=t, user=user, benchmark_name=bench)
+        )
+    return JobTrace(events=events, name=name)
+
+
+def replay(trace: JobTrace, until: float | None = None) -> JobQueue:
+    """Materialize the jobs submitted by time ``until`` as a queue."""
+    events = trace.events if until is None else trace.arrived_by(until)
+    jobs = [
+        Job(
+            job_id=f"{trace.name}-{i:05d}",
+            benchmark_name=e.benchmark_name,
+            binary_path=f"/apps/bench/{e.benchmark_name}/bin/{e.benchmark_name}",
+            user=e.user,
+        )
+        for i, e in enumerate(events)
+    ]
+    return JobQueue(jobs=jobs, name=trace.name)

@@ -1,0 +1,62 @@
+"""Shared fixtures.
+
+Expensive artifacts (a fully profiled repository, a small trained
+agent) are session-scoped: the profiled repository backs most core
+tests, and the tiny agent exercises the online path without paying for
+a convergence-grade training run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.actions import ActionCatalog
+from repro.core.evaluation import profile_all_benchmarks
+from repro.core.trainer import OfflineTrainer
+from repro.gpu.arch import A100_40GB
+from repro.gpu.device import SimulatedGpu
+from repro.profiling.profiler import NsightProfiler
+from repro.profiling.repository import ProfileRepository
+
+
+@pytest.fixture
+def device() -> SimulatedGpu:
+    return SimulatedGpu(A100_40GB)
+
+
+@pytest.fixture
+def profiler(device) -> NsightProfiler:
+    return NsightProfiler(device, noise=0.01)
+
+
+@pytest.fixture(scope="session")
+def full_repository() -> ProfileRepository:
+    """Profiles for all 27 suite programs (read-only; do not mutate)."""
+    repo = ProfileRepository()
+    profile_all_benchmarks(repo, noise=0.01)
+    return repo
+
+
+@pytest.fixture(scope="session")
+def catalog() -> ActionCatalog:
+    return ActionCatalog(A100_40GB, c_max=4)
+
+
+@pytest.fixture(scope="session")
+def tiny_training():
+    """A deliberately small training run: enough to produce a working
+    agent + repository for pipeline tests, not enough to converge."""
+    trainer = OfflineTrainer(
+        window_size=6,
+        c_max=3,
+        n_training_queues=4,
+        seed=7,
+        dqn_overrides={
+            "hidden": (64, 32),
+            "warmup_transitions": 32,
+            "batch_size": 16,
+            "epsilon_decay_rate": 0.98,
+        },
+    )
+    result = trainer.train(episodes=30)
+    return trainer, result

@@ -1,0 +1,99 @@
+"""Unit tests for the analysis/reporting helpers."""
+
+import pytest
+
+from repro.analysis import (
+    comparison_table,
+    convergence_stats,
+    export_results,
+    gantt,
+    load_results,
+)
+from repro.core.metrics import evaluate_schedule
+from repro.core.problem import Schedule, ScheduledGroup
+from repro.errors import ReproError
+from repro.gpu.partition import parse_partition
+from repro.workloads.jobs import Job
+
+
+@pytest.fixture
+def small_schedule():
+    sched = Schedule(method="test")
+    jobs = [Job.submit("kmeans"), Job.submit("qs_Coral_P1")]
+    sched.append(ScheduledGroup.run(jobs, parse_partition("[(0.5)+(0.5),1m]")))
+    sched.append(ScheduledGroup.run_solo(Job.submit("stream")))
+    return sched
+
+
+class TestGantt:
+    def test_contains_every_job(self, small_schedule):
+        chart = gantt(small_schedule)
+        assert "kmeans" in chart
+        assert "qs_Coral_P1" in chart
+        assert "stream" in chart
+        assert "#" in chart
+
+    def test_group_labels_present(self, small_schedule):
+        chart = gantt(small_schedule)
+        assert "group 0" in chart and "group 1" in chart
+        assert "[(0.5)+(0.5),1m]" in chart
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ReproError):
+            gantt(Schedule())
+
+
+class TestConvergenceStats:
+    def test_windows_cover_episodes(self, tiny_training):
+        _, result = tiny_training
+        stats = convergence_stats(result, n_windows=5)
+        assert stats[0]["episodes"][0] == 0
+        assert stats[-1]["episodes"][1] == len(result.episode_throughputs)
+        for s in stats:
+            assert s["mean_throughput"] > 0
+
+    def test_empty_rejected(self, tiny_training):
+        from repro.core.trainer import TrainingResult
+
+        _, result = tiny_training
+        empty = TrainingResult(
+            agent=result.agent, repository=result.repository
+        )
+        with pytest.raises(ReproError):
+            convergence_stats(empty)
+
+
+class TestComparisonTableAndExport:
+    @pytest.fixture
+    def results(self, small_schedule):
+        m = evaluate_schedule(small_schedule)
+        return {"A": {"Q1": m, "Q2": m}, "B": {"Q1": m, "Q2": m}}
+
+    def test_table_format(self, results):
+        table = comparison_table(results)
+        assert "Q1" in table and "Q2" in table
+        assert table.count("\n") == 2  # header + 2 methods
+
+    def test_table_other_metric(self, results):
+        table = comparison_table(results, metric="fairness")
+        assert "A" in table
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            comparison_table({})
+
+    def test_export_load_roundtrip(self, results, tmp_path):
+        path = tmp_path / "results.json"
+        export_results(results, path)
+        loaded = load_results(path)
+        assert set(loaded) == {"A", "B"}
+        orig = results["A"]["Q1"]
+        back = loaded["A"]["Q1"]
+        assert back.throughput_gain == pytest.approx(orig.throughput_gain)
+        assert back.app_slowdowns == pytest.approx(orig.app_slowdowns)
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[]")
+        with pytest.raises(ReproError):
+            load_results(path)

@@ -1,0 +1,145 @@
+"""Unit tests for the Slurm-like batch-system facade."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.cluster import (
+    BatchSystem,
+    ClusterState,
+    CoSchedulingPolicy,
+    FcfsPolicy,
+    JobState,
+    PolicySelector,
+)
+from repro.core.actions import ActionCatalog
+from repro.core.optimizer import OnlineOptimizer
+
+
+@pytest.fixture(scope="module")
+def batch_factory(tiny_training):
+    trainer, result = tiny_training
+    from repro.core.evaluation import profile_all_benchmarks
+
+    repo = result.repository.copy()
+    profile_all_benchmarks(repo)
+    optimizer = OnlineOptimizer(
+        result.agent,
+        repo,
+        ActionCatalog(c_max=trainer.c_max),
+        trainer.window_size,
+    )
+
+    def make(n_gpus=2, crowding_threshold=1, window_size=None):
+        selector = PolicySelector(
+            co_scheduling=CoSchedulingPolicy(optimizer),
+            fcfs=FcfsPolicy(),
+            crowding_threshold=crowding_threshold,
+        )
+        return BatchSystem(
+            cluster=ClusterState.homogeneous(n_gpus),
+            selector=selector,
+            window_size=window_size or trainer.window_size,
+            min_batch=2,
+        )
+
+    return make
+
+
+PROGRAMS = ["stream", "kmeans", "lud_B", "qs_Coral_P1", "lavaMD", "hotspot3D"]
+
+
+class TestSubmission:
+    def test_sbatch_returns_ids(self, batch_factory):
+        bs = batch_factory()
+        ids = [bs.sbatch(p) for p in PROGRAMS[:3]]
+        assert len(set(ids)) == 3
+        assert len(bs.squeue(JobState.PENDING)) == 3
+
+    def test_scancel_pending(self, batch_factory):
+        bs = batch_factory()
+        jid = bs.sbatch("stream")
+        bs.scancel(jid)
+        assert bs.squeue() == []
+        with pytest.raises(SchedulingError):
+            bs.scancel(jid)
+
+    def test_sinfo_initially_free(self, batch_factory):
+        bs = batch_factory(n_gpus=3)
+        info = bs.sinfo()
+        assert len(info) == 3
+        assert all(row["free"] for row in info)
+
+
+class TestDispatch:
+    def test_tick_dispatches_when_crowded(self, batch_factory):
+        bs = batch_factory()
+        for p in PROGRAMS:
+            bs.sbatch(p)
+        dispatched = bs.tick(0.0)
+        assert dispatched >= 1
+        assert bs.squeue(JobState.RUNNING)
+        # jobs got start/end times and a node
+        for r in bs.squeue(JobState.RUNNING):
+            assert r.node is not None
+            assert r.end_time is not None and r.end_time > r.start_time
+
+    def test_min_batch_holds_single_job(self, batch_factory):
+        bs = batch_factory()
+        bs.sbatch("stream")
+        assert bs.tick(0.0) == 0
+        assert bs.squeue(JobState.PENDING)
+
+    def test_time_cannot_reverse(self, batch_factory):
+        bs = batch_factory()
+        bs.tick(10.0)
+        with pytest.raises(SchedulingError):
+            bs.tick(5.0)
+
+    def test_drain_completes_everything(self, batch_factory):
+        bs = batch_factory()
+        for p in PROGRAMS:
+            bs.sbatch(p)
+        makespan = bs.drain()
+        assert makespan > 0
+        states = {r.state for r in bs.squeue()}
+        assert states == {JobState.COMPLETED}
+
+    def test_completion_marks_after_time_passes(self, batch_factory):
+        bs = batch_factory()
+        for p in PROGRAMS[:4]:
+            bs.sbatch(p)
+        bs.tick(0.0)
+        running = bs.squeue(JobState.RUNNING)
+        assert running
+        latest = max(r.end_time for r in running)
+        bs.tick(latest + 1.0)
+        assert all(
+            r.state is JobState.COMPLETED for r in bs.squeue()
+            if r.end_time and r.end_time <= latest
+        )
+
+
+class TestAccounting:
+    def test_sacct_aggregates(self, batch_factory):
+        bs = batch_factory()
+        for p in PROGRAMS:
+            bs.sbatch(p)
+        bs.drain()
+        acct = bs.sacct()
+        assert acct["completed"] == len(PROGRAMS)
+        assert acct["mean_wait"] >= 0
+        assert acct["mean_turnaround"] > 0
+        assert acct["makespan"] == pytest.approx(bs.cluster.makespan)
+
+    def test_sacct_requires_completions(self, batch_factory):
+        bs = batch_factory()
+        with pytest.raises(SchedulingError):
+            bs.sacct()
+
+    def test_wait_and_turnaround_ordering(self, batch_factory):
+        bs = batch_factory(n_gpus=1)
+        for p in PROGRAMS:
+            bs.sbatch(p)
+        bs.drain()
+        for r in bs.squeue():
+            assert r.turnaround >= r.wait_time >= 0

@@ -1,0 +1,120 @@
+"""Tests for agent checkpointing and the architecture-parametric device."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.arch import A100_40GB, H100_80GB
+from repro.gpu.device import SimulatedGpu
+from repro.gpu.mig import enumerate_gi_combinations
+from repro.rl.checkpoint import load_agent, save_agent
+from repro.rl.dqn import DQNConfig, DuelingDoubleDQNAgent
+
+
+def trained_small_agent(seed=0, **overrides) -> DuelingDoubleDQNAgent:
+    cfg = dict(
+        n_inputs=6,
+        n_actions=4,
+        hidden=(16, 8),
+        warmup_transitions=16,
+        batch_size=8,
+        seed=seed,
+    )
+    cfg.update(overrides)
+    agent = DuelingDoubleDQNAgent(DQNConfig(**cfg))
+    rng = np.random.default_rng(seed)
+    for i in range(60):
+        s = rng.normal(size=6)
+        agent.observe(s, i % 4, float(rng.random()), s, True)
+    return agent
+
+
+class TestCheckpoint:
+    def test_roundtrip_preserves_qvalues(self, tmp_path):
+        agent = trained_small_agent()
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        restored = load_agent(path)
+        x = np.random.default_rng(9).normal(size=6)
+        assert np.allclose(agent.q_values(x), restored.q_values(x))
+        assert restored.train_steps == agent.train_steps
+        assert restored.config.hidden == agent.config.hidden
+
+    def test_suffix_appended(self, tmp_path):
+        agent = trained_small_agent()
+        save_agent(agent, tmp_path / "agent")
+        assert (tmp_path / "agent.npz").exists()
+        restored = load_agent(tmp_path / "agent")
+        assert restored.config.n_actions == 4
+
+    def test_architecture_mismatch_rejected(self, tmp_path):
+        agent = trained_small_agent()
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        wrong = DQNConfig(n_inputs=6, n_actions=5, hidden=(16, 8))
+        with pytest.raises(ConfigurationError, match="mismatch"):
+            load_agent(path, config=wrong)
+
+    def test_matching_config_accepted(self, tmp_path):
+        agent = trained_small_agent()
+        path = tmp_path / "agent.npz"
+        save_agent(agent, path)
+        same = DQNConfig(
+            n_inputs=6, n_actions=4, hidden=(16, 8), warmup_transitions=16,
+            batch_size=8,
+        )
+        restored = load_agent(path, config=same)
+        assert restored.config.batch_size == 8  # caller's hyper-params kept
+
+    def test_dueling_flag_roundtrips(self, tmp_path):
+        agent = trained_small_agent(use_dueling=False)
+        path = tmp_path / "plain.npz"
+        save_agent(agent, path)
+        restored = load_agent(path)
+        assert restored.online.dueling is False
+
+
+class TestH100:
+    def test_spec_consistency(self):
+        assert H100_80GB.mig_compute_slices == 7
+        assert H100_80GB.memory_slices_for_gpcs(3) == 4  # 3g.40gb = half
+        assert H100_80GB.mem_bandwidth > A100_40GB.mem_bandwidth
+
+    def test_h100_has_19_mig_configurations(self):
+        # same slice topology as the A100 -> same configuration count
+        assert len(enumerate_gi_combinations(H100_80GB)) == 19
+
+    def test_pipeline_runs_on_h100(self):
+        from repro.gpu.partition import parse_partition
+        from repro.workloads.jobs import Job
+
+        device = SimulatedGpu(H100_80GB)
+        jobs = [Job.submit("stream"), Job.submit("kmeans")]
+        record = device.run_group(
+            jobs, parse_partition("[(0.3)+(0.7),1m]")
+        )
+        assert record.corun.makespan > 0
+
+    def test_h100_partition_validation(self):
+        from repro.gpu.partition import parse_partition
+
+        tree = parse_partition("[{0.375},0.5m]+[{0.5},0.5m]")
+        tree.validate(H100_80GB)
+
+    def test_trainer_accepts_h100(self):
+        from repro.core.trainer import OfflineTrainer
+
+        trainer = OfflineTrainer(
+            spec=H100_80GB,
+            window_size=4,
+            c_max=3,
+            n_training_queues=2,
+            seed=1,
+            dqn_overrides={
+                "hidden": (32, 16),
+                "warmup_transitions": 16,
+                "batch_size": 8,
+            },
+        )
+        result = trainer.train(episodes=5)
+        assert len(result.episode_throughputs) == 5

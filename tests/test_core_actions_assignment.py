@@ -1,0 +1,134 @@
+"""Unit tests for the action catalog wrapper and job-slot assignment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.actions import ActionCatalog
+from repro.core.assignment import (
+    assign_conflict_aware,
+    assign_exhaustive,
+    assign_greedy,
+    assign_optimal,
+    iter_slot_assignments,
+)
+from repro.core.rewards import WindowStats, intermediate_reward
+from repro.gpu.partition import parse_partition
+from repro.workloads.jobs import Job
+
+
+@pytest.fixture(scope="module")
+def window_profiles(full_repository):
+    names = ["lavaMD", "stream", "kmeans", "lud_B", "qs_Coral_P1", "hotspot3D"]
+    return [full_repository.lookup(Job.submit(n)) for n in names]
+
+
+class TestActionCatalog:
+    def test_29_actions(self, catalog):
+        assert catalog.n_actions == 29
+        assert len(catalog) == 29
+
+    def test_mask_by_remaining_jobs(self, catalog):
+        full = catalog.mask(12)
+        assert full.all()
+        three = catalog.mask(3)
+        for i in np.flatnonzero(three):
+            assert catalog.concurrency(int(i)) <= 3
+        one = catalog.mask(1)
+        assert not one.any()
+
+    def test_mask_respects_cmax(self):
+        cat = ActionCatalog(c_max=2)
+        mask = cat.mask(12)
+        for i in np.flatnonzero(mask):
+            assert cat.concurrency(int(i)) == 2
+
+    def test_variant_bounds(self, catalog):
+        with pytest.raises(SchedulingError):
+            catalog.variant(29)
+        with pytest.raises(SchedulingError):
+            catalog.variant(-1)
+
+    def test_actions_with_concurrency_partition_catalog(self, catalog):
+        total = sum(
+            len(catalog.actions_with_concurrency(c)) for c in (2, 3, 4)
+        )
+        assert total == 29
+
+    def test_bad_cmax(self):
+        with pytest.raises(SchedulingError):
+            ActionCatalog(c_max=0)
+
+
+class TestAssignments:
+    def test_optimal_matches_exhaustive(self, window_profiles):
+        """The LSA solution must equal brute force on total r_i."""
+        stats = WindowStats.from_profiles(window_profiles)
+        for text in ("[(0.2)+(0.8),1m]", "[(0.1)+(0.2)+(0.7),1m]"):
+            tree = parse_partition(text)
+            slots = tree.slots()
+
+            def total(binding):
+                return sum(
+                    intermediate_reward(window_profiles[j], s, stats)
+                    for j, s in zip(binding, slots)
+                )
+
+            opt = assign_optimal(tree, window_profiles, stats)
+            exh = assign_exhaustive(tree, window_profiles, stats)
+            assert total(opt) == pytest.approx(total(exh))
+
+    def test_bindings_are_injective(self, window_profiles):
+        tree = parse_partition("[(0.1)+(0.2)+(0.3)+(0.4),1m]")
+        for fn in (
+            assign_optimal,
+            assign_greedy,
+            assign_exhaustive,
+            assign_conflict_aware,
+        ):
+            binding = fn(tree, window_profiles)
+            assert len(binding) == 4
+            assert len(set(binding)) == 4
+            assert all(0 <= b < len(window_profiles) for b in binding)
+
+    def test_conflict_aware_never_worse_on_its_objective(self, window_profiles):
+        from repro.core.assignment import _binding_score
+
+        stats = WindowStats.from_profiles(window_profiles)
+        tree = parse_partition("[(0.3)+(0.7),1m]")
+        slots = tree.slots()
+        opt = assign_optimal(tree, window_profiles, stats)
+        aware = assign_conflict_aware(tree, window_profiles, stats)
+        s_opt = _binding_score(tree, slots, opt, window_profiles, stats, 3.0)
+        s_aware = _binding_score(tree, slots, aware, window_profiles, stats, 3.0)
+        assert s_aware >= s_opt - 1e-9
+
+    def test_conflict_aware_separates_memory_hogs(self, full_repository):
+        # two MI programs and two non-MI: the conflict-aware binding on a
+        # two-domain tree must not pack both MI jobs into one domain
+        names = ["stream", "lud_B", "kmeans", "lavaMD"]
+        profiles = [full_repository.lookup(Job.submit(n)) for n in names]
+        tree = parse_partition(
+            "[(0.5)+(0.5),{0.375},0.5m]+[(0.5)+(0.5),{0.5},0.5m]"
+        )
+        binding = assign_conflict_aware(tree, profiles, lam=10.0)
+        domains = tree.mem_domains()
+        mi = {0, 1}  # indices of stream, lud_B
+        for domain in domains:
+            members = {binding[s] for s in domain}
+            assert members != mi
+
+    def test_too_few_candidates(self, window_profiles):
+        tree = parse_partition("[(0.25)+(0.25)+(0.25)+(0.25),1m]")
+        with pytest.raises(SchedulingError):
+            assign_optimal(tree, window_profiles[:2])
+
+    def test_iter_slot_assignments_dedupes_identical_slots(self):
+        tree = parse_partition("[(0.25)+(0.25)+(0.25)+(0.25),1m]")
+        # all four slots identical -> choosing 4 of 5 jobs = 5 bindings
+        assert len(iter_slot_assignments(tree, 5)) == 5
+
+    def test_iter_slot_assignments_distinct_slots(self):
+        tree = parse_partition("[(0.1)+(0.9),1m]")
+        # 2 distinct slots from 3 candidates: 3 x 2 = 6 bindings
+        assert len(iter_slot_assignments(tree, 3)) == 6

@@ -1,0 +1,153 @@
+"""Unit tests for the baseline schedulers and the analytic predictor."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.baselines import (
+    MigMpsDefaultScheduler,
+    MigOnlyScheduler,
+    MpsOnlyScheduler,
+    TimeSharingScheduler,
+)
+from repro.core.metrics import evaluate_schedule
+from repro.core.predictor import AnalyticPredictor
+from repro.core.problem import SchedulingProblem
+from repro.gpu.partition import parse_partition
+from repro.perfmodel.corun import simulate_corun
+from repro.workloads.jobs import Job
+from repro.workloads.suite import benchmark
+
+
+@pytest.fixture(scope="module")
+def window8():
+    names = [
+        "lavaMD", "stream", "kmeans", "lud_B",
+        "qs_Coral_P1", "hotspot3D", "sp_solver_B", "pathfinder",
+    ]
+    return [Job.submit(n) for n in names]
+
+
+class TestPredictor:
+    def test_predicts_solo_roughly(self, full_repository):
+        pred = AnalyticPredictor()
+        p = full_repository.lookup(Job.submit("stream"))
+        t = pred.predict_job(p, 1.0, 1.0, 0.0)
+        assert t == pytest.approx(p.solo_time, rel=0.25)
+
+    def test_group_prediction_correlates_with_simulation(self, full_repository):
+        pred = AnalyticPredictor()
+        tree = parse_partition("[(0.3)+(0.7),1m]")
+        pairs = [
+            ("kmeans", "qs_Coral_P1"),
+            ("stream", "lavaMD"),
+            ("lud_B", "sp_solver_B"),
+        ]
+        predicted, actual = [], []
+        for a, b in pairs:
+            profiles = [
+                full_repository.lookup(Job.submit(a)),
+                full_repository.lookup(Job.submit(b)),
+            ]
+            predicted.append(pred.predict_group(profiles, tree).makespan)
+            actual.append(
+                simulate_corun([benchmark(a), benchmark(b)], tree).makespan
+            )
+        # ranking must agree even if magnitudes drift
+        assert sorted(range(3), key=lambda i: predicted[i]) == sorted(
+            range(3), key=lambda i: actual[i]
+        )
+
+    def test_predictor_blind_to_crowding(self, full_repository):
+        """The predictor intentionally omits client-crowding pressure:
+        4 low-demand clients predicted ~free, but the simulator charges
+        them. This asymmetry is what the RL agent learns to exploit."""
+        pred = AnalyticPredictor()
+        tree = parse_partition("[(0.25)+(0.25)+(0.25)+(0.25),1m]")
+        names = ["kmeans", "qs_Coral_P1", "dwt2d", "pathfinder"]
+        profiles = [full_repository.lookup(Job.submit(n)) for n in names]
+        predicted = pred.predict_group(profiles, tree).makespan
+        actual = simulate_corun([benchmark(n) for n in names], tree).makespan
+        assert actual > predicted
+
+    def test_group_size_check(self, full_repository):
+        pred = AnalyticPredictor()
+        p = full_repository.lookup(Job.submit("stream"))
+        with pytest.raises(Exception):
+            pred.predict_group([p], parse_partition("[(0.5)+(0.5),1m]"))
+
+
+class TestTimeSharing:
+    def test_every_job_solo(self, window8):
+        sched = TimeSharingScheduler().schedule(window8)
+        assert len(sched.groups) == 8
+        assert all(g.concurrency == 1 for g in sched.groups)
+        assert evaluate_schedule(sched).throughput_gain == pytest.approx(1.0)
+
+    def test_empty_window(self):
+        with pytest.raises(SchedulingError):
+            TimeSharingScheduler().schedule([])
+
+
+class TestMigOnly:
+    def test_pairs_cover_window(self, window8, full_repository):
+        sched = MigOnlyScheduler(full_repository).schedule(window8)
+        SchedulingProblem(window=tuple(window8), c_max=2).validate(sched)
+        assert all(g.concurrency <= 2 for g in sched.groups)
+
+    def test_odd_window_leaves_solo(self, full_repository):
+        window = [Job.submit(n) for n in ("stream", "kmeans", "lud_B")]
+        sched = MigOnlyScheduler(full_repository).schedule(window)
+        sizes = sorted(g.concurrency for g in sched.groups)
+        assert 1 in sizes
+
+    def test_beats_time_sharing_on_average(self, window8, full_repository):
+        sched = MigOnlyScheduler(full_repository).schedule(window8)
+        assert evaluate_schedule(sched).throughput_gain > 1.0
+
+
+class TestMpsOnly:
+    def test_respects_cmax(self, window8, full_repository):
+        for cmax in (2, 3, 4):
+            sched = MpsOnlyScheduler(full_repository, cmax).schedule(window8)
+            SchedulingProblem(window=tuple(window8), c_max=cmax).validate(
+                sched
+            )
+
+    def test_higher_cmax_not_catastrophically_worse(self, window8, full_repository):
+        # a larger C_max searches a superset of partitions, so predicted
+        # cost is monotone; measured gains can wobble but not collapse
+        g2 = evaluate_schedule(
+            MpsOnlyScheduler(full_repository, 2).schedule(window8)
+        ).throughput_gain
+        g4 = evaluate_schedule(
+            MpsOnlyScheduler(full_repository, 4).schedule(window8)
+        ).throughput_gain
+        assert g4 > 0.8 * g2
+
+    def test_uses_concurrency_above_two(self, window8, full_repository):
+        sched = MpsOnlyScheduler(full_repository, 4).schedule(window8)
+        assert any(g.concurrency > 2 for g in sched.groups)
+
+
+class TestMigMpsDefault:
+    def test_layout_is_always_3_plus_4(self, window8, full_repository):
+        sched = MigMpsDefaultScheduler(full_repository, 4).schedule(window8)
+        for g in sched.groups:
+            if g.concurrency == 1:
+                continue
+            widths = sorted(
+                round(gi.compute_fraction * 8) for gi in g.partition.gis
+            )
+            assert widths in ([3], [4], [3, 4])
+
+    def test_equal_shares_inside_gi(self, window8, full_repository):
+        sched = MigMpsDefaultScheduler(full_repository, 4).schedule(window8)
+        for g in sched.groups:
+            for gi in g.partition.gis:
+                for ci in gi.cis:
+                    fracs = {round(s.fraction, 6) for s in ci.shares}
+                    assert len(fracs) == 1  # default mode = equal shares
+
+    def test_valid_schedule(self, window8, full_repository):
+        sched = MigMpsDefaultScheduler(full_repository, 4).schedule(window8)
+        SchedulingProblem(window=tuple(window8), c_max=4).validate(sched)

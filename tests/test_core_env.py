@@ -1,0 +1,165 @@
+"""Unit tests for the co-scheduling RL environment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.actions import ActionCatalog
+from repro.core.env import CoSchedulingEnv
+from repro.profiling.repository import ProfileRepository
+from repro.workloads.jobs import Job
+
+
+@pytest.fixture
+def env(full_repository, catalog):
+    names = ["lavaMD", "stream", "kmeans", "lud_B", "qs_Coral_P1", "hotspot3D"]
+    window = [Job.submit(n) for n in names]
+    return CoSchedulingEnv(
+        windows=[window],
+        repository=full_repository,
+        catalog=catalog,
+        window_size=6,
+        seed=0,
+        shuffle_windows=False,
+    )
+
+
+class TestReset:
+    def test_observation_shape(self, env):
+        obs, info = env.reset()
+        assert obs.shape == (6 * 17,)
+        assert info["n_remaining"] == 6
+        assert info["action_mask"].shape == (29,)
+        assert info["action_mask"].all()
+
+    def test_window_index_option(self, env):
+        obs1, _ = env.reset(options={"window_index": 0})
+        obs2, _ = env.reset(options={"window_index": 0})
+        assert np.allclose(obs1, obs2)
+
+    def test_missing_profile_fails_fast(self, catalog):
+        with pytest.raises(Exception):
+            CoSchedulingEnv(
+                windows=[[Job.submit("stream")]],
+                repository=ProfileRepository(),
+                catalog=catalog,
+                window_size=6,
+            )
+
+    def test_oversized_window_rejected(self, full_repository, catalog):
+        window = [Job.submit("stream") for _ in range(7)]
+        with pytest.raises(SchedulingError):
+            CoSchedulingEnv(
+                windows=[window],
+                repository=full_repository,
+                catalog=catalog,
+                window_size=6,
+            )
+
+
+class TestStep:
+    def test_step_before_reset(self, env):
+        with pytest.raises(SchedulingError):
+            env.step(0)
+
+    def test_invalid_action_rejected(self, env, catalog):
+        env.reset()
+        four_way = catalog.actions_with_concurrency(4)[0]
+        env.step(four_way)  # 6 -> 2 remaining
+        with pytest.raises(SchedulingError, match="invalid"):
+            env.step(four_way)  # needs 4, only 2 remain
+
+    def test_episode_drains_window(self, env, catalog):
+        obs, info = env.reset()
+        steps = 0
+        done = False
+        while not done:
+            action = int(np.flatnonzero(info["action_mask"])[0])
+            obs, reward, done, truncated, info = env.step(action)
+            steps += 1
+            assert not truncated
+        assert steps >= 2
+        schedule = info["schedule"]
+        assert len(schedule.jobs) == 6
+
+    def test_terminal_schedule_is_structurally_valid(self, env, catalog):
+        obs, info = env.reset()
+        done = False
+        while not done:
+            action = int(np.flatnonzero(info["action_mask"])[-1])
+            obs, _, done, _, info = env.step(action)
+        # validate() ran inside the env without raising; double-check
+        schedule = info["schedule"]
+        ids = [j.job_id for j in schedule.jobs]
+        assert len(ids) == len(set(ids)) == 6
+
+    def test_remainder_scheduled_solo(self, env, catalog):
+        obs, info = env.reset()
+        # 6 jobs: two 2-way groups in sequence leave 2 -> third group;
+        # instead take 4-way then mask forces C=2: take C... use 4+solo
+        a4 = catalog.actions_with_concurrency(4)[0]
+        obs, _, done, _, info = env.step(a4)
+        assert not done
+        assert info["n_remaining"] == 2
+        a2 = catalog.actions_with_concurrency(2)[0]
+        obs, _, done, _, info = env.step(a2)
+        assert done
+
+    def test_rewards_reflect_group_quality(self, env, catalog):
+        # a 2-way group of unscalable jobs must earn a positive reward
+        obs, info = env.reset()
+        rewards = []
+        done = False
+        while not done:
+            valid = np.flatnonzero(info["action_mask"])
+            obs, r, done, _, info = env.step(int(valid[0]))
+            rewards.append(r)
+        assert any(r != 0 for r in rewards)
+
+    def test_reproducible_episodes(self, full_repository, catalog):
+        names = ["stream", "kmeans", "lud_B", "qs_Coral_P1"]
+        window = [Job.submit(n) for n in names]
+
+        def run():
+            env = CoSchedulingEnv(
+                [window], full_repository, catalog, 4, shuffle_windows=False
+            )
+            obs, info = env.reset(options={"window_index": 0})
+            done, gains = False, []
+            while not done:
+                a = int(np.flatnonzero(info["action_mask"])[0])
+                obs, r, done, _, info = env.step(a)
+                gains.append(r)
+            return gains, info["schedule"].throughput_gain
+
+        assert run() == run()
+
+
+class TestBindingModes:
+    def test_invalid_binding_rejected(self, full_repository, catalog):
+        window = [Job.submit("stream"), Job.submit("kmeans")]
+        with pytest.raises(SchedulingError):
+            CoSchedulingEnv(
+                [window], full_repository, catalog, 2, binding="magic"
+            )
+
+    @pytest.mark.parametrize("binding", ["auto", "optimal", "conflict"])
+    def test_all_binding_modes_complete_episodes(
+        self, full_repository, catalog, binding
+    ):
+        names = ["stream", "kmeans", "lud_B", "qs_Coral_P1"]
+        window = [Job.submit(n) for n in names]
+        env = CoSchedulingEnv(
+            [window],
+            full_repository,
+            catalog,
+            4,
+            shuffle_windows=False,
+            binding=binding,
+        )
+        obs, info = env.reset(options={"window_index": 0})
+        done = False
+        while not done:
+            a = int(np.flatnonzero(info["action_mask"])[0])
+            obs, _, done, _, info = env.step(a)
+        assert len(info["schedule"].jobs) == 4

@@ -1,0 +1,74 @@
+"""Tests for the shared evaluation harness (small budgets)."""
+
+import pytest
+
+from repro.core.evaluation import (
+    METHODS,
+    EvaluationConfig,
+    evaluate_methods,
+    profile_all_benchmarks,
+    trained_agent,
+)
+from repro.profiling.repository import ProfileRepository
+from repro.workloads.generator import paper_queues
+from repro.workloads.suite import BENCHMARKS
+
+
+TINY = EvaluationConfig(window_size=12, c_max=4, episodes=25, seed=3)
+
+
+class TestProfileAll:
+    def test_covers_whole_suite(self):
+        repo = ProfileRepository()
+        profile_all_benchmarks(repo)
+        assert len(repo) == len(BENCHMARKS)
+
+    def test_idempotent(self):
+        repo = ProfileRepository()
+        profile_all_benchmarks(repo)
+        profile_all_benchmarks(repo)
+        assert len(repo) == len(BENCHMARKS)
+
+
+class TestTrainedAgentCache:
+    def test_same_config_is_cached(self):
+        a = trained_agent(TINY)
+        b = trained_agent(TINY)
+        assert a is b
+
+    def test_repository_includes_unseen_after_training(self):
+        result = trained_agent(TINY)
+        assert len(result.repository) == len(BENCHMARKS)
+
+
+class TestEvaluateMethods:
+    @pytest.fixture(scope="class")
+    def results(self):
+        queues = {k: v for k, v in paper_queues().items() if k in ("Q1", "Q7")}
+        return evaluate_methods(TINY, queues=queues)
+
+    def test_all_methods_present(self, results):
+        assert set(results) == set(METHODS)
+
+    def test_per_queue_metrics(self, results):
+        for method, r in results.items():
+            assert set(r.per_queue) == {"Q1", "Q7"}
+            for m in r.per_queue.values():
+                assert m.throughput_gain >= 1.0 - 1e-9
+                assert 0 < m.fairness <= 1.0
+
+    def test_time_sharing_is_identity(self, results):
+        ts = results["Time Sharing"]
+        assert ts.mean_throughput == pytest.approx(1.0)
+        assert ts.mean_slowdown == pytest.approx(1.0)
+        assert ts.mean_fairness == pytest.approx(1.0)
+
+    def test_aggregates_consistent(self, results):
+        r = results["MPS Only"]
+        gains = [m.throughput_gain for m in r.per_queue.values()]
+        assert r.mean_throughput == pytest.approx(sum(gains) / len(gains))
+        assert r.best_throughput == pytest.approx(max(gains))
+
+    def test_coscheduling_beats_time_sharing(self, results):
+        for method in METHODS[1:]:
+            assert results[method].mean_throughput > 1.0

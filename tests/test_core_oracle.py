@@ -1,0 +1,58 @@
+"""Tests for the simulation-oracle reference scheduler."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.actions import ActionCatalog
+from repro.core.metrics import evaluate_schedule
+from repro.core.oracle import OracleScheduler
+from repro.core.problem import SchedulingProblem
+from repro.workloads.jobs import Job
+
+
+@pytest.fixture(scope="module")
+def oracle(full_repository):
+    return OracleScheduler(
+        full_repository, ActionCatalog(c_max=4), window_size=8
+    )
+
+
+WINDOW = ["stream", "kmeans", "lud_B", "qs_Coral_P1", "hotspot", "pathfinder"]
+
+
+class TestOracle:
+    def test_schedule_is_valid(self, oracle):
+        window = [Job.submit(n) for n in WINDOW]
+        sched = oracle.schedule(window)
+        SchedulingProblem(window=tuple(window), c_max=4).validate(sched)
+
+    def test_beats_time_sharing(self, oracle):
+        window = [Job.submit(n) for n in WINDOW]
+        m = evaluate_schedule(oracle.schedule(window))
+        assert m.throughput_gain > 1.1
+
+    def test_upper_bounds_the_trained_tiny_agent(self, oracle, tiny_training, full_repository):
+        """The oracle has a perfect one-step value function over the same
+        policy class, so a barely-trained agent must not beat it by more
+        than simulation-vs-fallback noise."""
+        from repro.core.optimizer import OnlineOptimizer
+
+        trainer, result = tiny_training
+        window = [Job.submit(n) for n in WINDOW[: trainer.window_size]]
+        agent_opt = OnlineOptimizer(
+            result.agent,
+            full_repository,
+            trainer.catalog,
+            trainer.window_size,  # the agent's input layer is W x (f+5)
+        )
+        g_oracle = evaluate_schedule(oracle.schedule(list(window))).throughput_gain
+        g_agent = evaluate_schedule(
+            agent_opt.optimize(list(window)).schedule
+        ).throughput_gain
+        assert g_oracle >= g_agent - 0.15
+
+    def test_window_bounds(self, oracle):
+        with pytest.raises(SchedulingError):
+            oracle.schedule([])
+        with pytest.raises(SchedulingError):
+            oracle.schedule([Job.submit("stream") for _ in range(9)])

@@ -1,0 +1,151 @@
+"""Integration tests: offline training -> online optimization -> metrics.
+
+Uses the session-scoped ``tiny_training`` fixture (small windows, few
+episodes) so the full paper pipeline is exercised end to end in seconds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.metrics import evaluate_schedule
+from repro.core.optimizer import OnlineOptimizer
+from repro.core.problem import SchedulingProblem
+from repro.core.trainer import OfflineTrainer
+from repro.profiling.repository import ProfileRepository
+from repro.workloads.generator import QueueGenerator, MixCategory
+from repro.workloads.jobs import Job
+from repro.workloads.suite import TRAINING_SET, UNSEEN_SET
+
+
+class TestOfflineTrainer:
+    def test_training_produces_diagnostics(self, tiny_training):
+        trainer, result = tiny_training
+        assert len(result.episode_returns) == 30
+        assert len(result.episode_throughputs) == 30
+        assert all(g > 0 for g in result.episode_throughputs)
+        assert result.final_throughput > 0
+
+    def test_repository_covers_training_set(self, tiny_training):
+        _, result = tiny_training
+        for name in TRAINING_SET:
+            assert result.repository.has(Job.submit(name))
+
+    def test_repository_excludes_unseen(self):
+        trainer = OfflineTrainer(window_size=4, n_training_queues=2, seed=0)
+        repo = trainer.build_repository()
+        for name in UNSEEN_SET:
+            assert not repo.has(Job.submit(name))
+
+    def test_network_size_matches_table6_formula(self, tiny_training):
+        trainer, result = tiny_training
+        # W x (f + 5) inputs, 29 actions
+        assert result.agent.config.n_inputs == trainer.window_size * 17
+        assert result.agent.config.n_actions == 29
+
+    def test_invalid_episode_budget(self, tiny_training):
+        trainer, _ = tiny_training
+        with pytest.raises(Exception):
+            trainer.train(episodes=0)
+
+
+class TestOnlineOptimizer:
+    @pytest.fixture
+    def optimizer(self, tiny_training):
+        trainer, result = tiny_training
+        return OnlineOptimizer(
+            result.agent,
+            result.repository.copy(),  # tests below add profiles
+            trainer.catalog,
+            window_size=trainer.window_size,
+        )
+
+    def test_schedule_satisfies_all_constraints(self, optimizer, tiny_training):
+        trainer, _ = tiny_training
+        gen = QueueGenerator(seed=11, training_only=True)
+        window = gen.queue(MixCategory.BALANCED, w=6).window(6)
+        decision = optimizer.optimize(window)
+        problem = SchedulingProblem(window=tuple(window), c_max=trainer.c_max)
+        problem.validate(decision.schedule, strict_gain=True)
+
+    def test_unprofiled_jobs_run_solo_and_get_profiled(self, optimizer):
+        window = [Job.submit("huffman"), Job.submit("needle")]
+        assert not optimizer.repository.has(window[0])
+        decision = optimizer.optimize(window)
+        assert decision.n_unprofiled >= 1
+        assert optimizer.repository.has(window[0])
+        # second submission of the same program is now co-schedulable
+        window2 = [Job.submit("huffman"), Job.submit("needle")]
+        decision2 = optimizer.optimize(window2)
+        assert decision2.n_unprofiled == 0
+
+    def test_overhead_is_negligible(self, optimizer):
+        gen = QueueGenerator(seed=13, training_only=True)
+        window = gen.queue(MixCategory.BALANCED, w=6).window(6)
+        decision = optimizer.optimize(window)
+        # paper Section V-B: < 0.5% online overhead
+        assert decision.overhead_fraction < 0.005
+
+    def test_empty_window_rejected(self, optimizer):
+        with pytest.raises(SchedulingError):
+            optimizer.optimize([])
+
+    def test_oversized_window_rejected(self, optimizer, tiny_training):
+        trainer, _ = tiny_training
+        window = [Job.submit("stream") for _ in range(trainer.window_size + 1)]
+        with pytest.raises(SchedulingError):
+            optimizer.optimize(window)
+
+    def test_single_profiled_job_runs_solo(self, optimizer):
+        window = [Job.submit("stream")]
+        decision = optimizer.optimize(window)
+        assert len(decision.schedule.groups) == 1
+        assert decision.schedule.groups[0].concurrency == 1
+
+    def test_rerank_k1_is_pure_argmax(self, tiny_training):
+        trainer, result = tiny_training
+        opt = OnlineOptimizer(
+            result.agent,
+            result.repository,
+            trainer.catalog,
+            window_size=trainer.window_size,
+            rerank_top_k=1,
+        )
+        gen = QueueGenerator(seed=17, training_only=True)
+        window = gen.queue(MixCategory.BALANCED, w=6).window(6)
+        decision = opt.optimize(window)
+        assert decision.schedule.groups  # completes without reranking
+
+    def test_invalid_topk(self, tiny_training):
+        trainer, result = tiny_training
+        with pytest.raises(SchedulingError):
+            OnlineOptimizer(
+                result.agent,
+                result.repository,
+                trainer.catalog,
+                window_size=trainer.window_size,
+                rerank_top_k=0,
+            )
+
+
+class TestEndToEndQuality:
+    def test_trained_agent_beats_time_sharing(self, tiny_training):
+        """Even a tiny training run must produce schedules that beat the
+        time-sharing baseline on its own training distribution (the
+        constraint-1 solo fallback guarantees >= 1; learning should push
+        strictly above)."""
+        trainer, result = tiny_training
+        opt = OnlineOptimizer(
+            result.agent,
+            result.repository,
+            trainer.catalog,
+            window_size=trainer.window_size,
+        )
+        gen = QueueGenerator(seed=23, training_only=True)
+        gains = []
+        for i in range(4):
+            window = gen.queue(MixCategory.BALANCED, w=6).window(6)
+            m = evaluate_schedule(opt.optimize(window).schedule)
+            gains.append(m.throughput_gain)
+        assert np.mean(gains) > 1.0
+        assert min(gains) >= 1.0 - 1e-9

@@ -1,0 +1,138 @@
+"""Unit tests for the problem formulation, schedules, and metrics."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.metrics import evaluate_schedule
+from repro.core.problem import (
+    Schedule,
+    ScheduledGroup,
+    SchedulingProblem,
+    solo_partition,
+)
+from repro.gpu.partition import parse_partition
+from repro.workloads.jobs import Job
+
+
+def pair_group(a="kmeans", b="qs_Coral_P1", split="[(0.5)+(0.5),1m]"):
+    jobs = [Job.submit(a), Job.submit(b)]
+    return jobs, ScheduledGroup.run(jobs, parse_partition(split))
+
+
+class TestScheduledGroup:
+    def test_solo_group(self):
+        job = Job.submit("stream")
+        g = ScheduledGroup.run_solo(job)
+        assert g.concurrency == 1
+        assert g.corun_time == pytest.approx(job.solo_time)
+        assert g.result.slowdowns[0] == pytest.approx(1.0)
+
+    def test_pair_group_times(self):
+        jobs, g = pair_group()
+        assert g.concurrency == 2
+        assert g.solo_run_time == pytest.approx(
+            sum(j.solo_time for j in jobs)
+        )
+        assert g.corun_time <= g.solo_run_time  # US pair co-runs well
+
+
+class TestSchedule:
+    def test_totals_and_gain(self):
+        jobs, g = pair_group()
+        sched = Schedule(method="test")
+        sched.append(g)
+        solo = ScheduledGroup.run_solo(Job.submit("stream"))
+        sched.append(solo)
+        assert sched.total_time == pytest.approx(
+            g.corun_time + solo.corun_time
+        )
+        assert sched.throughput_gain == pytest.approx(
+            sched.total_solo_time / sched.total_time
+        )
+        assert len(sched.jobs) == 3
+
+
+class TestProblemValidation:
+    def _window_and_schedule(self):
+        jobs, g = pair_group()
+        extra = Job.submit("stream")
+        sched = Schedule()
+        sched.append(g)
+        sched.append(ScheduledGroup.run_solo(extra))
+        window = tuple(jobs + [extra])
+        return window, sched
+
+    def test_valid_schedule_passes(self):
+        window, sched = self._window_and_schedule()
+        SchedulingProblem(window=window, c_max=4).validate(sched)
+
+    def test_missing_job_detected(self):
+        window, sched = self._window_and_schedule()
+        problem = SchedulingProblem(
+            window=window + (Job.submit("lud_A"),), c_max=4
+        )
+        with pytest.raises(SchedulingError, match="partition the window"):
+            problem.validate(sched)
+
+    def test_duplicate_job_detected(self):
+        window, sched = self._window_and_schedule()
+        sched.append(ScheduledGroup.run_solo(window[2]))
+        with pytest.raises(SchedulingError, match="more than one group"):
+            SchedulingProblem(window=window, c_max=4).validate(sched)
+
+    def test_concurrency_cap_enforced(self):
+        window, sched = self._window_and_schedule()
+        with pytest.raises(SchedulingError, match="concurrency"):
+            SchedulingProblem(window=window, c_max=1).validate(sched)
+
+    def test_gain_constraint(self):
+        # two heavy CI jobs at 50/50 lose to time sharing
+        jobs = [Job.submit("lavaMD"), Job.submit("bt_solver_C")]
+        g = ScheduledGroup.run(jobs, parse_partition("[(0.5)+(0.5),1m]"))
+        sched = Schedule()
+        sched.append(g)
+        problem = SchedulingProblem(window=tuple(jobs), c_max=4)
+        if not g.result.beats_time_sharing():
+            with pytest.raises(SchedulingError, match="time sharing"):
+                problem.validate(sched, strict_gain=True)
+        problem.validate(sched, strict_gain=False)
+
+    def test_problem_attrs(self):
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(window=(), c_max=4)
+        with pytest.raises(SchedulingError):
+            SchedulingProblem(window=(Job.submit("stream"),), c_max=0)
+
+    def test_objective_is_total_time(self):
+        window, sched = self._window_and_schedule()
+        problem = SchedulingProblem(window=window, c_max=4)
+        assert problem.objective(sched) == pytest.approx(sched.total_time)
+
+    def test_solo_partition_shape(self):
+        tree = solo_partition()
+        assert tree.n_slots == 1
+        assert not tree.mig_enabled
+
+
+class TestMetrics:
+    def test_time_sharing_metrics_are_unity(self):
+        sched = Schedule(method="Time Sharing")
+        for name in ("stream", "kmeans", "lud_A"):
+            sched.append(ScheduledGroup.run_solo(Job.submit(name)))
+        m = evaluate_schedule(sched)
+        assert m.throughput_gain == pytest.approx(1.0)
+        assert m.avg_slowdown == pytest.approx(1.0)
+        assert m.fairness == pytest.approx(1.0)
+
+    def test_slowdowns_per_app(self):
+        jobs, g = pair_group("stream", "lud_B", "[(0.3)+(0.7),1m]")
+        sched = Schedule()
+        sched.append(g)
+        m = evaluate_schedule(sched)
+        assert len(m.app_slowdowns) == 2
+        assert all(s >= 1.0 - 1e-9 for s in m.app_slowdowns)
+        assert 0 < m.fairness <= 1.0
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(SchedulingError):
+            evaluate_schedule(Schedule())

@@ -1,0 +1,181 @@
+"""Unit tests for rewards (Table VI) and state featurization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.features import FeatureExtractor, N_COUNTER_FEATURES, N_EXTRA_FEATURES
+from repro.core.rewards import (
+    RewardConfig,
+    WindowStats,
+    final_reward,
+    group_reward,
+    intermediate_reward,
+)
+from repro.gpu.partition import Slot
+from repro.workloads.jobs import Job
+
+
+def slot(compute=0.5, mem=1.0):
+    return Slot(
+        gi_index=0,
+        ci_index=0,
+        share_index=0,
+        compute_fraction=compute,
+        mem_fraction=mem,
+    )
+
+
+@pytest.fixture(scope="module")
+def profiles(full_repository):
+    names = ["lavaMD", "stream", "kmeans", "lud_B"]
+    return {n: full_repository.lookup(Job.submit(n)) for n in names}
+
+
+class TestWindowStats:
+    def test_means(self, profiles):
+        ps = list(profiles.values())
+        stats = WindowStats.from_profiles(ps)
+        assert stats.mean_solo_time == pytest.approx(
+            np.mean([p.solo_time for p in ps])
+        )
+        assert stats.mean_compute_pct > 0
+        assert stats.mean_memory_pct > 0
+
+    def test_empty(self):
+        with pytest.raises(SchedulingError):
+            WindowStats.from_profiles([])
+
+
+class TestIntermediateReward:
+    def test_formula(self, profiles):
+        ps = list(profiles.values())
+        stats = WindowStats.from_profiles(ps)
+        p = profiles["stream"]
+        s = slot(compute=0.3, mem=0.5)
+        expected = (
+            0.3 * (p.counters.compute_sm_pct / stats.mean_compute_pct)
+            + 0.5 * (p.counters.memory_pct / stats.mean_memory_pct)
+        ) * (p.solo_time / stats.mean_solo_time) ** 2
+        assert intermediate_reward(p, s, stats) == pytest.approx(expected)
+
+    def test_memory_heavy_job_prefers_memory_rich_slot(self, profiles):
+        stats = WindowStats.from_profiles(list(profiles.values()))
+        p = profiles["stream"]
+        rich_mem = intermediate_reward(p, slot(compute=0.2, mem=1.0), stats)
+        poor_mem = intermediate_reward(p, slot(compute=0.2, mem=0.25), stats)
+        assert rich_mem > poor_mem
+
+    def test_compute_heavy_job_prefers_compute_rich_slot(self, profiles):
+        stats = WindowStats.from_profiles(list(profiles.values()))
+        p = profiles["lavaMD"]
+        rich = intermediate_reward(p, slot(compute=0.9, mem=0.5), stats)
+        poor = intermediate_reward(p, slot(compute=0.1, mem=0.5), stats)
+        assert rich > poor
+
+    def test_long_jobs_weighted_quadratically(self, profiles):
+        ps = list(profiles.values())
+        stats = WindowStats.from_profiles(ps)
+        long_p = max(ps, key=lambda p: p.solo_time)
+        short_p = min(ps, key=lambda p: p.solo_time)
+        s = slot()
+        ratio_r = intermediate_reward(long_p, s, stats) / max(
+            intermediate_reward(short_p, s, stats), 1e-9
+        )
+        assert ratio_r > (long_p.solo_time / short_p.solo_time)
+
+
+class TestFinalReward:
+    def test_gain_percent(self):
+        assert final_reward(100.0, 50.0) == pytest.approx(100.0)
+        assert final_reward(100.0, 100.0) == pytest.approx(0.0)
+        assert final_reward(100.0, 200.0) == pytest.approx(-50.0)
+
+    def test_invalid_corun_time(self):
+        with pytest.raises(SchedulingError):
+            final_reward(10.0, 0.0)
+
+    def test_group_reward_weights(self):
+        cfg = RewardConfig(intermediate_weight=2.0, final_weight=0.5)
+        r = group_reward([1.0, 2.0], 100.0, 50.0, cfg)
+        assert r == pytest.approx(2.0 * 3.0 + 0.5 * 100.0)
+
+
+class TestFeatureExtractor:
+    def test_input_width_formula(self):
+        # W x (f + 5) with f = 12
+        ex = FeatureExtractor(12)
+        assert N_COUNTER_FEATURES == 12 and N_EXTRA_FEATURES == 5
+        assert ex.n_inputs == 12 * 17
+
+    def test_encode_shape_and_padding(self, profiles):
+        ex = FeatureExtractor(6)
+        ps = list(profiles.values())
+        obs = ex.encode(ps, [True] * len(ps))
+        assert obs.shape == (6 * 17,)
+        # last two job rows are zero padding
+        assert np.allclose(obs.reshape(6, 17)[4:], 0.0)
+
+    def test_availability_flag(self, profiles):
+        ex = FeatureExtractor(4)
+        ps = list(profiles.values())
+        all_on = ex.encode(ps, [True] * 4).reshape(4, 17)
+        one_off = ex.encode(ps, [True, False, True, True]).reshape(4, 17)
+        assert np.sum(all_on[:, 15]) == pytest.approx(4.0)
+        assert np.sum(one_off[:, 15]) == pytest.approx(3.0)
+
+    def test_permutation_invariance(self, profiles):
+        # the canonical sort makes encoding independent of queue order
+        ex = FeatureExtractor(4)
+        ps = list(profiles.values())
+        a = ex.encode(ps, [True] * 4)
+        b = ex.encode(ps[::-1], [True] * 4)
+        assert np.allclose(a, b)
+
+    def test_observation_space_contains_encoding(self, profiles):
+        ex = FeatureExtractor(4)
+        obs = ex.encode(list(profiles.values()), [True] * 4)
+        assert ex.observation_space().contains(obs)
+
+    def test_size_validation(self, profiles):
+        ex = FeatureExtractor(2)
+        ps = list(profiles.values())
+        with pytest.raises(SchedulingError):
+            ex.encode(ps, [True] * 4)
+        with pytest.raises(SchedulingError):
+            ex.encode(ps[:2], [True])
+        with pytest.raises(SchedulingError):
+            FeatureExtractor(0)
+
+
+class TestFairnessExtension:
+    def test_penalty_zero_for_solo_or_balanced(self):
+        from repro.core.rewards import fairness_penalty
+
+        assert fairness_penalty([1.5]) == 0.0
+        assert fairness_penalty([1.3, 1.3]) == pytest.approx(0.0)
+
+    def test_penalty_grows_with_spread(self):
+        from repro.core.rewards import fairness_penalty
+
+        assert fairness_penalty([1.0, 2.0]) == pytest.approx(100.0)
+        assert fairness_penalty([1.0, 1.5]) < fairness_penalty([1.0, 3.0])
+
+    def test_penalty_rejects_nonpositive(self):
+        from repro.core.rewards import fairness_penalty
+
+        with pytest.raises(SchedulingError):
+            fairness_penalty([0.0, 1.0])
+
+    def test_group_reward_applies_fairness_term(self):
+        cfg_plain = RewardConfig()
+        cfg_fair = RewardConfig(fairness_weight=1.0)
+        base = group_reward([1.0], 100.0, 60.0, cfg_plain, slowdowns=(1.0, 2.0))
+        fair = group_reward([1.0], 100.0, 60.0, cfg_fair, slowdowns=(1.0, 2.0))
+        assert fair == pytest.approx(base - 100.0)
+
+    def test_fairness_off_by_default(self):
+        cfg = RewardConfig()
+        with_s = group_reward([1.0], 100.0, 60.0, cfg, slowdowns=(1.0, 5.0))
+        without = group_reward([1.0], 100.0, 60.0, cfg)
+        assert with_s == pytest.approx(without)

@@ -1,0 +1,101 @@
+"""Unit tests for the device specification (repro.gpu.arch)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpu.arch import A100_40GB, A30_24GB, GpuSpec, SlicePlacement
+
+
+class TestA100Spec:
+    def test_topology(self):
+        assert A100_40GB.n_gpcs == 8
+        assert A100_40GB.mig_compute_slices == 7  # MIG costs one GPC
+        assert A100_40GB.mig_memory_slices == 8
+        assert A100_40GB.total_sms == 8 * 14
+
+    def test_profile_table_names(self):
+        assert set(A100_40GB.gi_profiles) == {
+            "1g.5gb",
+            "2g.10gb",
+            "3g.20gb",
+            "4g.20gb",
+            "7g.40gb",
+        }
+
+    def test_3g_profile_owns_four_memory_slices(self):
+        # 3g.20gb carries 20 GB = 4 of 8 slices — the reason the paper's
+        # 4+3 private split is written 0.5m + 0.5m.
+        assert A100_40GB.gi_profiles["3g.20gb"].memory_slices == 4
+
+    def test_compute_fraction_of_slices(self):
+        assert A100_40GB.compute_fraction_of_slices(4) == pytest.approx(0.5)
+        assert A100_40GB.compute_fraction_of_slices(3) == pytest.approx(0.375)
+
+    def test_compute_fraction_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            A100_40GB.compute_fraction_of_slices(8)
+        with pytest.raises(ConfigurationError):
+            A100_40GB.compute_fraction_of_slices(-1)
+
+    def test_memory_fraction_of_slices(self):
+        assert A100_40GB.memory_fraction_of_slices(4) == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            A100_40GB.memory_fraction_of_slices(9)
+
+    def test_memory_slices_for_gpcs_uses_profile_table(self):
+        assert A100_40GB.memory_slices_for_gpcs(1) == 1
+        assert A100_40GB.memory_slices_for_gpcs(2) == 2
+        assert A100_40GB.memory_slices_for_gpcs(3) == 4
+        assert A100_40GB.memory_slices_for_gpcs(4) == 4
+        assert A100_40GB.memory_slices_for_gpcs(7) == 8
+
+
+class TestSpecValidation:
+    def _base_kwargs(self, **overrides):
+        kwargs = dict(
+            name="test",
+            n_gpcs=4,
+            sms_per_gpc=8,
+            mig_compute_slices=3,
+            mig_memory_slices=4,
+            peak_fp64_flops=1e12,
+            peak_fp32_flops=2e12,
+            mem_bandwidth=1e12,
+            mem_capacity=16 * 2**30,
+            llc_capacity=16 * 2**20,
+            sm_clock_hz=1e9,
+            max_warps_per_sm=64,
+            max_mps_clients=16,
+            gi_profiles={},
+        )
+        kwargs.update(overrides)
+        return kwargs
+
+    def test_valid_custom_spec(self):
+        spec = GpuSpec(**self._base_kwargs())
+        assert spec.total_sms == 32
+
+    def test_rejects_zero_gpcs(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec(**self._base_kwargs(n_gpcs=0))
+
+    def test_rejects_mig_slices_exceeding_gpcs(self):
+        with pytest.raises(ConfigurationError):
+            GpuSpec(**self._base_kwargs(mig_compute_slices=5))
+
+    def test_rejects_profile_wider_than_budget(self):
+        profiles = {"bad": SlicePlacement(4, 4, (0,))}
+        with pytest.raises(ConfigurationError):
+            GpuSpec(**self._base_kwargs(gi_profiles=profiles))
+
+    def test_rejects_profile_start_overflow(self):
+        profiles = {"bad": SlicePlacement(2, 2, (2,))}
+        with pytest.raises(ConfigurationError):
+            GpuSpec(**self._base_kwargs(gi_profiles=profiles))
+
+
+class TestA30Spec:
+    def test_smaller_part_is_consistent(self):
+        assert A30_24GB.n_gpcs == 4
+        assert A30_24GB.mig_compute_slices == 4
+        assert A30_24GB.memory_slices_for_gpcs(2) == 2

@@ -1,0 +1,172 @@
+"""Unit tests for MIG lifecycle rules and configuration enumeration."""
+
+import pytest
+
+from repro.errors import MigError
+from repro.gpu.arch import A100_40GB, A30_24GB
+from repro.gpu.mig import MigManager, enumerate_gi_combinations
+
+
+@pytest.fixture
+def mig():
+    m = MigManager(A100_40GB)
+    m.enable()
+    return m
+
+
+class TestLifecycle:
+    def test_create_requires_enable(self):
+        m = MigManager(A100_40GB)
+        with pytest.raises(MigError):
+            m.create_gi("4g.20gb")
+
+    def test_enable_disable_roundtrip(self, mig):
+        gi = mig.create_gi("7g.40gb")
+        assert gi.compute_slices == 7
+        mig.disable()
+        assert not mig.enabled
+        assert mig.gis == []
+
+    def test_reset_clears_instances(self, mig):
+        mig.create_gi("4g.20gb")
+        mig.reset()
+        assert mig.gis == []
+        assert mig.enabled
+
+    def test_reconfigure_blocked_while_busy(self, mig):
+        gi = mig.create_gi("4g.20gb")
+        ci = mig.create_ci(gi, 4)
+        ci.resident_jobs.append("job-1")
+        with pytest.raises(MigError):
+            mig.reset()
+        with pytest.raises(MigError):
+            mig.disable()
+        with pytest.raises(MigError):
+            mig.create_gi("3g.20gb")
+
+
+class TestGiPlacement:
+    def test_4_plus_3_layout(self, mig):
+        g4 = mig.create_gi("4g.20gb")
+        g3 = mig.create_gi("3g.20gb")
+        assert g4.start == 0 and g3.start == 4
+        assert mig.configuration() == ((0, 4), (4, 3))
+
+    def test_unknown_profile(self, mig):
+        with pytest.raises(MigError, match="unknown GI profile"):
+            mig.create_gi("5g.25gb")
+
+    def test_paper_unsupported_splits_are_impossible(self, mig):
+        # The paper notes 2+5 and 1+6 GPC splits are unsupported: no 5g
+        # or 6g profile exists.
+        with pytest.raises(MigError):
+            mig.profile_for_slices(5)
+        with pytest.raises(MigError):
+            mig.profile_for_slices(6)
+
+    def test_overlap_rejected(self, mig):
+        mig.create_gi("4g.20gb", start=0)
+        with pytest.raises(MigError):
+            mig.create_gi("4g.20gb", start=0)
+
+    def test_illegal_start_rejected(self, mig):
+        with pytest.raises(MigError, match="cannot start"):
+            mig.create_gi("4g.20gb", start=1)
+
+    def test_memory_budget_blocks_third_instance(self, mig):
+        # Two 3g.20gb instances consume all 8 memory slices; the free
+        # compute slice cannot host a 1g.5gb.
+        mig.create_gi("3g.20gb", start=0)
+        mig.create_gi("3g.20gb", start=4)
+        with pytest.raises(MigError, match="memory"):
+            mig.create_gi("1g.5gb")
+
+    def test_auto_placement_skips_occupied(self, mig):
+        mig.create_gi("1g.5gb", start=0)
+        gi = mig.create_gi("1g.5gb")
+        assert gi.start == 1
+
+    def test_destroy_frees_slices(self, mig):
+        gi = mig.create_gi("7g.40gb")
+        mig.destroy_gi(gi)
+        assert mig.create_gi("4g.20gb").compute_slices == 4
+
+    def test_apply_layout(self, mig):
+        gis = mig.apply_layout((4, 3))
+        assert [g.compute_slices for g in gis] == [4, 3]
+        gis = mig.apply_layout((2, 2, 2, 1))
+        assert sum(g.compute_slices for g in gis) == 7
+
+
+class TestComputeInstances:
+    def test_ci_sizes_within_gi(self, mig):
+        gi = mig.create_gi("7g.40gb")
+        mig.create_ci(gi, 3)
+        mig.create_ci(gi, 4)
+        assert gi.unallocated_slices() == 0
+
+    def test_ci_overflow_rejected(self, mig):
+        gi = mig.create_gi("3g.20gb")
+        with pytest.raises(MigError):
+            mig.create_ci(gi, 4)
+
+    def test_unsupported_ci_size(self, mig):
+        gi = mig.create_gi("7g.40gb")
+        with pytest.raises(MigError):
+            mig.create_ci(gi, 5)
+
+    def test_destroy_busy_ci_rejected(self, mig):
+        gi = mig.create_gi("4g.20gb")
+        ci = mig.create_ci(gi, 4)
+        ci.resident_jobs.append("j")
+        with pytest.raises(MigError):
+            mig.destroy_ci(gi, ci)
+
+
+class TestEnumeration:
+    def test_a100_has_exactly_19_configurations(self):
+        combos = enumerate_gi_combinations(A100_40GB)
+        assert len(combos) == 19
+
+    def test_full_device_config_present(self):
+        combos = enumerate_gi_combinations(A100_40GB)
+        assert ((0, 7),) in combos
+
+    def test_4_plus_3_present(self):
+        combos = enumerate_gi_combinations(A100_40GB)
+        assert ((0, 4), (4, 3)) in combos
+
+    def test_3_plus_3_is_maximal_due_to_memory(self):
+        # 3g+3g leaves one compute slice that the memory budget strands.
+        combos = enumerate_gi_combinations(A100_40GB)
+        assert ((0, 3), (4, 3)) in combos
+
+    def test_no_configuration_overflows_slices(self):
+        for cfg in enumerate_gi_combinations(A100_40GB):
+            assert sum(w for _, w in cfg) <= 7
+            mem = sum(
+                A100_40GB.memory_slices_for_gpcs(w) for _, w in cfg
+            )
+            assert mem <= 8
+
+    def test_non_maximal_superset(self):
+        all_cfgs = enumerate_gi_combinations(A100_40GB, maximal_only=False)
+        maximal = enumerate_gi_combinations(A100_40GB, maximal_only=True)
+        assert set(maximal) <= set(all_cfgs)
+        assert ((0, 4),) in all_cfgs  # partial config only in superset
+
+    def test_a30_enumeration_is_consistent(self):
+        combos = enumerate_gi_combinations(A30_24GB)
+        assert combos  # non-empty
+        for cfg in combos:
+            assert sum(w for _, w in cfg) <= 4
+
+    def test_configurations_replayable_on_manager(self):
+        # every enumerated configuration must be constructible
+        for cfg in enumerate_gi_combinations(A100_40GB):
+            m = MigManager(A100_40GB)
+            m.enable()
+            for start, width in cfg:
+                prof = m.profile_for_slices(width)
+                m.create_gi(prof.name, start=start)
+            assert m.configuration() == cfg

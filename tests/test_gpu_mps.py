@@ -1,0 +1,107 @@
+"""Unit tests for the MPS daemon model."""
+
+import pytest
+
+from repro.errors import MpsError
+from repro.gpu.mps import DEFAULT_MODE, MpsClient, MpsControl
+
+
+class TestMpsClient:
+    def test_share(self):
+        c = MpsClient("j1", 40.0)
+        assert c.compute_share == pytest.approx(0.4)
+
+    @pytest.mark.parametrize("pct", [0.0, -5.0, 101.0])
+    def test_invalid_percentage(self, pct):
+        with pytest.raises(MpsError):
+            MpsClient("j1", pct)
+
+
+class TestPartitionedMode:
+    def test_connect_and_fraction(self):
+        mps = MpsControl()
+        mps.connect("a", 30.0)
+        mps.connect("b", 70.0)
+        assert mps.device_compute_fraction("a") == pytest.approx(0.3)
+        assert mps.device_compute_fraction("b") == pytest.approx(0.7)
+
+    def test_percentage_required(self):
+        mps = MpsControl()
+        with pytest.raises(MpsError, match="requires an active thread"):
+            mps.connect("a")
+
+    def test_oversubscription_rejected(self):
+        mps = MpsControl()
+        mps.connect("a", 60.0)
+        with pytest.raises(MpsError, match="oversubscription"):
+            mps.connect("b", 50.0)
+
+    def test_duplicate_client_rejected(self):
+        mps = MpsControl()
+        mps.connect("a", 10.0)
+        with pytest.raises(MpsError):
+            mps.connect("a", 10.0)
+
+    def test_client_limit(self):
+        mps = MpsControl(max_clients=2)
+        mps.connect("a", 10.0)
+        mps.connect("b", 10.0)
+        with pytest.raises(MpsError, match="limit"):
+            mps.connect("c", 10.0)
+
+    def test_disconnect_frees_budget(self):
+        mps = MpsControl()
+        mps.connect("a", 90.0)
+        mps.disconnect("a")
+        mps.connect("b", 90.0)  # no oversubscription now
+        assert mps.total_allocated_pct == pytest.approx(90.0)
+
+    def test_disconnect_unknown(self):
+        mps = MpsControl()
+        with pytest.raises(MpsError):
+            mps.disconnect("ghost")
+
+    def test_scoped_fraction_composes_with_ci(self):
+        # 50% client inside a 4-slice CI of an 8-GPC device = 0.25 device
+        mps = MpsControl(scope_compute_fraction=0.5)
+        mps.connect("a", 50.0)
+        assert mps.device_compute_fraction("a") == pytest.approx(0.25)
+
+    def test_quit_clears(self):
+        mps = MpsControl()
+        mps.connect("a", 10.0)
+        mps.quit()
+        assert mps.clients == []
+
+
+class TestDefaultMode:
+    def test_clients_time_share(self):
+        mps = MpsControl(default_mode=True)
+        mps.connect("a")
+        assert mps.device_compute_fraction("a") == pytest.approx(1.0)
+        mps.connect("b")
+        assert mps.device_compute_fraction("a") == pytest.approx(0.5)
+        mps.connect("c")
+        assert mps.device_compute_fraction("a") == pytest.approx(1 / 3)
+
+    def test_percentage_ignored(self):
+        mps = MpsControl(default_mode=True)
+        c = mps.connect("a", 10.0)
+        assert c.active_thread_pct == DEFAULT_MODE
+
+    def test_unknown_job_fraction(self):
+        mps = MpsControl(default_mode=True)
+        with pytest.raises(MpsError):
+            mps.device_compute_fraction("ghost")
+
+
+class TestControlValidation:
+    def test_bad_scope(self):
+        with pytest.raises(MpsError):
+            MpsControl(scope_compute_fraction=0.0)
+        with pytest.raises(MpsError):
+            MpsControl(scope_compute_fraction=1.5)
+
+    def test_bad_client_limit(self):
+        with pytest.raises(MpsError):
+            MpsControl(max_clients=0)

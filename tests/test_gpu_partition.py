@@ -1,0 +1,159 @@
+"""Unit tests for partition trees and the paper's bracket notation."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.gpu.arch import A100_40GB
+from repro.gpu.partition import (
+    CiNode,
+    GiNode,
+    MpsShare,
+    PartitionTree,
+    format_partition,
+    parse_partition,
+)
+
+
+def mps_pair(a=0.3, b=0.7) -> PartitionTree:
+    return PartitionTree(
+        gis=(GiNode(1.0, (CiNode(1.0, (MpsShare(a), MpsShare(b))),)),),
+        mig_enabled=False,
+    )
+
+
+class TestNodes:
+    def test_share_bounds(self):
+        with pytest.raises(PartitionError):
+            MpsShare(0.0)
+        with pytest.raises(PartitionError):
+            MpsShare(1.2)
+
+    def test_ci_rejects_oversubscribed_shares(self):
+        with pytest.raises(PartitionError):
+            CiNode(0.5, (MpsShare(0.8), MpsShare(0.5)))
+
+    def test_ci_requires_shares(self):
+        with pytest.raises(PartitionError):
+            CiNode(0.5, ())
+
+    def test_gi_requires_cis(self):
+        with pytest.raises(PartitionError):
+            GiNode(0.5, ())
+
+    def test_tree_requires_gis(self):
+        with pytest.raises(PartitionError):
+            PartitionTree(gis=())
+
+    def test_non_mig_single_gi(self):
+        with pytest.raises(PartitionError):
+            PartitionTree(
+                gis=(GiNode(0.5, (CiNode(0.5),)), GiNode(0.5, (CiNode(0.5),))),
+                mig_enabled=False,
+            )
+
+
+class TestSlots:
+    def test_slot_fractions_compose(self):
+        tree = parse_partition("[(0.1)+(0.9),{0.5},0.5m]+[{0.375},0.5m]")
+        slots = tree.slots()
+        assert len(slots) == 3
+        assert slots[0].compute_fraction == pytest.approx(0.05)
+        assert slots[1].compute_fraction == pytest.approx(0.45)
+        assert slots[2].compute_fraction == pytest.approx(0.375)
+        assert slots[0].mem_fraction == pytest.approx(0.5)
+
+    def test_mem_domains_follow_gis(self):
+        tree = parse_partition("[(0.1)+(0.9),{0.5},0.5m]+[{0.375},0.5m]")
+        assert tree.mem_domains() == [[0, 1], [2]]
+
+    def test_mps_only_single_domain(self):
+        tree = mps_pair()
+        assert tree.mem_domains() == [[0, 1]]
+        assert tree.n_slots == 2
+
+
+class TestNotation:
+    PAPER_STRINGS = [
+        "[(0.1)+(0.9),1m]",
+        "[(0.2)+(0.8),1m]",
+        "[(0.5)+(0.5),1m]",
+        "[(0.34)+(0.33)+(0.33),1m]",
+        "[(0.25)+(0.25)+(0.25)+(0.25),1m]",
+        "[{0.375}+{0.5},1m]",
+        "[{0.375},0.5m]+[{0.5},0.5m]",
+        "[(0.1)+(0.9),{0.5},0.5m]+[{0.375},0.5m]",
+        "[(0.5)+(0.5),{0.375},0.5m]+[(0.1)+(0.9),{0.5},0.5m]",
+    ]
+
+    @pytest.mark.parametrize("text", PAPER_STRINGS)
+    def test_paper_strings_parse_and_validate(self, text):
+        tree = parse_partition(text)
+        tree.validate(A100_40GB)
+
+    @pytest.mark.parametrize("text", PAPER_STRINGS)
+    def test_roundtrip(self, text):
+        tree = parse_partition(text)
+        again = parse_partition(format_partition(tree))
+        assert again == tree
+
+    def test_mig_inference(self):
+        assert parse_partition("[(0.5)+(0.5),1m]").mig_enabled is False
+        assert parse_partition("[{0.375}+{0.5},1m]").mig_enabled is True
+        assert (
+            parse_partition("[{0.375},0.5m]+[{0.5},0.5m]").mig_enabled is True
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError):
+            parse_partition("")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(PartitionError):
+            parse_partition("[hello,1m]")
+
+    def test_missing_memory_field(self):
+        with pytest.raises(PartitionError, match="memory"):
+            parse_partition("[(0.5)+(0.5)]")
+
+    def test_double_memory_field(self):
+        with pytest.raises(PartitionError, match="memory"):
+            parse_partition("[(0.5)+(0.5),1m,0.5m]")
+
+
+class TestValidation:
+    def test_non_gpc_aligned_ci_rejected(self):
+        tree = PartitionTree(
+            gis=(GiNode(0.5, (CiNode(0.3),)),), mig_enabled=True
+        )
+        with pytest.raises(PartitionError, match="GPC"):
+            tree.validate(A100_40GB)
+
+    def test_slice_budget_enforced(self):
+        # two 4-GPC GIs = 8 slices > 7 available under MIG
+        tree = PartitionTree(
+            gis=(
+                GiNode(0.5, (CiNode(0.5),)),
+                GiNode(0.5, (CiNode(0.5),)),
+            ),
+            mig_enabled=True,
+        )
+        with pytest.raises(PartitionError):
+            tree.validate(A100_40GB)
+
+    def test_memory_must_match_profile(self):
+        # a 3-GPC GI owns 4 memory slices (0.5m), not 3 (0.375m)
+        tree = PartitionTree(
+            gis=(GiNode(0.375, (CiNode(0.375),)),), mig_enabled=True
+        )
+        with pytest.raises(PartitionError, match="memory"):
+            tree.validate(A100_40GB)
+
+    def test_non_mig_must_own_everything(self):
+        tree = PartitionTree(
+            gis=(GiNode(1.0, (CiNode(0.5),)),), mig_enabled=False
+        )
+        with pytest.raises(PartitionError):
+            tree.validate(A100_40GB)
+
+    def test_valid_mps_pair(self):
+        mps_pair().validate(A100_40GB)

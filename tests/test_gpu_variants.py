@@ -1,0 +1,140 @@
+"""Unit tests for variant enumeration and the 29-action catalog."""
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.gpu.arch import A100_40GB
+from repro.gpu.variants import (
+    PartitionVariant,
+    action_catalog,
+    decile_compositions,
+    enumerate_hierarchical,
+    enumerate_mig_only,
+    enumerate_mps_only,
+    variant_counts,
+)
+
+
+class TestDecileCompositions:
+    def test_pairs(self):
+        assert decile_compositions(2) == (
+            (1, 9),
+            (2, 8),
+            (3, 7),
+            (4, 6),
+            (5, 5),
+        )
+
+    def test_triples_count(self):
+        assert len(decile_compositions(3)) == 8
+
+    def test_quads_count(self):
+        assert len(decile_compositions(4)) == 9
+
+    def test_all_sum_to_ten(self):
+        for n in (2, 3, 4, 5):
+            for comp in decile_compositions(n):
+                assert sum(comp) == 10
+                assert all(d >= 1 for d in comp)
+                assert list(comp) == sorted(comp)
+
+
+class TestMpsOnly:
+    def test_table7_c2_count(self):
+        # Table VII row C=2: (0.1)+(0.9) ... (0.5)+(0.5)
+        variants = enumerate_mps_only(2)
+        assert len(variants) == 5
+        labels = {v.label for v in variants}
+        assert "[(0.1)+(0.9),1m]" in labels
+        assert "[(0.5)+(0.5),1m]" in labels
+
+    def test_all_validate(self):
+        for c in (2, 3, 4):
+            for v in enumerate_mps_only(c):
+                v.tree.validate(A100_40GB)
+                assert v.concurrency == c
+                assert v.tree.n_slots == c
+
+    def test_uses_full_device(self):
+        for v in enumerate_mps_only(3):
+            assert not v.tree.mig_enabled
+            assert v.tree.total_mem_fraction == pytest.approx(1.0)
+
+    def test_rejects_zero_concurrency(self):
+        with pytest.raises(PartitionError):
+            enumerate_mps_only(0)
+
+
+class TestMigOnly:
+    def test_pair_options_include_paper_variants(self):
+        variants = enumerate_mig_only(A100_40GB, 2)
+        kinds = {v.kind for v in variants}
+        assert kinds == {"mig_shared", "mig_private"}
+        # the 3+4 shared split of Fig. 2
+        shared = [v for v in variants if v.kind == "mig_shared"]
+        assert any(
+            sorted(
+                round(ci.compute_fraction * 8)
+                for gi in v.tree.gis
+                for ci in gi.cis
+            )
+            == [3, 4]
+            for v in shared
+        )
+
+    def test_all_validate(self):
+        for c in (2, 3):
+            for v in enumerate_mig_only(A100_40GB, c):
+                v.tree.validate(A100_40GB)
+                assert v.tree.n_slots == c
+
+
+class TestHierarchical:
+    @pytest.mark.parametrize("c", [2, 3, 4])
+    def test_enumeration_validates(self, c):
+        variants = enumerate_hierarchical(A100_40GB, c)
+        assert variants
+        for v in variants:
+            v.tree.validate(A100_40GB)
+            assert v.tree.n_slots == c
+
+    def test_counts_monotone_in_c(self):
+        counts = variant_counts(A100_40GB, 4)
+        assert set(counts) == {2, 3, 4}
+        assert counts[2] < counts[3] < counts[4]
+
+    def test_unsupported_concurrency(self):
+        with pytest.raises(PartitionError):
+            enumerate_hierarchical(A100_40GB, 7)
+
+
+class TestActionCatalog:
+    def test_exactly_29_actions(self):
+        # Table VI: advantage head width A = 29
+        assert len(action_catalog(A100_40GB)) == 29
+
+    def test_concurrency_coverage(self):
+        catalog = action_catalog(A100_40GB)
+        by_c = {}
+        for v in catalog:
+            by_c.setdefault(v.concurrency, []).append(v)
+        assert set(by_c) == {2, 3, 4}
+
+    def test_all_kinds_present(self):
+        kinds = {v.kind for v in action_catalog(A100_40GB)}
+        assert "mps_only" in kinds
+        assert "hierarchical" in kinds
+        assert {"mig_shared", "mig_private"} <= kinds
+
+    def test_labels_unique(self):
+        labels = [v.label for v in action_catalog(A100_40GB)]
+        assert len(labels) == len(set(labels))
+
+    def test_variant_slot_consistency(self):
+        with pytest.raises(PartitionError):
+            PartitionVariant(
+                tree=enumerate_mps_only(2)[0].tree,
+                kind="mps_only",
+                concurrency=3,
+                label="broken",
+            )

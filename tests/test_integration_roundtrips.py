@@ -1,0 +1,106 @@
+"""Cross-module integration round-trips.
+
+These tests pin the contracts between subsystems: the partition
+notation must cover every action-catalog entry, a checkpointed agent
+must schedule identically to the original, and exported evaluation
+results must survive persistence.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.actions import ActionCatalog
+from repro.core.optimizer import OnlineOptimizer
+from repro.gpu.arch import A100_40GB
+from repro.gpu.partition import format_partition, parse_partition
+from repro.rl.checkpoint import load_agent, save_agent
+from repro.workloads.generator import MixCategory, QueueGenerator
+
+
+class TestNotationCoversCatalog:
+    def test_every_action_label_parses_to_its_tree(self, catalog):
+        """The bracket notation round-trips the full action space."""
+        for variant in catalog.variants:
+            parsed = parse_partition(format_partition(variant.tree))
+            assert parsed == variant.tree, variant.label
+            parsed.validate(A100_40GB)
+
+    def test_every_action_is_realizable_on_the_device(self, catalog):
+        """The driver state machines accept every catalog partition."""
+        from repro.gpu.device import SimulatedGpu
+
+        device = SimulatedGpu(A100_40GB)
+        for variant in catalog.variants:
+            daemons = device.configure(variant.tree)
+            assert len(daemons) >= 1, variant.label
+
+
+class TestCheckpointedSchedulingIdentity:
+    def test_restored_agent_schedules_identically(self, tiny_training, tmp_path):
+        trainer, result = tiny_training
+        from repro.core.evaluation import profile_all_benchmarks
+
+        repo = result.repository.copy()
+        profile_all_benchmarks(repo)
+        window = (
+            QueueGenerator(seed=31, training_only=True)
+            .queue(MixCategory.BALANCED, w=trainer.window_size)
+            .window(trainer.window_size)
+        )
+
+        path = tmp_path / "agent.npz"
+        save_agent(result.agent, path)
+        restored = load_agent(path)
+
+        def plan(agent):
+            opt = OnlineOptimizer(
+                agent, repo, ActionCatalog(c_max=trainer.c_max),
+                trainer.window_size,
+            )
+            schedule = opt.optimize(list(window)).schedule
+            return [
+                (
+                    tuple(j.benchmark_name for j in g.jobs),
+                    format_partition(g.partition),
+                )
+                for g in schedule.groups
+            ]
+
+        assert plan(result.agent) == plan(restored)
+
+
+class TestDeterministicEndToEnd:
+    def test_same_seed_same_training_trajectory(self):
+        from repro.core.trainer import OfflineTrainer
+
+        def run():
+            trainer = OfflineTrainer(
+                window_size=4,
+                c_max=3,
+                n_training_queues=2,
+                seed=13,
+                dqn_overrides={
+                    "hidden": (32, 16),
+                    "warmup_transitions": 16,
+                    "batch_size": 8,
+                },
+            )
+            result = trainer.train(episodes=8)
+            return result.episode_returns
+
+        assert run() == pytest.approx(run())
+
+    def test_profiles_independent_of_device_history(self):
+        """A profile must not depend on what ran before on the device."""
+        from repro.gpu.device import SimulatedGpu
+        from repro.profiling.profiler import NsightProfiler
+        from repro.workloads.jobs import Job
+
+        fresh = NsightProfiler(SimulatedGpu(), noise=0.02)
+        busy_device = SimulatedGpu()
+        busy_device.run_solo(Job.submit("lavaMD"))
+        busy = NsightProfiler(busy_device, noise=0.02)
+        a = fresh.profile(Job.submit("stream"))
+        b = busy.profile(Job.submit("stream"))
+        assert a.counters == b.counters
+        assert a.solo_time == pytest.approx(b.solo_time)

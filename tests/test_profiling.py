@@ -1,0 +1,171 @@
+"""Unit tests for counters, profiler, repository, classification."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiling.classify import classify, classify_job
+from repro.profiling.counters import COUNTER_NAMES, HardwareCounters
+from repro.profiling.profiler import JobProfile, NsightProfiler
+from repro.profiling.repository import ProfileRepository
+from repro.workloads.jobs import Job
+from repro.workloads.suite import BENCHMARKS, PAPER_CLASSES
+
+
+def make_counters(**overrides):
+    base = dict(
+        duration=10.0,
+        memory_pct=50.0,
+        elapsed_cycles=1e10,
+        grid_size=1024,
+        registers_per_thread=32,
+        dram_throughput=5e11,
+        l1_tex_throughput=2e12,
+        l2_throughput=1e12,
+        sm_active_cycles=5e9,
+        compute_sm_pct=40.0,
+        waves_per_sm=8.0,
+        achieved_active_warps_per_sm=32.0,
+    )
+    base.update(overrides)
+    return HardwareCounters(**base)
+
+
+class TestCounters:
+    def test_twelve_counters(self):
+        # Table III lists 12 statistics; they define f in W x (f + 5)
+        assert len(COUNTER_NAMES) == 12
+
+    def test_vector_roundtrip(self):
+        c = make_counters()
+        assert HardwareCounters.from_vector(c.as_vector()) == c
+
+    def test_dict_roundtrip(self):
+        c = make_counters()
+        assert HardwareCounters.from_dict(c.to_dict()) == c
+
+    def test_vector_length_checked(self):
+        with pytest.raises(ProfileError):
+            HardwareCounters.from_vector(np.zeros(5))
+
+    def test_percentage_bounds(self):
+        with pytest.raises(ProfileError):
+            make_counters(memory_pct=120.0)
+        with pytest.raises(ProfileError):
+            make_counters(compute_sm_pct=-1.0)
+
+    def test_duration_positive(self):
+        with pytest.raises(ProfileError):
+            make_counters(duration=0.0)
+
+    def test_nonnegative_fields(self):
+        with pytest.raises(ProfileError):
+            make_counters(waves_per_sm=-1.0)
+
+
+class TestProfiler:
+    def test_profile_contains_both_runs(self, device, profiler):
+        p = profiler.profile(Job.submit("lud_B"))
+        assert p.solo_time > 0
+        assert p.one_gpc_time > p.solo_time  # MI program scales
+
+    def test_noise_is_deterministic_per_program(self, device):
+        prof = NsightProfiler(device, noise=0.05)
+        a = prof.profile(Job.submit("stream"))
+        b = prof.profile(Job.submit("stream"))
+        assert a.counters.dram_throughput == pytest.approx(
+            b.counters.dram_throughput
+        )
+
+    def test_zero_noise_matches_model(self, device):
+        prof = NsightProfiler(device, noise=0.0)
+        p = prof.profile(Job.submit("stream"))
+        m = BENCHMARKS["stream"]
+        assert p.counters.duration == pytest.approx(m.solo_time)
+        assert p.counters.memory_pct == pytest.approx(
+            100 * m.avg_dram_utilization
+        )
+
+    def test_noise_bounds(self, device):
+        with pytest.raises(ValueError):
+            NsightProfiler(device, noise=0.5)
+
+    def test_profile_serialization(self, device, profiler):
+        p = profiler.profile(Job.submit("kmeans"))
+        assert JobProfile.from_dict(p.to_dict()) == p
+
+
+class TestRepository:
+    def test_store_and_lookup(self, profiler):
+        repo = ProfileRepository()
+        job = Job.submit("cfd")
+        assert not repo.has(job)
+        repo.store(job, profiler.profile(job))
+        assert repo.has(job)
+        assert job in repo
+        assert repo.lookup(job).benchmark_name == "cfd"
+
+    def test_key_shared_across_submissions(self, profiler):
+        repo = ProfileRepository()
+        first = Job.submit("cfd")
+        repo.store(first, profiler.profile(first))
+        second = Job.submit("cfd")  # new submission, same binary
+        assert repo.has(second)
+
+    def test_missing_profile_raises(self):
+        repo = ProfileRepository()
+        with pytest.raises(ProfileError, match="run it exclusively"):
+            repo.lookup(Job.submit("cfd"))
+        assert repo.get(Job.submit("cfd")) is None
+
+    def test_persistence_roundtrip(self, profiler, tmp_path):
+        repo = ProfileRepository()
+        for name in ("stream", "kmeans"):
+            job = Job.submit(name)
+            repo.store(job, profiler.profile(job))
+        path = tmp_path / "profiles.json"
+        repo.save(path)
+        loaded = ProfileRepository.load(path)
+        assert len(loaded) == 2
+        assert loaded.lookup(Job.submit("stream")).benchmark_name == "stream"
+
+    def test_malformed_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ProfileError):
+            ProfileRepository.load(path)
+
+
+class TestClassification:
+    def test_table4_reproduced_exactly(self, device):
+        """The headline calibration requirement: all 27 programs land in
+        their Table IV class."""
+        profiler = NsightProfiler(device, noise=0.02)
+        for name in BENCHMARKS:
+            cls, _ = classify_job(profiler, Job.submit(name))
+            assert cls == PAPER_CLASSES[name], name
+
+    def test_us_rule_precedes_ratio_rule(self, profiler):
+        # kmeans has a high compute/memory ratio but is US by rule 1
+        p = profiler.profile(Job.submit("kmeans"))
+        assert p.counters.compute_sm_pct / p.counters.memory_pct > 0.8
+        assert classify(p) == "US"
+
+    def test_ratio_rule_boundary(self, device, profiler):
+        p = profiler.profile(Job.submit("cfd"))
+        assert classify(p) == "MI"
+        assert (
+            p.counters.compute_sm_pct / p.counters.memory_pct < 0.8
+        )
+
+    def test_invalid_profile(self, profiler):
+        p = profiler.profile(Job.submit("cfd"))
+        broken = JobProfile(
+            benchmark_name=p.benchmark_name,
+            binary_path=p.binary_path,
+            counters=p.counters,
+            solo_time=0.0,
+            one_gpc_time=p.one_gpc_time,
+        )
+        with pytest.raises(ProfileError):
+            classify(broken)

@@ -1,0 +1,167 @@
+"""Property-based tests for partitions, notation, and MIG invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.errors import MigError, PartitionError
+from repro.gpu.arch import A100_40GB
+from repro.gpu.mig import MigManager
+from repro.gpu.partition import (
+    CiNode,
+    GiNode,
+    MpsShare,
+    PartitionTree,
+    format_partition,
+    parse_partition,
+)
+
+# -- strategies --------------------------------------------------------------
+
+deciles = st.integers(min_value=1, max_value=9)
+
+
+@st.composite
+def mps_share_lists(draw, max_shares=4):
+    """Decile share lists summing to <= 10 (valid MPS groups)."""
+    n = draw(st.integers(min_value=1, max_value=max_shares))
+    shares = []
+    budget = 10
+    for i in range(n):
+        hi = budget - (n - i - 1)
+        if hi < 1:
+            return None
+        d = draw(st.integers(min_value=1, max_value=hi))
+        shares.append(d)
+        budget -= d
+    return shares
+
+
+@st.composite
+def mps_trees(draw):
+    shares = draw(mps_share_lists())
+    if shares is None:
+        return None
+    return PartitionTree(
+        gis=(
+            GiNode(
+                1.0,
+                (CiNode(1.0, tuple(MpsShare(s / 10.0) for s in shares)),),
+            ),
+        ),
+        mig_enabled=False,
+    )
+
+
+@st.composite
+def mig_trees(draw):
+    """Valid MIG partitions built from the 1/2/3/4/7-slice profiles."""
+    layouts = [
+        (7,),
+        (4, 3),
+        (4, 2, 1),
+        (4, 1, 1, 1),
+        (2, 2, 3),
+        (3, 3),
+        (2, 2, 2, 1),
+    ]
+    layout = draw(st.sampled_from(layouts))
+    gis = []
+    for gpcs in layout:
+        mem = A100_40GB.memory_slices_for_gpcs(gpcs) / 8
+        shares_n = draw(st.integers(min_value=1, max_value=2))
+        if shares_n == 1:
+            shares = (MpsShare(1.0),)
+        else:
+            d = draw(deciles)
+            shares = (MpsShare(d / 10.0), MpsShare((10 - d) / 10.0))
+        gis.append(GiNode(mem, (CiNode(gpcs / 8, shares),)))
+    return PartitionTree(gis=tuple(gis), mig_enabled=True)
+
+
+# -- properties --------------------------------------------------------------
+
+class TestNotationProperties:
+    @given(mps_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_mps_roundtrip(self, tree):
+        if tree is None:
+            return
+        assert parse_partition(format_partition(tree)) == tree
+
+    @given(mig_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_mig_roundtrip_and_validity(self, tree):
+        text = format_partition(tree)
+        again = parse_partition(text)
+        assert again == tree
+        again.validate(A100_40GB)
+
+    @given(mig_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_slot_fractions_bounded(self, tree):
+        slots = tree.slots()
+        assert len(slots) == tree.n_slots
+        total_compute = sum(s.compute_fraction for s in slots)
+        assert total_compute <= 7 / 8 + 1e-9
+        for s in slots:
+            assert 0 < s.compute_fraction <= 1
+            assert 0 < s.mem_fraction <= 1
+
+    @given(mig_trees())
+    @settings(max_examples=60, deadline=None)
+    def test_mem_domains_partition_slots(self, tree):
+        domains = tree.mem_domains()
+        flat = [i for d in domains for i in d]
+        assert sorted(flat) == list(range(tree.n_slots))
+
+
+class TestMigManagerProperties:
+    @given(
+        st.lists(
+            st.sampled_from(["1g.5gb", "2g.10gb", "3g.20gb", "4g.20gb"]),
+            min_size=1,
+            max_size=7,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_gpc_and_memory_conservation(self, profile_names):
+        """No sequence of create calls can oversubscribe slices."""
+        m = MigManager(A100_40GB)
+        m.enable()
+        for name in profile_names:
+            try:
+                m.create_gi(name)
+            except MigError:
+                pass
+        used_compute = sum(g.compute_slices for g in m.gis)
+        used_memory = sum(g.memory_slices for g in m.gis)
+        assert used_compute <= 7
+        assert used_memory <= 8
+        # placements are disjoint
+        occupied = []
+        for g in m.gis:
+            occupied.extend(range(g.start, g.end))
+        assert len(occupied) == len(set(occupied))
+
+    @given(
+        st.lists(
+            st.sampled_from(["1g.5gb", "2g.10gb", "3g.20gb", "4g.20gb"]),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_destroy_restores_capacity(self, profile_names):
+        m = MigManager(A100_40GB)
+        m.enable()
+        created = []
+        for name in profile_names:
+            try:
+                created.append(m.create_gi(name))
+            except MigError:
+                pass
+        for gi in created:
+            m.destroy_gi(gi)
+        # after destroying everything a 7g must fit again
+        assert m.create_gi("7g.40gb").compute_slices == 7

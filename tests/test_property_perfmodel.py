@@ -1,0 +1,162 @@
+"""Property-based tests for the performance model invariants."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro.gpu.partition import CiNode, GiNode, MpsShare, PartitionTree
+from repro.perfmodel.corun import simulate_corun, solo_run_time
+from repro.perfmodel.interference import solve_domain
+from repro.workloads.kernels import KernelModel
+from repro.workloads.suite import BENCHMARKS
+
+bench_names = st.sampled_from(sorted(BENCHMARKS))
+
+
+@st.composite
+def kernels(draw):
+    return KernelModel(
+        name="prop",
+        t_compute=draw(st.floats(min_value=0.5, max_value=60.0)),
+        t_memory=draw(st.floats(min_value=0.1, max_value=60.0)),
+        parallel_fraction=draw(st.floats(min_value=0.0, max_value=0.98)),
+        bw_demand=draw(st.floats(min_value=0.05, max_value=1.0)),
+        interference_sensitivity=draw(st.floats(min_value=0.0, max_value=0.8)),
+        saturation_fraction=draw(st.floats(min_value=0.1, max_value=1.0)),
+        overlap=draw(st.floats(min_value=0.0, max_value=1.0)),
+    )
+
+
+@st.composite
+def mps_pair_trees(draw):
+    d = draw(st.integers(min_value=1, max_value=9))
+    return PartitionTree(
+        gis=(
+            GiNode(
+                1.0,
+                (CiNode(1.0, (MpsShare(d / 10.0), MpsShare(1 - d / 10.0))),),
+            ),
+        ),
+        mig_enabled=False,
+    )
+
+
+class TestKernelProperties:
+    @given(kernels(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=100, deadline=None)
+    def test_partial_allocation_never_faster_than_solo(self, m, beta):
+        assert m.execution_time(beta, 1.0) >= m.solo_time - 1e-9
+
+    @given(
+        kernels(),
+        st.floats(min_value=0.05, max_value=0.5),
+        st.floats(min_value=0.05, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_compute_monotonicity(self, m, b1, delta):
+        b2 = b1 + delta
+        assert m.execution_time(b1, 1.0) >= m.execution_time(b2, 1.0) - 1e-9
+
+    @given(
+        kernels(),
+        st.floats(min_value=0.1, max_value=0.5),
+        st.floats(min_value=0.1, max_value=0.5),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bandwidth_monotonicity(self, m, a1, delta):
+        a2 = a1 + delta
+        assert m.execution_time(1.0, a1) >= m.execution_time(1.0, a2) - 1e-9
+
+    @given(kernels(), st.floats(min_value=0.0, max_value=3.0))
+    @settings(max_examples=100, deadline=None)
+    def test_pressure_never_helps(self, m, pressure):
+        assert (
+            m.execution_time(1.0, 1.0, pressure)
+            >= m.execution_time(1.0, 1.0, 0.0) - 1e-9
+        )
+
+
+class TestDomainProperties:
+    @given(
+        st.lists(bench_names, min_size=1, max_size=4),
+        st.floats(min_value=0.25, max_value=1.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_shares_within_capacity(self, names, alpha):
+        models = [BENCHMARKS[n] for n in names]
+        betas = [1.0 / len(models)] * len(models)
+        shares = solve_domain(models, betas, alpha)
+        demand_total = sum(s.effective_demand for s in shares)
+        if demand_total > alpha:
+            assert sum(s.available_bw for s in shares) <= alpha + 1e-9
+        for s in shares:
+            assert 0 < s.available_bw <= alpha + 1e-9
+            assert s.pressure >= 0
+
+
+class TestCoRunProperties:
+    @given(bench_names, bench_names, mps_pair_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_makespan_bounds(self, a, b, tree):
+        models = [BENCHMARKS[a], BENCHMARKS[b]]
+        res = simulate_corun(models, tree)
+        # makespan at least the best member's solo time / its share cap
+        assert res.makespan >= max(m.solo_time for m in models) - 1e-9
+        assert res.makespan == pytest.approx(max(res.finish_times))
+        assert all(f > 0 for f in res.finish_times)
+
+    @given(bench_names, bench_names, mps_pair_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_slowdowns_at_least_one(self, a, b, tree):
+        models = [BENCHMARKS[a], BENCHMARKS[b]]
+        res = simulate_corun(models, tree)
+        assert all(s >= 1.0 - 1e-9 for s in res.slowdowns)
+
+    @given(bench_names, bench_names, mps_pair_trees())
+    @settings(max_examples=80, deadline=None)
+    def test_throughput_gain_consistency(self, a, b, tree):
+        models = [BENCHMARKS[a], BENCHMARKS[b]]
+        res = simulate_corun(models, tree)
+        assert res.throughput_gain == pytest.approx(
+            solo_run_time(models) / res.makespan
+        )
+        assert res.beats_time_sharing() == (
+            res.makespan <= res.solo_run_time + 1e-9
+        )
+
+
+class TestAssignmentProperties:
+    """LSA optimality pinned against brute force over random subsets."""
+
+    @given(
+        st.lists(bench_names, min_size=3, max_size=5, unique=True),
+        st.sampled_from(
+            ["[(0.2)+(0.8),1m]", "[(0.1)+(0.3)+(0.6),1m]", "[{0.375}+{0.5},1m]"]
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_optimal_matches_exhaustive(self, names, text):
+        from repro.core.assignment import assign_exhaustive, assign_optimal
+        from repro.core.rewards import WindowStats, intermediate_reward
+        from repro.gpu.device import SimulatedGpu
+        from repro.gpu.partition import parse_partition
+        from repro.profiling.profiler import NsightProfiler
+        from repro.workloads.jobs import Job
+
+        profiler = NsightProfiler(SimulatedGpu(), noise=0.0)
+        profiles = [profiler.profile(Job.submit(n)) for n in names]
+        tree = parse_partition(text)
+        if tree.n_slots > len(profiles):
+            return
+        stats = WindowStats.from_profiles(profiles)
+        slots = tree.slots()
+
+        def total(binding):
+            return sum(
+                intermediate_reward(profiles[j], s, stats)
+                for j, s in zip(binding, slots)
+            )
+
+        assert total(assign_optimal(tree, profiles, stats)) == pytest.approx(
+            total(assign_exhaustive(tree, profiles, stats))
+        )

@@ -1,0 +1,86 @@
+"""Unit tests for the runnable NumPy reference kernels."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.reference import (
+    REFERENCE_KERNELS,
+    KernelRunStats,
+    run_reference,
+)
+from repro.workloads.suite import BENCHMARKS
+
+
+class TestRegistry:
+    def test_all_registered_names_are_suite_programs(self):
+        assert set(REFERENCE_KERNELS) <= set(BENCHMARKS)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ConfigurationError):
+            run_reference("doom")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(REFERENCE_KERNELS))
+    def test_repeatable_checksum(self, name):
+        a = run_reference(name, seed=0)
+        b = run_reference(name, seed=0)
+        assert a.checksum == b.checksum
+        assert a.flops == b.flops
+
+    @pytest.mark.parametrize("name", sorted(REFERENCE_KERNELS))
+    def test_positive_work(self, name):
+        stats = run_reference(name)
+        assert stats.flops > 0
+        assert stats.bytes_moved > 0
+        assert stats.name  # tagged with a suite program
+
+    def test_seed_changes_result(self):
+        a = run_reference("stream", seed=0)
+        b = run_reference("stream", seed=1)
+        assert a.checksum != b.checksum
+
+
+class TestPatterns:
+    def test_stream_is_bandwidth_bound(self):
+        # triad: 2 flops per 24 bytes
+        stats = run_reference("stream")
+        assert stats.arithmetic_intensity < 0.15
+
+    def test_lavamd_is_compute_leaning(self):
+        stats = run_reference("lavaMD")
+        assert stats.arithmetic_intensity > run_reference("stream").arithmetic_intensity
+
+    def test_randomaccess_lowest_intensity(self):
+        ra = run_reference("randomaccess")
+        assert ra.arithmetic_intensity <= 0.1
+
+    def test_lud_reconstructs(self):
+        # LU of a diagonally dominant matrix keeps a positive trace
+        stats = run_reference("lud_A", scale=32)
+        assert stats.checksum > 0
+
+    def test_needle_score_bounded(self):
+        scale = 64
+        stats = run_reference("needle", scale=scale)
+        assert -scale <= stats.checksum <= scale
+
+    def test_pathfinder_min_positive(self):
+        stats = run_reference("pathfinder", scale=128, rows=16)
+        assert stats.checksum >= 16  # rows x min weight 1
+
+    def test_kmeans_centroids_in_unit_square(self):
+        stats = run_reference("kmeans", scale=512, k=4)
+        assert 0 <= stats.checksum <= 4 * 2  # k centroids x 2 coords in [0,1]
+
+    def test_quicksilver_absorbs_weight(self):
+        stats = run_reference("qs_Coral_P1", scale=1 << 10)
+        assert stats.checksum > 0
+
+    def test_scale_increases_work(self):
+        small = run_reference("hotspot", scale=64)
+        big = run_reference("hotspot", scale=128)
+        assert big.flops > small.flops
+
+    def test_stats_type(self):
+        assert isinstance(run_reference("stream"), KernelRunStats)

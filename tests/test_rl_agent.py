@@ -1,0 +1,282 @@
+"""Unit tests for spaces, replay, schedules, and the dueling double DQN."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TrainingError
+from repro.rl.dqn import DQNConfig, DuelingDoubleDQNAgent
+from repro.rl.replay import ReplayBuffer
+from repro.rl.schedules import ExponentialDecay, LinearDecay
+from repro.rl.spaces import Box, Discrete
+
+
+class TestSpaces:
+    def test_discrete_sampling_respects_mask(self):
+        space = Discrete(5, seed=0)
+        mask = np.array([False, True, False, True, False])
+        for _ in range(20):
+            assert space.sample(mask) in (1, 3)
+
+    def test_discrete_contains(self):
+        space = Discrete(3)
+        assert space.contains(2)
+        assert not space.contains(3)
+        assert not space.contains(-1)
+
+    def test_discrete_empty_mask(self):
+        with pytest.raises(ConfigurationError):
+            Discrete(3).sample(np.zeros(3, dtype=bool))
+
+    def test_discrete_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            Discrete(0)
+
+    def test_box_contains_and_sample(self):
+        box = Box(low=0.0, high=1.0, shape=(4,), seed=0)
+        x = box.sample()
+        assert box.contains(x)
+        assert not box.contains(np.full(4, 2.0))
+        assert not box.contains(np.zeros(3))
+
+    def test_box_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            Box(low=1.0, high=0.0, shape=(2,))
+
+
+class TestReplay:
+    def _push(self, buf, n, dim=3):
+        for i in range(n):
+            buf.push(
+                np.full(dim, float(i)),
+                i % 2,
+                float(i),
+                np.full(dim, float(i + 1)),
+                False,
+                np.ones(2, dtype=bool),
+            )
+
+    def test_fifo_eviction(self):
+        buf = ReplayBuffer(capacity=3, seed=0)
+        self._push(buf, 5)
+        assert len(buf) == 3
+        states = {t.state[0] for t in buf._storage}
+        assert states == {2.0, 3.0, 4.0}
+
+    def test_sample_shapes(self):
+        buf = ReplayBuffer(capacity=10, seed=0)
+        self._push(buf, 10)
+        batch = buf.sample(4)
+        assert batch.states.shape == (4, 3)
+        assert batch.actions.shape == (4,)
+        assert batch.next_masks.shape == (4, 2)
+        assert len(batch) == 4
+
+    def test_sample_empty(self):
+        with pytest.raises(ConfigurationError):
+            ReplayBuffer(capacity=2).sample(1)
+
+    def test_clear(self):
+        buf = ReplayBuffer(capacity=4, seed=0)
+        self._push(buf, 4)
+        buf.clear()
+        assert len(buf) == 0
+
+    def test_stored_arrays_are_copies(self):
+        buf = ReplayBuffer(capacity=2, seed=0)
+        s = np.zeros(3)
+        buf.push(s, 0, 0.0, s, False, np.ones(2, dtype=bool))
+        s[:] = 99.0
+        assert buf._storage[0].state[0] == 0.0
+
+
+class TestSchedules:
+    def test_linear(self):
+        d = LinearDecay(1.0, 0.0, 10)
+        assert d.value(0) == 1.0
+        assert d.value(5) == pytest.approx(0.5)
+        assert d.value(20) == 0.0
+
+    def test_exponential_floor(self):
+        d = ExponentialDecay(1.0, 0.01, 0.5)
+        assert d.value(0) == 1.0
+        assert d.value(100) == 0.01
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinearDecay(1.0, 0.0, 0)
+        with pytest.raises(ConfigurationError):
+            ExponentialDecay(1.0, 0.0, 1.5)
+
+
+def small_config(**overrides):
+    kwargs = dict(
+        n_inputs=4,
+        n_actions=3,
+        hidden=(16, 8),
+        warmup_transitions=16,
+        batch_size=8,
+        seed=0,
+        epsilon_decay_rate=0.98,
+    )
+    kwargs.update(overrides)
+    return DQNConfig(**kwargs)
+
+
+class TestDQNAgent:
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            DQNConfig(n_inputs=0)
+        with pytest.raises(ConfigurationError):
+            DQNConfig(n_inputs=4, gamma=1.5)
+
+    def test_epsilon_decays_and_freezes(self):
+        agent = DuelingDoubleDQNAgent(small_config())
+        start = agent.epsilon
+        for _ in range(100):
+            agent.act(np.zeros(4))
+        assert agent.epsilon < start
+        agent.freeze()
+        assert agent.epsilon == 0.0
+        agent.unfreeze()
+        assert agent.epsilon > 0.0
+
+    def test_act_respects_mask_when_greedy(self):
+        agent = DuelingDoubleDQNAgent(small_config())
+        agent.freeze()
+        mask = np.array([False, True, False])
+        for _ in range(10):
+            assert agent.act(np.zeros(4), mask) == 1
+
+    def test_act_empty_mask(self):
+        agent = DuelingDoubleDQNAgent(small_config())
+        with pytest.raises(TrainingError):
+            agent.act(np.zeros(4), np.zeros(3, dtype=bool))
+
+    def test_observe_warms_up_then_trains(self):
+        agent = DuelingDoubleDQNAgent(small_config())
+        rng = np.random.default_rng(0)
+        losses = []
+        for i in range(40):
+            s = rng.normal(size=4)
+            loss = agent.observe(s, i % 3, 0.5, s, True)
+            losses.append(loss)
+        assert all(l is None for l in losses[:15])
+        assert any(l is not None for l in losses)
+        assert agent.train_steps > 0
+
+    def test_target_network_syncs(self):
+        agent = DuelingDoubleDQNAgent(
+            small_config(target_sync_every=5, warmup_transitions=8)
+        )
+        rng = np.random.default_rng(0)
+        for i in range(30):
+            s = rng.normal(size=4)
+            agent.observe(s, i % 3, 1.0, s, True)
+        x = rng.normal(size=(1, 4))
+        # after a sync, target and online agree up to recent updates
+        agent.target.load_state_dict(agent.online.state_dict())
+        assert np.allclose(
+            agent.online.forward(x), agent.target.forward(x)
+        )
+
+    def test_bandit_learns_best_arm(self):
+        agent = DuelingDoubleDQNAgent(small_config(epsilon_decay_rate=0.99))
+        rng = np.random.default_rng(1)
+        for _ in range(800):
+            s = rng.normal(size=4)
+            a = agent.act(s)
+            agent.observe(s, a, 1.0 if a == 2 else 0.0, s, True)
+        agent.freeze()
+        hits = sum(agent.act(rng.normal(size=4)) == 2 for _ in range(50))
+        assert hits >= 42
+
+    def test_terminal_states_do_not_bootstrap(self):
+        agent = DuelingDoubleDQNAgent(small_config(gamma=1.0))
+        # all transitions terminal with reward 1 -> Q converges near 1,
+        # not diverging towards 1/(1-gamma)
+        rng = np.random.default_rng(2)
+        s = np.ones(4)
+        for _ in range(300):
+            agent.observe(s, 0, 1.0, s, True)
+        q = agent.q_values(s)[0]
+        assert q == pytest.approx(1.0, abs=0.2)
+
+    def test_state_dict_roundtrip(self):
+        a = DuelingDoubleDQNAgent(small_config())
+        rng = np.random.default_rng(0)
+        for i in range(40):
+            s = rng.normal(size=4)
+            a.observe(s, i % 3, 1.0, s, True)
+        b = DuelingDoubleDQNAgent(small_config(seed=9))
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=4)
+        assert np.allclose(a.q_values(x), b.q_values(x))
+        assert b.train_steps == a.train_steps
+
+    def test_masked_bootstrap_in_train_step(self):
+        # transitions whose next state has an empty mask must not crash
+        agent = DuelingDoubleDQNAgent(small_config())
+        rng = np.random.default_rng(3)
+        for i in range(40):
+            s = rng.normal(size=4)
+            agent.observe(
+                s, i % 3, 1.0, s, False, np.zeros(3, dtype=bool)
+            )
+        assert agent.train_steps > 0
+
+
+class TestAblationSwitches:
+    def test_plain_head_forward_backward(self):
+        import numpy as np
+        from repro.rl.nn import DuelingQNetwork
+
+        net = DuelingQNetwork(4, 3, hidden=(8,), seed=0, dueling=False)
+        x = np.random.default_rng(0).normal(size=(2, 4))
+        q = net.forward(x)
+        assert q.shape == (2, 3)
+        net.zero_grad()
+        net.backward(np.ones_like(q))
+        # advantage head received gradient, value head did not
+        assert abs(net.advantage_head.weight.grad).sum() > 0
+        assert abs(net.value_head.weight.grad).sum() == 0
+
+    def test_state_dict_compatible_across_modes(self):
+        import numpy as np
+        from repro.rl.nn import DuelingQNetwork
+
+        duel = DuelingQNetwork(4, 3, hidden=(8,), seed=0, dueling=True)
+        plain = DuelingQNetwork(4, 3, hidden=(8,), seed=1, dueling=False)
+        plain.load_state_dict(duel.state_dict())  # same parameter shapes
+
+    def test_vanilla_dqn_trains(self):
+        import numpy as np
+
+        agent = DuelingDoubleDQNAgent(
+            small_config(use_dueling=False, use_double=False)
+        )
+        rng = np.random.default_rng(4)
+        for _ in range(400):
+            s = rng.normal(size=4)
+            a = agent.act(s)
+            agent.observe(s, a, 1.0 if a == 1 else 0.0, s, True)
+        agent.freeze()
+        hits = sum(agent.act(rng.normal(size=4)) == 1 for _ in range(50))
+        assert hits >= 40
+
+    def test_double_switch_changes_targets(self):
+        import numpy as np
+
+        # identical streams; the two variants must diverge once the
+        # online and target nets differ
+        a = DuelingDoubleDQNAgent(small_config(use_double=True))
+        b = DuelingDoubleDQNAgent(small_config(use_double=False))
+        rng = np.random.default_rng(5)
+        transitions = [
+            (rng.normal(size=4), int(rng.integers(3)), float(rng.random()))
+            for _ in range(120)
+        ]
+        for s, act, r in transitions:
+            a.observe(s, act, r, s + 0.1, False)
+            b.observe(s, act, r, s + 0.1, False)
+        x = rng.normal(size=4)
+        assert not np.allclose(a.q_values(x), b.q_values(x))

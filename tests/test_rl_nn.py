@@ -1,0 +1,185 @@
+"""Unit tests for the NumPy neural-network stack (repro.rl.nn / optim)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rl.nn import DuelingQNetwork, Linear, ReLU, Sequential
+from repro.rl.optim import SGD, Adam, clip_grad_norm
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng())
+        y = layer.forward(np.ones((5, 4)))
+        assert y.shape == (5, 3)
+
+    def test_backward_before_forward(self):
+        layer = Linear(4, 3, rng())
+        with pytest.raises(ConfigurationError):
+            layer.backward(np.ones((5, 3)))
+
+    def test_gradient_by_finite_difference(self):
+        layer = Linear(3, 2, rng())
+        x = rng().normal(size=(4, 3))
+        g = rng().normal(size=(4, 2))
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(g)
+        eps = 1e-6
+        for idx in [(0, 0), (1, 1), (2, 0)]:
+            orig = layer.weight.value[idx]
+            layer.weight.value[idx] = orig + eps
+            up = float((layer.forward(x) * g).sum())
+            layer.weight.value[idx] = orig - eps
+            down = float((layer.forward(x) * g).sum())
+            layer.weight.value[idx] = orig
+            fd = (up - down) / (2 * eps)
+            assert fd == pytest.approx(layer.weight.grad[idx], abs=1e-5)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            Linear(0, 3, rng())
+
+
+class TestReLU:
+    def test_forward_clamps(self):
+        r = ReLU()
+        out = r.forward(np.array([[-1.0, 0.5]]))
+        assert out.tolist() == [[0.0, 0.5]]
+
+    def test_backward_masks(self):
+        r = ReLU()
+        r.forward(np.array([[-1.0, 0.5]]))
+        grad = r.backward(np.array([[3.0, 3.0]]))
+        assert grad.tolist() == [[0.0, 3.0]]
+
+
+class TestDuelingNetwork:
+    def test_output_shape(self):
+        net = DuelingQNetwork(6, 4, hidden=(8,), seed=1)
+        q = net.forward(np.zeros((3, 6)))
+        assert q.shape == (3, 4)
+
+    def test_dueling_identity(self):
+        # Q - V must have zero mean across actions by construction
+        net = DuelingQNetwork(6, 4, hidden=(8,), seed=1)
+        x = rng().normal(size=(5, 6))
+        h = net.trunk.forward(x)
+        v = net.value_head.forward(h)
+        q = net.forward(x)
+        assert np.allclose((q - v).mean(axis=1), 0.0, atol=1e-12)
+
+    def test_full_network_gradient_finite_difference(self):
+        net = DuelingQNetwork(5, 3, hidden=(8, 6), seed=3)
+        x = rng().normal(size=(4, 5))
+        g = rng().normal(size=(4, 3))
+        net.zero_grad()
+        net.forward(x)
+        net.backward(g)
+        checked = 0
+        eps = 1e-6
+        for p in net.parameters():
+            flat_idx = np.unravel_index(
+                np.argmax(np.abs(p.grad)), p.grad.shape
+            )
+            if p.grad[flat_idx] == 0.0:
+                continue
+            orig = p.value[flat_idx]
+            p.value[flat_idx] = orig + eps
+            up = float((net.forward(x) * g).sum())
+            p.value[flat_idx] = orig - eps
+            down = float((net.forward(x) * g).sum())
+            p.value[flat_idx] = orig
+            fd = (up - down) / (2 * eps)
+            assert fd == pytest.approx(p.grad[flat_idx], rel=1e-4, abs=1e-6)
+            checked += 1
+        assert checked >= 4  # every layer contributed a checked gradient
+
+    def test_state_dict_roundtrip(self):
+        a = DuelingQNetwork(4, 3, hidden=(8,), seed=0)
+        b = DuelingQNetwork(4, 3, hidden=(8,), seed=99)
+        x = rng().normal(size=(2, 4))
+        assert not np.allclose(a.forward(x), b.forward(x))
+        b.load_state_dict(a.state_dict())
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_state_dict_shape_mismatch(self):
+        a = DuelingQNetwork(4, 3, hidden=(8,), seed=0)
+        b = DuelingQNetwork(4, 3, hidden=(16,), seed=0)
+        with pytest.raises(ConfigurationError):
+            b.load_state_dict(a.state_dict())
+
+    def test_soft_update_moves_towards_source(self):
+        a = DuelingQNetwork(4, 3, hidden=(8,), seed=0)
+        b = DuelingQNetwork(4, 3, hidden=(8,), seed=1)
+        before = b.parameters()[0].value.copy()
+        target = a.parameters()[0].value
+        b.soft_update_from(a, tau=0.5)
+        after = b.parameters()[0].value
+        assert np.allclose(after, 0.5 * before + 0.5 * target)
+
+    def test_paper_architecture(self):
+        # Table VI: hidden 512/256/128, A = 29, V = 1
+        net = DuelingQNetwork(12 * 17, 29)
+        assert net.hidden == (512, 256, 128)
+        assert net.advantage_head.weight.value.shape == (128, 29)
+        assert net.value_head.weight.value.shape == (128, 1)
+
+
+class TestOptimizers:
+    def _quadratic_setup(self):
+        net = Linear(2, 1, rng())
+        x = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        y = np.array([[2.0], [3.0], [5.0]])
+        return net, x, y
+
+    def _train(self, net, opt, x, y, steps=3000):
+        for _ in range(steps):
+            pred = net.forward(x)
+            grad = 2 * (pred - y) / len(x)
+            opt.zero_grad()
+            net.backward(grad)
+            opt.step()
+        return float(((net.forward(x) - y) ** 2).mean())
+
+    def test_sgd_converges(self):
+        net, x, y = self._quadratic_setup()
+        loss = self._train(net, SGD(net.parameters(), lr=0.05), x, y)
+        assert loss < 1e-5
+
+    def test_sgd_momentum_converges(self):
+        net, x, y = self._quadratic_setup()
+        loss = self._train(
+            net, SGD(net.parameters(), lr=0.02, momentum=0.9), x, y
+        )
+        assert loss < 1e-5
+
+    def test_adam_converges(self):
+        net, x, y = self._quadratic_setup()
+        loss = self._train(net, Adam(net.parameters(), lr=0.05), x, y)
+        assert loss < 1e-5
+
+    def test_clip_grad_norm(self):
+        net = Linear(2, 2, rng())
+        net.weight.grad[:] = 100.0
+        net.bias.grad[:] = 100.0
+        pre = clip_grad_norm(net.parameters(), 1.0)
+        assert pre > 1.0
+        total = np.sqrt(
+            sum(float((p.grad**2).sum()) for p in net.parameters())
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_optimizer_validation(self):
+        net = Linear(2, 2, rng())
+        with pytest.raises(ConfigurationError):
+            SGD(net.parameters(), lr=0.0)
+        with pytest.raises(ConfigurationError):
+            Adam(net.parameters(), lr=-1.0)
+        with pytest.raises(ConfigurationError):
+            clip_grad_norm(net.parameters(), 0.0)

@@ -1,0 +1,127 @@
+"""Unit tests for job-arrival traces."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import MixCategory
+from repro.workloads.suite import BENCHMARKS, PAPER_CLASSES
+from repro.workloads.traces import JobTrace, TraceEvent, generate_trace, replay
+
+
+class TestTraceEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TraceEvent(submit_time=-1.0, user="u", benchmark_name="stream")
+
+    def test_trace_sorts_events(self):
+        t = JobTrace(
+            events=[
+                TraceEvent(5.0, "a", "stream"),
+                TraceEvent(1.0, "b", "kmeans"),
+            ]
+        )
+        assert [e.submit_time for e in t] == [1.0, 5.0]
+        assert t.makespan == 5.0
+
+    def test_arrived_by(self):
+        t = JobTrace(
+            events=[
+                TraceEvent(1.0, "a", "stream"),
+                TraceEvent(2.0, "a", "kmeans"),
+                TraceEvent(9.0, "a", "lud_A"),
+            ]
+        )
+        assert len(t.arrived_by(2.5)) == 2
+
+
+class TestGeneration:
+    def test_job_count_and_order(self):
+        t = generate_trace(n_jobs=40, seed=1)
+        assert len(t) == 40
+        times = [e.submit_time for e in t]
+        assert times == sorted(times)
+        assert all(e.benchmark_name in BENCHMARKS for e in t)
+
+    def test_deterministic(self):
+        a = generate_trace(n_jobs=20, seed=7)
+        b = generate_trace(n_jobs=20, seed=7)
+        assert [(e.submit_time, e.benchmark_name) for e in a] == [
+            (e.submit_time, e.benchmark_name) for e in b
+        ]
+
+    def test_category_biases_mix(self):
+        t = generate_trace(
+            n_jobs=200, category=MixCategory.US_DOMINANT, seed=3
+        )
+        counts = {"CI": 0, "MI": 0, "US": 0}
+        for e in t:
+            counts[PAPER_CLASSES[e.benchmark_name]] += 1
+        assert counts["US"] == max(counts.values())
+
+    def test_burstiness_widens_interarrival_spread(self):
+        import numpy as np
+
+        def spread(b):
+            t = generate_trace(
+                n_jobs=400, burstiness=b, seed=11, mean_interarrival=10.0
+            )
+            times = np.array([e.submit_time for e in t])
+            gaps = np.diff(times)
+            return gaps.std() / gaps.mean()
+
+        assert spread(4.0) > spread(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_trace(n_jobs=0)
+        with pytest.raises(ConfigurationError):
+            generate_trace(n_jobs=5, mean_interarrival=0.0)
+        with pytest.raises(ConfigurationError):
+            generate_trace(n_jobs=5, burstiness=-1.0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        t = generate_trace(n_jobs=15, seed=2, name="roundtrip")
+        path = tmp_path / "roundtrip.trace"
+        t.save(path)
+        loaded = JobTrace.load(path)
+        assert len(loaded) == 15
+        assert [e.benchmark_name for e in loaded] == [
+            e.benchmark_name for e in t
+        ]
+        assert loaded.name == "roundtrip"
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("0 1.0 useronly\n")
+        with pytest.raises(ConfigurationError):
+            JobTrace.load(path)
+
+    def test_comments_ignored(self, tmp_path):
+        path = tmp_path / "c.trace"
+        path.write_text("# header\n0 1.0 u stream\n\n")
+        assert len(JobTrace.load(path)) == 1
+
+
+class TestReplay:
+    def test_full_replay(self):
+        t = generate_trace(n_jobs=10, seed=4)
+        q = replay(t)
+        assert len(q) == 10
+        assert q.jobs[0].user.startswith("user")
+
+    def test_partial_replay(self):
+        t = generate_trace(n_jobs=30, seed=4)
+        half_time = t.events[14].submit_time
+        q = replay(t, until=half_time)
+        assert len(q) == 15
+
+    def test_replay_keys_match_repository_scheme(self):
+        # same program -> same binary path, so profiles are reusable
+        t = generate_trace(n_jobs=30, seed=5)
+        q = replay(t)
+        by_bench = {}
+        for job in q:
+            by_bench.setdefault(job.benchmark_name, set()).add(job.binary_path)
+        assert all(len(paths) == 1 for paths in by_bench.values())

@@ -1,0 +1,53 @@
+"""Unit tests for the units helpers and the exception hierarchy."""
+
+import pytest
+
+from repro import errors, units
+
+
+class TestUnits:
+    def test_byte_scales(self):
+        assert units.gib(1) == 2**30
+        assert units.mib(1) == 2**20
+        assert units.KIB == 1024
+
+    def test_rate_scales(self):
+        assert units.gb_per_s(1.555) == pytest.approx(1.555e9)
+        assert units.gib_per_s(1) == 2**30
+        assert units.tflops(9.7) == pytest.approx(9.7e12)
+        assert units.gflops(1) == 1e9
+
+    def test_time_scales(self):
+        assert units.usec(1) == pytest.approx(1e-6)
+        assert units.msec(2) == pytest.approx(2e-3)
+
+    def test_percent(self):
+        assert units.percent(87.5) == pytest.approx(0.875)
+
+    def test_clamp(self):
+        assert units.clamp(5.0, 0.0, 1.0) == 1.0
+        assert units.clamp(-1.0, 0.0, 1.0) == 0.0
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_partition_errors_are_configuration_errors(self):
+        assert issubclass(errors.MigError, errors.PartitionError)
+        assert issubclass(errors.MpsError, errors.PartitionError)
+        assert issubclass(errors.PartitionError, errors.ConfigurationError)
+
+    def test_catchability(self):
+        # one except clause catches the whole library
+        with pytest.raises(errors.ReproError):
+            raise errors.SchedulingError("x")
+        with pytest.raises(errors.ReproError):
+            raise errors.MigError("y")
+
+    def test_scheduling_and_training_are_siblings(self):
+        assert not issubclass(errors.TrainingError, errors.SchedulingError)
+        assert not issubclass(errors.SchedulingError, errors.TrainingError)

@@ -1,0 +1,233 @@
+"""Unit tests for kernel models, the benchmark suite, jobs, and queues."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.workloads.generator import (
+    MixCategory,
+    QueueGenerator,
+    class_quotas,
+    paper_queues,
+    queue_class_counts,
+    PAPER_QUEUE_CATEGORY,
+)
+from repro.workloads.jobs import Job, JobQueue
+from repro.workloads.kernels import KernelModel
+from repro.workloads.suite import (
+    BENCHMARKS,
+    CLASS_CI,
+    CLASS_MI,
+    CLASS_US,
+    PAPER_CLASSES,
+    TRAINING_SET,
+    UNSEEN_SET,
+    benchmark,
+    benchmarks_in_class,
+)
+
+
+class TestKernelModel:
+    def make(self, **kw):
+        base = dict(
+            name="k",
+            t_compute=10.0,
+            t_memory=5.0,
+            parallel_fraction=0.9,
+            bw_demand=0.5,
+            interference_sensitivity=0.2,
+        )
+        base.update(kw)
+        return KernelModel(**base)
+
+    def test_solo_time_overlap(self):
+        m = self.make(overlap=1.0)
+        assert m.solo_time == pytest.approx(10.0)
+        m = self.make(overlap=0.0)
+        assert m.solo_time == pytest.approx(15.0)
+
+    def test_compute_scale_full_allocation_is_one(self):
+        assert self.make().compute_scale(1.0) == pytest.approx(1.0)
+
+    def test_compute_scale_amdahl(self):
+        m = self.make(parallel_fraction=0.5)
+        assert m.compute_scale(0.5) == pytest.approx(1.5)
+
+    def test_saturation_knee(self):
+        m = self.make(parallel_fraction=0.9, saturation_fraction=0.25)
+        # at or above the knee: full speed
+        assert m.compute_scale(0.25) == pytest.approx(1.0)
+        assert m.compute_scale(0.5) == pytest.approx(1.0)
+        # below the knee: Amdahl relative to the knee
+        assert m.compute_scale(0.125) == pytest.approx(0.1 + 0.9 * 2)
+
+    def test_memory_scale(self):
+        m = self.make(bw_demand=0.8)
+        assert m.memory_scale(1.0) == pytest.approx(1.0)
+        assert m.memory_scale(0.4) == pytest.approx(2.0)
+        assert m.memory_scale(0.9) == pytest.approx(1.0)
+
+    def test_execution_time_interference(self):
+        m = self.make(interference_sensitivity=0.5)
+        base = m.execution_time(1.0, 1.0, 0.0)
+        hot = m.execution_time(1.0, 1.0, 1.0)
+        assert hot >= base
+
+    def test_compute_inflation(self):
+        m = self.make()
+        assert m.execution_time(1.0, 1.0, 0.0, 1.2) > m.execution_time(
+            1.0, 1.0, 0.0, 1.0
+        )
+        with pytest.raises(ConfigurationError):
+            m.execution_time(1.0, 1.0, 0.0, 0.9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            self.make(t_compute=-1.0)
+        with pytest.raises(ConfigurationError):
+            self.make(parallel_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            self.make(bw_demand=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(saturation_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            self.make(t_compute=0.0, t_memory=0.0)
+
+    def test_invalid_allocation_args(self):
+        m = self.make()
+        with pytest.raises(ConfigurationError):
+            m.compute_scale(0.0)
+        with pytest.raises(ConfigurationError):
+            m.memory_scale(0.0)
+
+
+class TestSuite:
+    def test_27_programs(self):
+        assert len(BENCHMARKS) == 27
+
+    def test_class_sizes_match_table4(self):
+        assert len(benchmarks_in_class(CLASS_CI)) == 8
+        assert len(benchmarks_in_class(CLASS_MI)) == 10
+        assert len(benchmarks_in_class(CLASS_US)) == 9
+
+    def test_unseen_set_matches_table4_stars(self):
+        assert set(UNSEEN_SET) == {
+            "huffman", "hotspot", "heartwall",
+            "lud_C", "cfd", "gaussian",
+            "needle", "backprop", "qs_NoFission",
+        }
+        assert len(TRAINING_SET) == 18
+
+    def test_training_and_unseen_partition_suite(self):
+        assert set(TRAINING_SET) | set(UNSEEN_SET) == set(BENCHMARKS)
+        assert not set(TRAINING_SET) & set(UNSEEN_SET)
+
+    def test_every_class_in_training_set(self):
+        classes = {PAPER_CLASSES[n] for n in TRAINING_SET}
+        assert classes == {CLASS_CI, CLASS_MI, CLASS_US}
+
+    def test_lookup(self):
+        assert benchmark("stream").name == "stream"
+        with pytest.raises(ConfigurationError):
+            benchmark("doom")
+        with pytest.raises(ConfigurationError):
+            benchmarks_in_class("XX")
+
+
+class TestJobs:
+    def test_submission_has_unique_ids(self):
+        a, b = Job.submit("stream"), Job.submit("stream")
+        assert a.job_id != b.job_id
+        assert a.binary_path == b.binary_path  # same program, same key
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Job.submit("nope")
+
+    def test_queue_window(self):
+        q = JobQueue.from_benchmarks(["stream", "kmeans", "lud_A"])
+        assert [j.benchmark_name for j in q.window(2)] == ["stream", "kmeans"]
+        assert len(q) == 3
+
+    def test_pop_window(self):
+        q = JobQueue.from_benchmarks(["stream", "kmeans", "lud_A"])
+        popped = q.pop_window(2)
+        assert len(popped) == 2
+        assert q.benchmark_names == ["lud_A"]
+
+    def test_window_bounds(self):
+        q = JobQueue.from_benchmarks(["stream"])
+        with pytest.raises(SchedulingError):
+            q.window(0)
+        with pytest.raises(SchedulingError):
+            q.window(2)
+
+
+class TestGenerator:
+    def test_quotas_dominant(self):
+        q = class_quotas(MixCategory.CI_DOMINANT, 12)
+        assert q == {CLASS_CI: 6, CLASS_MI: 3, CLASS_US: 3}
+
+    def test_quotas_balanced(self):
+        q = class_quotas(MixCategory.BALANCED, 12)
+        assert q == {CLASS_CI: 4, CLASS_MI: 4, CLASS_US: 4}
+
+    def test_quotas_odd_window(self):
+        q = class_quotas(MixCategory.MI_DOMINANT, 7)
+        assert q[CLASS_MI] == 3
+        assert sum(q.values()) == 7
+
+    def test_random_queue_composition(self):
+        gen = QueueGenerator(seed=3)
+        q = gen.queue(MixCategory.US_DOMINANT, w=12)
+        counts = queue_class_counts(q)
+        assert counts[CLASS_US] == 6
+
+    def test_training_only_excludes_unseen(self):
+        gen = QueueGenerator(seed=1, training_only=True)
+        for q in gen.training_queues(n=5, w=12):
+            for job in q:
+                assert job.benchmark_name in TRAINING_SET
+
+    def test_training_queues_contain_all_classes(self):
+        gen = QueueGenerator(seed=2)
+        for q in gen.training_queues(n=8, w=12):
+            counts = queue_class_counts(q)
+            assert all(v > 0 for v in counts.values())
+
+    def test_deterministic_with_seed(self):
+        a = QueueGenerator(seed=9).queue(MixCategory.BALANCED, 12)
+        b = QueueGenerator(seed=9).queue(MixCategory.BALANCED, 12)
+        assert a.benchmark_names == b.benchmark_names
+
+
+class TestPaperQueues:
+    def test_twelve_queues_of_twelve(self):
+        qs = paper_queues()
+        assert len(qs) == 12
+        for q in qs.values():
+            assert len(q) == 12
+
+    def test_category_compositions_match_table5(self):
+        qs = paper_queues()
+        for name, q in qs.items():
+            cat = PAPER_QUEUE_CATEGORY[name]
+            counts = queue_class_counts(q)
+            if cat is MixCategory.BALANCED:
+                assert counts == {CLASS_CI: 4, CLASS_MI: 4, CLASS_US: 4}
+            else:
+                assert counts[cat.dominant_class] == 6
+
+    def test_q1_exact_contents(self):
+        q1 = paper_queues()["Q1"].benchmark_names
+        assert q1[:3] == ["huffman", "bt_solver_C", "bt_solver_B"]
+        assert len(q1) == 12
+
+    def test_unseen_programs_appear_at_inference(self):
+        qs = paper_queues()
+        seen_unseen = {
+            j.benchmark_name
+            for q in qs.values()
+            for j in q
+            if j.benchmark_name in UNSEEN_SET
+        }
+        assert seen_unseen  # Table V deliberately includes starred programs

@@ -22,6 +22,7 @@ from repro.core.actions import ActionCatalog
 from repro.core.assignment import assign_optimal, assign_greedy, assign_exhaustive
 from repro.core.problem import ScheduledGroup, Schedule, SchedulingProblem
 from repro.core.env import CoSchedulingEnv
+from repro.core.vector_env import VectorCoSchedulingEnv
 from repro.core.trainer import OfflineTrainer, TrainingResult
 from repro.core.optimizer import OnlineOptimizer
 from repro.core.baselines import (
@@ -46,6 +47,7 @@ __all__ = [
     "Schedule",
     "SchedulingProblem",
     "CoSchedulingEnv",
+    "VectorCoSchedulingEnv",
     "OfflineTrainer",
     "TrainingResult",
     "OnlineOptimizer",

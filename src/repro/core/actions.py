@@ -27,6 +27,7 @@ class ActionCatalog:
         self.spec = spec
         self.c_max = c_max
         self.variants: list[PartitionVariant] = action_catalog(spec)
+        self._mask_cache: dict[int, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.variants)
@@ -54,9 +55,15 @@ class ActionCatalog:
         the environment then drains the remainder with solo runs.
         """
         limit = min(n_remaining, self.c_max)
-        return np.array(
-            [v.concurrency <= limit for v in self.variants], dtype=bool
-        )
+        cached = self._mask_cache.get(limit)
+        if cached is None:
+            cached = np.array(
+                [v.concurrency <= limit for v in self.variants], dtype=bool
+            )
+            self._mask_cache[limit] = cached
+        # A copy per call: masks are handed to agents and replay buffers,
+        # which must not alias the memoized base.
+        return cached.copy()
 
     def actions_with_concurrency(self, c: int) -> list[int]:
         return [i for i, v in enumerate(self.variants) if v.concurrency == c]

@@ -28,6 +28,7 @@ from scipy.optimize import linear_sum_assignment
 from repro.errors import SchedulingError
 from repro.core.rewards import WindowStats, intermediate_reward
 from repro.gpu.partition import PartitionTree, Slot
+from repro.perfmodel.cache import CoRunCache, corun_caching_enabled
 from repro.profiling.profiler import JobProfile
 
 __all__ = [
@@ -36,12 +37,55 @@ __all__ = [
     "assign_greedy",
     "assign_exhaustive",
     "iter_slot_assignments",
+    "reward_matrix",
     "CONFLICT_WEIGHT",
 ]
 
 #: Weight of the profile-derived contention penalty in the
 #: conflict-aware binding objective (see :func:`assign_conflict_aware`).
 CONFLICT_WEIGHT = 3.0
+
+#: Cross-call memo of per-(job, slot-shape) intermediate rewards.
+#: ``r_i`` depends only on the profile, the slot's two device-level
+#: fractions, and the window stats — all hashable frozen dataclasses —
+#: and the same (job, shape, stats) triples recur across every binding
+#: search of an episode and across episodes over fixed windows.
+_REWARD_CACHE = CoRunCache(maxsize=1 << 17)
+
+
+def reward_matrix(
+    profiles: list[JobProfile],
+    slots: list[Slot],
+    stats: WindowStats,
+) -> np.ndarray:
+    """The ``(job, slot)`` intermediate-reward matrix, memoized.
+
+    Slots sharing an exact ``(compute_fraction, mem_fraction)`` shape
+    have identical rewards, so each distinct (job, shape) pair is
+    evaluated at most once per process — the permutation loops of
+    :func:`assign_exhaustive` and the local search of
+    :func:`assign_conflict_aware` then index into the matrix instead of
+    recomputing ``r_i``.
+    """
+    shapes = [(s.compute_fraction, s.mem_fraction) for s in slots]
+    uniq: dict[tuple[float, float], tuple[int, Slot]] = {}
+    for slot, shape in zip(slots, shapes):
+        uniq.setdefault(shape, (len(uniq), slot))
+    compact = np.empty((len(profiles), len(uniq)))
+    if corun_caching_enabled():
+        for j, profile in enumerate(profiles):
+            for shape, (k, slot) in uniq.items():
+                compact[j, k] = _REWARD_CACHE.get_or_compute(
+                    (profile, shape, stats),
+                    lambda p=profile, s=slot, st=stats: intermediate_reward(
+                        p, s, st
+                    ),
+                )
+    else:
+        for j, profile in enumerate(profiles):
+            for shape, (k, slot) in uniq.items():
+                compact[j, k] = intermediate_reward(profile, slot, stats)
+    return compact[:, [uniq[shape][0] for shape in shapes]]
 
 
 def _check(tree: PartitionTree, n_candidates: int) -> list[Slot]:
@@ -64,10 +108,7 @@ def assign_optimal(
     slots = _check(tree, len(profiles))
     if stats is None:
         stats = WindowStats.from_profiles(profiles)
-    reward = np.empty((len(profiles), len(slots)))
-    for j, profile in enumerate(profiles):
-        for s, slot in enumerate(slots):
-            reward[j, s] = intermediate_reward(profile, slot, stats)
+    reward = reward_matrix(profiles, slots, stats)
     rows, cols = linear_sum_assignment(reward, maximize=True)
     binding = [0] * len(slots)
     for j, s in zip(rows, cols):
@@ -82,6 +123,8 @@ def _binding_score(
     profiles: list[JobProfile],
     stats: WindowStats,
     lam: float,
+    rewards: np.ndarray | None = None,
+    domains: list[list[int]] | None = None,
 ) -> float:
     """Conflict-aware binding objective.
 
@@ -93,12 +136,20 @@ def _binding_score(
     long-job emphasis ``r_i`` uses). This is the profile-visible
     estimate of the interference the performance model charges — what a
     conflict-blind assignment cannot avoid.
+
+    ``rewards``/``domains`` let the local-search caller precompute the
+    (job, slot) reward matrix and the tree's memory domains once instead
+    of per candidate binding.
     """
+    if rewards is None:
+        rewards = reward_matrix(profiles, slots, stats)
     total = 0.0
-    for j, slot in zip(binding, slots):
-        total += intermediate_reward(profiles[j], slot, stats)
+    for s, j in enumerate(binding):
+        total += rewards[j, s]
     if lam:
-        for domain in tree.mem_domains():
+        if domains is None:
+            domains = tree.mem_domains()
+        for domain in domains:
             if len(domain) < 2:
                 continue
             demands = [
@@ -131,7 +182,14 @@ def assign_conflict_aware(
     if stats is None:
         stats = WindowStats.from_profiles(profiles)
     binding = assign_optimal(tree, profiles, stats)
-    best = _binding_score(tree, slots, binding, profiles, stats, lam)
+    # The local search scores O(slots^2 + slots*jobs) candidate bindings
+    # per pass; the reward matrix and memory domains are invariant
+    # across all of them, so compute both once.
+    rewards = reward_matrix(profiles, slots, stats)
+    domains = tree.mem_domains()
+    best = _binding_score(
+        tree, slots, binding, profiles, stats, lam, rewards, domains
+    )
     for _ in range(4):
         improved = False
         bound = set(binding)
@@ -140,7 +198,9 @@ def assign_conflict_aware(
             for b in range(a + 1, len(slots)):
                 cand = binding.copy()
                 cand[a], cand[b] = cand[b], cand[a]
-                score = _binding_score(tree, slots, cand, profiles, stats, lam)
+                score = _binding_score(
+                    tree, slots, cand, profiles, stats, lam, rewards, domains
+                )
                 if score > best + 1e-12:
                     binding, best, improved = cand, score, True
                     bound = set(binding)
@@ -151,7 +211,9 @@ def assign_conflict_aware(
                     continue
                 cand = binding.copy()
                 cand[a] = j
-                score = _binding_score(tree, slots, cand, profiles, stats, lam)
+                score = _binding_score(
+                    tree, slots, cand, profiles, stats, lam, rewards, domains
+                )
                 if score > best + 1e-12:
                     binding, best, improved = cand, score, True
                     bound = set(binding)
@@ -179,15 +241,15 @@ def assign_greedy(
         key=lambda i: (slots[i].compute_fraction, slots[i].mem_fraction),
         reverse=True,
     )
+    rewards = reward_matrix(profiles, slots, stats)
     taken: set[int] = set()
     chosen: dict[int, int] = {}
     for slot_idx in order:
-        slot = slots[slot_idx]
         best_job, best_r = -1, -float("inf")
-        for j, profile in enumerate(profiles):
+        for j in range(len(profiles)):
             if j in taken:
                 continue
-            r = intermediate_reward(profile, slot, stats)
+            r = rewards[j, slot_idx]
             if r > best_r:
                 best_job, best_r = j, r
         taken.add(best_job)
@@ -237,13 +299,11 @@ def assign_exhaustive(
     slots = _check(tree, len(profiles))
     if stats is None:
         stats = WindowStats.from_profiles(profiles)
+    rewards = reward_matrix(profiles, slots, stats)
     best: tuple[int, ...] | None = None
     best_r = -float("inf")
     for perm in iter_slot_assignments(tree, len(profiles)):
-        total = sum(
-            intermediate_reward(profiles[j], slot, stats)
-            for j, slot in zip(perm, slots)
-        )
+        total = sum(rewards[j, s] for s, j in enumerate(perm))
         if total > best_r:
             best, best_r = perm, total
     assert best is not None

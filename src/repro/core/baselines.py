@@ -43,6 +43,7 @@ from repro.gpu.variants import (
     enumerate_mig_only,
     enumerate_mps_only,
 )
+from repro.perfmodel.cache import CoRunCache
 from repro.profiling.repository import ProfileRepository
 from repro.workloads.jobs import Job
 
@@ -59,11 +60,17 @@ class _PredictiveScheduler:
 
     name = "predictive"
 
+    #: Bound on the per-scheduler predicted-cost memo. Window searches
+    #: touch at most ``sum(C(W, c))`` groups (~800 at W=12, C_max=4);
+    #: the bound only matters for long-lived schedulers fed unbounded
+    #: job diversity.
+    COST_CACHE_SIZE = 16384
+
     def __init__(self, repository: ProfileRepository):
         self.repository = repository
         self.predictor = AnalyticPredictor()
-        # (names multiset, variant-family id) -> (cost, variant, binding)
-        self._cost_cache: dict[tuple, tuple] = {}
+        # names tuple -> (cost, variant, binding), LRU-bounded
+        self._cost_cache = CoRunCache(maxsize=self.COST_CACHE_SIZE)
 
     # -- candidate evaluation -------------------------------------------
     def _variants_for(self, c: int) -> list[PartitionVariant]:  # pragma: no cover
@@ -76,8 +83,9 @@ class _PredictiveScheduler:
         against predicted time sharing. ``variant is None`` means solo
         runs are predicted to win."""
         names = tuple(j.benchmark_name for j in jobs)
-        if names in self._cost_cache:
-            return self._cost_cache[names]
+        cached = self._cost_cache.get(names)
+        if cached is not None:
+            return cached
         profiles = [self.repository.lookup(j) for j in jobs]
         solo_sum = sum(p.solo_time for p in profiles)
         best: tuple[float, PartitionVariant | None, tuple[int, ...]] = (
@@ -93,7 +101,7 @@ class _PredictiveScheduler:
                     )
                     if pred.makespan < best[0]:
                         best = (pred.makespan, variant, perm)
-        self._cost_cache[names] = best
+        self._cost_cache.put(names, best)
         return best
 
     def _execute_group(self, jobs: list[Job]) -> list[ScheduledGroup]:

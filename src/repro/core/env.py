@@ -14,6 +14,20 @@ The observation is the ``W x (f + 5)`` window encoding; ``info`` always
 carries ``action_mask`` (templates whose concurrency no longer fits are
 invalid) and, at termination, the completed :class:`Schedule` for
 metric extraction.
+
+Two step implementations coexist:
+
+* the **reference path** — the straightforward computation (full window
+  re-encoding, per-cell reward evaluation, both binders plus predictor
+  arbitration, a fresh co-run simulation per group). It runs whenever
+  the global fast path is off (:func:`repro.perfmodel.cache.\
+corun_cache_disabled`) and serves as the ground truth the fast path is
+  validated against bit for bit.
+* the **fast path** — per-window precomputation (encodings, reward
+  tables, profile-derived arrays), a lean local search over those
+  tables, predictor memoization, the process-wide co-run cache, and a
+  per-environment step-decision memo. It produces bitwise-identical
+  transitions; one global switch selects between the two.
 """
 
 from __future__ import annotations
@@ -21,14 +35,25 @@ from __future__ import annotations
 from typing import Any
 
 import numpy as np
+from scipy.optimize import linear_sum_assignment
 
 from repro.errors import SchedulingError
 from repro.core.actions import ActionCatalog
-from repro.core.assignment import assign_conflict_aware, assign_optimal
+from repro.core.assignment import (
+    CONFLICT_WEIGHT,
+    assign_conflict_aware,
+    assign_optimal,
+)
 from repro.core.predictor import AnalyticPredictor
-from repro.core.features import FeatureExtractor
+from repro.core.features import FeatureExtractor, WindowEncoding
 from repro.core.problem import Schedule, ScheduledGroup, SchedulingProblem
-from repro.core.rewards import RewardConfig, WindowStats, group_reward, intermediate_reward
+from repro.core.rewards import (
+    RewardConfig,
+    WindowStats,
+    group_reward,
+    intermediate_reward,
+)
+from repro.perfmodel.cache import CoRunCache, corun_caching_enabled
 from repro.profiling.profiler import JobProfile
 from repro.profiling.repository import ProfileRepository
 from repro.rl.env import Env
@@ -36,6 +61,207 @@ from repro.rl.spaces import Discrete
 from repro.workloads.jobs import Job
 
 __all__ = ["CoSchedulingEnv"]
+
+
+class _ActionInfo:
+    """Static facts about one group template, computed once per env.
+
+    Everything here is a pure function of the template's partition tree:
+    its slots, their ``(compute, memory)`` shapes, and the memory
+    domains the conflict-aware objective penalizes (pre-filtered to the
+    multi-slot ones, with their bandwidth fractions).
+    """
+
+    __slots__ = (
+        "variant",
+        "tree",
+        "slots",
+        "shapes",
+        "betas",
+        "domains",
+        "alphas",
+        "all_domains",
+        "all_alphas",
+    )
+
+    def __init__(self, variant) -> None:
+        self.variant = variant
+        self.tree = variant.tree
+        self.slots = self.tree.slots()
+        self.shapes = tuple(
+            (s.compute_fraction, s.mem_fraction) for s in self.slots
+        )
+        self.betas = [s.compute_fraction for s in self.slots]
+        all_domains = self.tree.mem_domains()
+        # All domains (with their bandwidth fractions) for the analytic
+        # predictor; only the multi-slot ones for the conflict penalty.
+        self.all_domains = [tuple(d) for d in all_domains]
+        self.all_alphas = [
+            self.slots[d[0]].mem_fraction for d in self.all_domains
+        ]
+        self.domains = [d for d in self.all_domains if len(d) >= 2]
+        self.alphas = [self.slots[d[0]].mem_fraction for d in self.domains]
+
+
+class _WindowContext:
+    """Per-window precomputation for the fast path.
+
+    Holds the window's profiles/stats/encoding plus profile-derived
+    scalars (normalized memory demand, squared duration ratio) and
+    lazily-built reward tables: for each distinct slot shape, the
+    intermediate reward of every window job, evaluated exactly once.
+    The tables' values are the same floats the reference path computes
+    — only the bookkeeping around them is cheaper.
+    """
+
+    __slots__ = (
+        "profiles",
+        "stats",
+        "encoding",
+        "mem",
+        "dur2",
+        "pred",
+        "_rows",
+        "_matrices",
+        "predict_memo",
+    )
+
+    def __init__(
+        self, profiles: list[JobProfile], extractor: FeatureExtractor
+    ) -> None:
+        self.profiles = profiles
+        self.stats = WindowStats.from_profiles(profiles)
+        self.encoding = extractor.precompute(profiles)
+        mean_solo = max(self.stats.mean_solo_time, 1e-9)
+        self.mem = [p.counters.memory_pct / 100.0 for p in profiles]
+        self.dur2 = [(p.solo_time / mean_solo) ** 2 for p in profiles]
+        self.pred: list[tuple[float, float, float, float]] | None = None
+        self._rows: dict[tuple[float, float], np.ndarray] = {}
+        self._matrices: dict[int, tuple[np.ndarray, list[list[float]]]] = {}
+        self.predict_memo: dict[tuple, float] = {}
+
+    def predictor_consts(self) -> list[tuple[float, float, float, float]]:
+        """Per-job ``(t_comp, t_mem, scalability, demand)`` — the pure
+        per-profile quantities :class:`AnalyticPredictor` re-derives on
+        every ``predict_job`` call, computed once per window."""
+        p = self.pred
+        if p is None:
+            p = [
+                (
+                    *AnalyticPredictor.phase_split(prof),
+                    AnalyticPredictor.scalability(prof),
+                    AnalyticPredictor.bw_demand(prof),
+                )
+                for prof in self.profiles
+            ]
+            self.pred = p
+        return p
+
+    def matrix(
+        self, info: _ActionInfo, action: int
+    ) -> tuple[np.ndarray, list[list[float]]]:
+        """The full-window ``(job, slot)`` reward matrix for a template,
+        as an array (for the Hungarian solver) plus its row lists (for
+        the scalar local search). Keyed by action index — an int hash —
+        with the underlying per-shape reward rows shared across actions,
+        so each distinct (job, shape) reward is evaluated once."""
+        m = self._matrices.get(action)
+        if m is None:
+            cols = []
+            for shape, slot in zip(info.shapes, info.slots):
+                row = self._rows.get(shape)
+                if row is None:
+                    row = np.array(
+                        [
+                            intermediate_reward(p, slot, self.stats)
+                            for p in self.profiles
+                        ]
+                    )
+                    self._rows[shape] = row
+                cols.append(row)
+            arr = np.column_stack(cols)
+            m = (arr, arr.tolist())
+            self._matrices[action] = m
+        return m
+
+
+def _conflict_search(
+    rewards: list[list[float]],
+    mem: list[float],
+    dur2: list[float],
+    domains: list[tuple[int, ...]],
+    alphas: list[float],
+    lam: float,
+    start: list[int],
+) -> list[int]:
+    """Lean replica of :func:`repro.core.assignment.assign_conflict_aware`.
+
+    Same first-improvement local search, same pass structure, same
+    tie-breaking epsilon — but scoring reads precomputed per-candidate
+    lists instead of walking profile attributes, so one score costs a
+    couple of microseconds. Every arithmetic operation is performed in
+    the reference's order, so scores (and therefore the returned
+    binding) are bitwise-identical.
+    """
+    n_slots = len(start)
+    n_jobs = len(rewards)
+    slot_range = range(n_slots)
+    dom_alpha = list(zip(domains, alphas))
+    # lam * mem[j] is the first product of every penalty term; hoisting
+    # it out of the search touches the same two operands, so the scores
+    # stay bitwise-identical.
+    lamd = [lam * m for m in mem]
+
+    # default-argument binding turns every closure variable into a fast
+    # local lookup — score() runs thousands of times per search
+    def score(
+        binding: list[int],
+        rewards: list[list[float]] = rewards,
+        mem: list[float] = mem,
+        lamd: list[float] = lamd,
+        dur2: list[float] = dur2,
+        dom_alpha: list = dom_alpha,
+        slot_range: range = slot_range,
+        lam: float = lam,
+    ) -> float:
+        total = 0.0
+        for s in slot_range:
+            total += rewards[binding[s]][s]
+        if lam:
+            for domain, alpha in dom_alpha:
+                demands = [mem[binding[s]] for s in domain]
+                dsum = sum(demands)
+                for s, d in zip(domain, demands):
+                    j = binding[s]
+                    total -= lamd[j] * (dsum - d) / alpha * dur2[j]
+        return total
+
+    binding = list(start)
+    best = score(binding)
+    for _ in range(4):
+        improved = False
+        bound = set(binding)
+        for a in range(n_slots):
+            for b in range(a + 1, n_slots):
+                cand = binding.copy()
+                cand[a], cand[b] = cand[b], cand[a]
+                s = score(cand)
+                if s > best + 1e-12:
+                    binding, best, improved = cand, s, True
+                    bound = set(binding)
+        for a in range(n_slots):
+            for j in range(n_jobs):
+                if j in bound:
+                    continue
+                cand = binding.copy()
+                cand[a] = j
+                s = score(cand)
+                if s > best + 1e-12:
+                    binding, best, improved = cand, s, True
+                    bound = set(binding)
+        if not improved:
+            break
+    return binding
 
 
 class CoSchedulingEnv(Env):
@@ -51,6 +277,9 @@ class CoSchedulingEnv(Env):
         seed: int = 0,
         shuffle_windows: bool = True,
         binding: str = "auto",
+        memoize_decisions: bool = True,
+        decision_cache_size: int = 32768,
+        window_context_cache: dict[int, "_WindowContext"] | None = None,
     ):
         if binding not in ("auto", "optimal", "conflict"):
             raise SchedulingError(
@@ -79,12 +308,39 @@ class CoSchedulingEnv(Env):
         self.binding = binding
         self._episode = -1
 
+        # Fast-path state. Everything the step computation derives from
+        # (window index, availability set, action) is deterministic, so
+        # repeated decisions over the fixed window set are memoized:
+        # a cached entry replays the exact (binding, rewards, group)
+        # triple the reference computation would produce. The whole fast
+        # path — decision memo, window contexts, reward tables — is
+        # bypassed whenever global co-run caching is disabled, so one
+        # switch selects reference vs. fast semantics for a whole
+        # episode (the mode is latched at reset()).
+        self.memoize_decisions = memoize_decisions
+        self._decisions = CoRunCache(maxsize=decision_cache_size)
+        # An externally-owned cache (keyed by window index) lets a
+        # trainer share the per-window precomputation across the many
+        # short-lived environments it builds over one fixed window set.
+        self._window_cache: dict[int, _WindowContext] = (
+            {} if window_context_cache is None else window_context_cache
+        )
+        self._action_infos: list[_ActionInfo | None] = [None] * catalog.n_actions
+        self._window_idx = -1
+        self._fast = False
+
         # per-episode state
         self._jobs: list[Job] = []
         self._profiles: list[JobProfile] = []
         self._available: list[bool] = []
         self._stats: WindowStats | None = None
+        self._ctx: _WindowContext | None = None
         self._schedule: Schedule | None = None
+
+    @property
+    def decision_cache(self) -> CoRunCache:
+        """The per-environment step-decision memo (for diagnostics)."""
+        return self._decisions
 
     # ------------------------------------------------------------------
     # episode control
@@ -108,27 +364,43 @@ class CoSchedulingEnv(Env):
             idx = int(self._rng.integers(len(self.windows)))
         else:
             idx = self._episode % len(self.windows)
+        self._window_idx = idx
         self._jobs = list(self.windows[idx])
-        self._profiles = [self.repository.lookup(j) for j in self._jobs]
+        self._fast = self.memoize_decisions and corun_caching_enabled()
+        if self._fast:
+            ctx = self._window_cache.get(idx)
+            if ctx is None:
+                profiles = [self.repository.lookup(j) for j in self._jobs]
+                ctx = _WindowContext(profiles, self.extractor)
+                self._window_cache[idx] = ctx
+            self._ctx = ctx
+            self._profiles = ctx.profiles
+            self._stats = ctx.stats
+        else:
+            self._ctx = None
+            self._profiles = [self.repository.lookup(j) for j in self._jobs]
+            self._stats = WindowStats.from_profiles(self._profiles)
         self._available = [True] * len(self._jobs)
-        self._stats = WindowStats.from_profiles(self._profiles)
         self._schedule = Schedule(method="MIG+MPS w/ RL")
         return self._observe(), self._info()
 
     def _observe(self) -> np.ndarray:
+        if self._ctx is not None:
+            return self._ctx.encoding.encode(self._available)
         return self.extractor.encode(self._profiles, self._available)
 
     def _n_remaining(self) -> int:
         return sum(self._available)
 
     def _info(self) -> dict[str, Any]:
+        n = self._n_remaining()
         return {
-            "action_mask": self.catalog.mask(self._n_remaining()),
-            "n_remaining": self._n_remaining(),
+            "action_mask": self.catalog.mask(n),
+            "n_remaining": n,
         }
 
     def _bind(self, tree, cand_profiles) -> list[int]:
-        """Bind candidate jobs to the template's slots.
+        """Reference binder: candidate jobs onto the template's slots.
 
         In ``auto`` mode two profile-driven candidate bindings are
         produced — the pure ``r_i`` maximizer and the conflict-aware
@@ -151,6 +423,105 @@ class CoSchedulingEnv(Env):
         return min(options, key=lambda x: x[0])[1]
 
     # ------------------------------------------------------------------
+    # fast-path decision
+    # ------------------------------------------------------------------
+    def _action_info(self, action: int) -> _ActionInfo:
+        info = self._action_infos[action]
+        if info is None:
+            info = _ActionInfo(self.catalog.variant(action))
+            self._action_infos[action] = info
+        return info
+
+    def _predict(
+        self, info: _ActionInfo, action: int, chosen: list[int]
+    ) -> float:
+        """Memoized analytic-predictor makespan for a concrete binding.
+
+        Inlines :meth:`AnalyticPredictor.predict_group` +
+        :meth:`~AnalyticPredictor.predict_job` over the window's
+        precomputed per-profile constants — identical arithmetic in
+        identical order, so the makespan is the same float the reference
+        path's predictor returns.
+        """
+        key = (action, tuple(chosen))
+        memo = self._ctx.predict_memo
+        est = memo.get(key)
+        if est is None:
+            pred = self._ctx.predictor_consts()
+            sens = self.predictor.sensitivity
+            betas = info.betas
+            times = [0.0] * len(chosen)
+            for domain, alpha in zip(info.all_domains, info.all_alphas):
+                demands = [min(pred[chosen[s]][3], alpha) for s in domain]
+                total = sum(demands)
+                for s, d in zip(domain, demands):
+                    t_comp, t_mem, f, demand = pred[chosen[s]]
+                    avail = (
+                        alpha
+                        if total <= alpha
+                        else alpha * d / max(total, 1e-9)
+                    )
+                    pressure = total - d
+                    comp_scale = (1.0 - f) + f / max(betas[s], 1e-6)
+                    mem_scale = demand / max(min(demand, avail), 1e-9)
+                    mem_scale *= 1.0 + sens * max(0.0, pressure)
+                    tc = t_comp * comp_scale
+                    tm = t_mem * mem_scale
+                    times[s] = max(tc, tm) + 0.2 * min(tc, tm)
+            est = max(times)
+            memo[key] = est
+        return est
+
+    def _decide_fast(
+        self, action: int
+    ) -> tuple[tuple[int, ...], tuple[float, ...], ScheduledGroup]:
+        """One step's decision via the precomputed window tables.
+
+        Replays the reference computation — optimal binding via the
+        Hungarian algorithm on the same reward matrix, the same
+        conflict-aware local search, the same predictor arbitration
+        (skipped entirely when both binders agree, which cannot change
+        the outcome) — producing the identical (chosen, rewards, group)
+        triple.
+        """
+        info = self._action_info(action)
+        ctx = self._ctx
+        candidates = [i for i, a in enumerate(self._available) if a]
+        m, m_list = ctx.matrix(info, action)
+        sub = m[candidates, :]
+        rows, cols = linear_sum_assignment(sub, maximize=True)
+        n_slots = len(info.slots)
+        b_opt = [0] * n_slots
+        for j, s in zip(rows, cols):
+            b_opt[s] = int(j)
+        if self.binding == "optimal":
+            binding = b_opt
+        else:
+            b_ca = _conflict_search(
+                [m_list[i] for i in candidates],
+                [ctx.mem[i] for i in candidates],
+                [ctx.dur2[i] for i in candidates],
+                info.domains,
+                info.alphas,
+                CONFLICT_WEIGHT,
+                b_opt,
+            )
+            if self.binding == "conflict" or b_ca == b_opt:
+                binding = b_ca
+            else:
+                est_ca = self._predict(
+                    info, action, [candidates[b] for b in b_ca]
+                )
+                est_opt = self._predict(
+                    info, action, [candidates[b] for b in b_opt]
+                )
+                binding = b_ca if est_ca <= est_opt else b_opt
+        chosen = tuple(candidates[b] for b in binding)
+        r_is = tuple(float(sub[b, s]) for s, b in enumerate(binding))
+        group = ScheduledGroup.run([self._jobs[i] for i in chosen], info.tree)
+        return chosen, r_is, group
+
+    # ------------------------------------------------------------------
     # transition
     # ------------------------------------------------------------------
     def step(
@@ -164,18 +535,29 @@ class CoSchedulingEnv(Env):
                 f"action {action} (C={self.catalog.concurrency(action)}) is "
                 f"invalid with {self._n_remaining()} jobs remaining"
             )
-        variant = self.catalog.variant(action)
-        candidates = [i for i, a in enumerate(self._available) if a]
-        cand_profiles = [self._profiles[i] for i in candidates]
-        binding = self._bind(variant.tree, cand_profiles)
-        chosen = [candidates[b] for b in binding]
-
-        slots = variant.tree.slots()
-        r_is = [
-            intermediate_reward(self._profiles[i], slot, self._stats)
-            for i, slot in zip(chosen, slots)
-        ]
-        group = ScheduledGroup.run([self._jobs[i] for i in chosen], variant.tree)
+        if self._fast:
+            memo_key = (self._window_idx, tuple(self._available), action)
+            decision = self._decisions.get(memo_key)
+            if decision is None:
+                decision = self._decide_fast(action)
+                # ScheduledGroup is frozen, so the instance can be
+                # shared by every schedule that replays this decision.
+                self._decisions.put(memo_key, decision)
+            chosen, r_is, group = decision
+        else:
+            variant = self.catalog.variant(action)
+            candidates = [i for i, a in enumerate(self._available) if a]
+            cand_profiles = [self._profiles[i] for i in candidates]
+            binding = self._bind(variant.tree, cand_profiles)
+            chosen = [candidates[b] for b in binding]
+            slots = variant.tree.slots()
+            r_is = [
+                intermediate_reward(self._profiles[i], slot, self._stats)
+                for i, slot in zip(chosen, slots)
+            ]
+            group = ScheduledGroup.run(
+                [self._jobs[i] for i in chosen], variant.tree
+            )
         self._schedule.append(group)
         for i in chosen:
             self._available[i] = False

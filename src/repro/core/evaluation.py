@@ -123,8 +123,15 @@ def profile_all_benchmarks(
 _TRAIN_CACHE: dict[tuple, TrainingResult] = {}
 
 
-def trained_agent(config: EvaluationConfig = EvaluationConfig()) -> TrainingResult:
-    """Train (or fetch the cached) agent for a configuration."""
+def trained_agent(config: EvaluationConfig | None = None) -> TrainingResult:
+    """Train (or fetch the cached) agent for a configuration.
+
+    ``None`` means the paper defaults. (Defaults are constructed per
+    call rather than shared in the signature — a shared default instance
+    is a classic aliasing trap, and keeping the dataclass frozen plus a
+    ``None`` default makes the memo key unambiguous.)
+    """
+    config = config or EvaluationConfig()
     key = config.key()
     if key not in _TRAIN_CACHE:
         trainer = OfflineTrainer(
@@ -174,7 +181,7 @@ class _RlAdapter:
 
 
 def evaluate_methods(
-    config: EvaluationConfig = EvaluationConfig(),
+    config: EvaluationConfig | None = None,
     queues: dict | None = None,
     methods: tuple[str, ...] = METHODS,
 ) -> dict[str, MethodResults]:
@@ -183,6 +190,7 @@ def evaluate_methods(
     Defaults reproduce the Fig. 8/11/12 protocol: all five methods over
     the Table V queues Q1..Q12 at ``W = 12``, ``C_max = 4``.
     """
+    config = config or EvaluationConfig()
     training = trained_agent(config)
     queues = queues if queues is not None else paper_queues()
     schedulers = _schedulers(config, training)
@@ -219,10 +227,11 @@ def _random_eval_queues(w: int, seed: int = 1234) -> dict:
 
 def window_size_sweep(
     sizes: tuple[int, ...] = (4, 8, 12, 16),
-    base: EvaluationConfig = EvaluationConfig(),
+    base: EvaluationConfig | None = None,
     method: str = "MIG+MPS w/ RL",
 ) -> dict[int, float]:
     """Fig. 9: average throughput vs window size W (C_max fixed)."""
+    base = base or EvaluationConfig()
     out = {}
     for w in sizes:
         cfg = EvaluationConfig(
@@ -239,10 +248,11 @@ def window_size_sweep(
 
 def cmax_sweep(
     cmaxes: tuple[int, ...] = (2, 3, 4),
-    base: EvaluationConfig = EvaluationConfig(),
+    base: EvaluationConfig | None = None,
     method: str = "MIG+MPS w/ RL",
 ) -> dict[int, float]:
     """Fig. 10: average throughput vs maximum concurrency (W fixed)."""
+    base = base or EvaluationConfig()
     out = {}
     for c in cmaxes:
         cfg = EvaluationConfig(

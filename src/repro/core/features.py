@@ -35,7 +35,12 @@ from repro.profiling.profiler import JobProfile
 from repro.rl.spaces import Box
 from repro.workloads.suite import CLASS_CI, CLASS_MI, CLASS_US
 
-__all__ = ["FeatureExtractor", "N_COUNTER_FEATURES", "N_EXTRA_FEATURES"]
+__all__ = [
+    "FeatureExtractor",
+    "WindowEncoding",
+    "N_COUNTER_FEATURES",
+    "N_EXTRA_FEATURES",
+]
 
 #: f in the paper's input-layer formula.
 N_COUNTER_FEATURES = 12
@@ -127,4 +132,54 @@ class FeatureExtractor:
                     ]
                 )
                 out[i] = np.concatenate([counters, ratios])
+        return out.ravel()
+
+    def precompute(self, profiles: list[JobProfile]) -> "WindowEncoding":
+        """Precompute everything about a window that does not depend on
+        availability (see :class:`WindowEncoding`)."""
+        return WindowEncoding(self, profiles)
+
+
+#: Column index of the availability flag inside one job's feature row.
+_FLAG_COLUMN = N_COUNTER_FEATURES + 3
+
+
+class WindowEncoding:
+    """A window's observation with only the availability flags mutable.
+
+    Of the ``W x (f + 5)`` features, everything except the availability
+    flag is a pure function of the window's profiles — constant for the
+    whole episode (and, with fixed training windows, across episodes).
+    The constructor runs the full :meth:`FeatureExtractor.encode` logic
+    once; :meth:`encode` then only writes the flag column and ravels,
+    producing bitwise-identical observations at a fraction of the cost.
+    """
+
+    def __init__(self, extractor: FeatureExtractor, profiles: list[JobProfile]):
+        self.extractor = extractor
+        self.n_jobs = len(profiles)
+        # All-available reference encoding; rows beyond the window stay 0.
+        base = extractor.encode(profiles, [True] * len(profiles))
+        self._base = base.reshape(extractor.window_size, extractor.features_per_job)
+        # encode() sorts the window canonically; recover where each
+        # original job landed so flags can be written per queue index.
+        if profiles:
+            order = sorted(
+                range(len(profiles)),
+                key=lambda i: (
+                    _CLASS_INDEX[classify(profiles[i])],
+                    -profiles[i].solo_time,
+                ),
+            )
+            self._row_of_job = {job: row for row, job in enumerate(order)}
+        else:
+            self._row_of_job = {}
+
+    def encode(self, available: list[bool]) -> np.ndarray:
+        """The observation for an availability state (flat copy)."""
+        if len(available) != self.n_jobs:
+            raise SchedulingError("profiles and availability flags must align")
+        out = self._base.copy()
+        for job, row in self._row_of_job.items():
+            out[row, _FLAG_COLUMN] = 1.0 if available[job] else 0.0
         return out.ravel()

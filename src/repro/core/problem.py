@@ -20,15 +20,26 @@ from dataclasses import dataclass, field
 
 from repro.errors import SchedulingError
 from repro.gpu.partition import CiNode, GiNode, PartitionTree
-from repro.perfmodel.corun import CoRunResult, simulate_corun
+from repro.perfmodel.cache import cached_simulate_corun
+from repro.perfmodel.corun import CoRunResult
 from repro.workloads.jobs import Job
 
 __all__ = ["solo_partition", "ScheduledGroup", "Schedule", "SchedulingProblem"]
 
 
+_SOLO_PARTITION = PartitionTree(
+    gis=(GiNode(1.0, (CiNode(1.0),)),), mig_enabled=False
+)
+
+
 def solo_partition() -> PartitionTree:
-    """The trivial partition: the whole device for one job."""
-    return PartitionTree(gis=(GiNode(1.0, (CiNode(1.0),)),), mig_enabled=False)
+    """The trivial partition: the whole device for one job.
+
+    Partition trees are immutable, so one shared instance serves every
+    solo run — which also keeps the per-tree memos (signatures, derived
+    slot structure) warm instead of re-deriving them per drain.
+    """
+    return _SOLO_PARTITION
 
 
 @dataclass(frozen=True)
@@ -54,8 +65,14 @@ class ScheduledGroup:
 
     @classmethod
     def run(cls, jobs: list[Job], partition: PartitionTree) -> "ScheduledGroup":
-        """Simulate a group under a partition and record the outcome."""
-        result = simulate_corun([j.model for j in jobs], partition)
+        """Simulate a group under a partition and record the outcome.
+
+        Evaluations go through the process-wide
+        :class:`~repro.perfmodel.cache.CoRunCache` — the simulation is
+        deterministic, so repeated (group, partition) pairs (ubiquitous
+        in offline training over fixed windows) are served from memory.
+        """
+        result = cached_simulate_corun([j.model for j in jobs], partition)
         return cls(jobs=tuple(jobs), partition=partition, result=result)
 
     @classmethod

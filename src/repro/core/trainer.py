@@ -26,8 +26,10 @@ from repro.core.actions import ActionCatalog
 from repro.core.env import CoSchedulingEnv
 from repro.core.features import FeatureExtractor
 from repro.core.rewards import RewardConfig
+from repro.core.vector_env import VectorCoSchedulingEnv
 from repro.gpu.arch import A100_40GB, GpuSpec
 from repro.gpu.device import SimulatedGpu
+from repro.perfmodel.cache import CacheStats, corun_cache
 from repro.profiling.profiler import NsightProfiler
 from repro.profiling.repository import ProfileRepository
 from repro.rl.dqn import DQNConfig, DuelingDoubleDQNAgent
@@ -40,12 +42,20 @@ __all__ = ["TrainingResult", "OfflineTrainer"]
 
 @dataclass
 class TrainingResult:
-    """Trained agent + per-episode diagnostics."""
+    """Trained agent + per-episode diagnostics.
+
+    ``cache_stats`` reports the fast path's effectiveness over this
+    training run: ``"corun"`` is the process-wide
+    :class:`~repro.perfmodel.cache.CoRunCache` delta (hits / misses /
+    evictions attributable to the run), ``"decisions"`` the
+    environment-level step-decision memo.
+    """
 
     agent: DuelingDoubleDQNAgent
     repository: ProfileRepository
     episode_returns: list[float] = field(default_factory=list)
     episode_throughputs: list[float] = field(default_factory=list)
+    cache_stats: dict[str, CacheStats] = field(default_factory=dict)
 
     @property
     def final_throughput(self) -> float:
@@ -88,6 +98,12 @@ class OfflineTrainer:
         }
         cfg_kwargs.update(dqn_overrides or {})
         self.dqn_config = DQNConfig(**cfg_kwargs)
+        self._windows: list[list[Job]] | None = None
+        # Window contexts are pure functions of (window, repository);
+        # sharing them across the environments built over the trainer's
+        # lifetime avoids rebuilding the per-window tables every call.
+        self._ctx_repo: ProfileRepository | None = None
+        self._ctx_cache: dict = {}
 
     # ------------------------------------------------------------------
     def build_repository(self) -> ProfileRepository:
@@ -102,20 +118,36 @@ class OfflineTrainer:
             repo.store(job, profiler.profile(job))
         return repo
 
-    def build_env(self, repository: ProfileRepository) -> CoSchedulingEnv:
-        gen = QueueGenerator(seed=self.seed, training_only=True)
-        queues = gen.training_queues(
-            n=self.n_training_queues, w=self.window_size
-        )
-        windows = [q.window(self.window_size) for q in queues]
+    def build_env(
+        self, repository: ProfileRepository, env_seed: int | None = None
+    ) -> CoSchedulingEnv:
+        """One training environment over the fixed window set.
+
+        ``env_seed`` decorrelates the window-draw streams of the
+        sub-environments in a vectorized rollout; the window *set*
+        itself is always generated from the trainer's seed.
+        """
+        windows = self._windows
+        if windows is None:
+            # The window set is a pure function of the trainer's
+            # configuration — generate it once, not per train() call.
+            gen = QueueGenerator(seed=self.seed, training_only=True)
+            queues = gen.training_queues(
+                n=self.n_training_queues, w=self.window_size
+            )
+            windows = [q.window(self.window_size) for q in queues]
+            self._windows = windows
+        if self._ctx_repo is not repository:
+            self._ctx_repo, self._ctx_cache = repository, {}
         return CoSchedulingEnv(
             windows=windows,
             repository=repository,
             catalog=self.catalog,
             window_size=self.window_size,
             reward_config=self.reward_config,
-            seed=self.seed,
+            seed=self.seed if env_seed is None else env_seed,
             binding=self.binding,
+            window_context_cache=self._ctx_cache,
         )
 
     # ------------------------------------------------------------------
@@ -131,6 +163,7 @@ class OfflineTrainer:
         env = self.build_env(repo)
         agent = DuelingDoubleDQNAgent(self.dqn_config)
         result = TrainingResult(agent=agent, repository=repo)
+        corun_before = corun_cache().stats
 
         for _ in range(episodes):
             obs, info = env.reset()
@@ -150,4 +183,80 @@ class OfflineTrainer:
             result.episode_throughputs.append(
                 info["schedule"].throughput_gain
             )
+        result.cache_stats = {
+            "corun": corun_cache().stats.delta(corun_before),
+            "decisions": env.decision_cache.stats,
+        }
+        return result
+
+    def train_vectorized(
+        self,
+        episodes: int = 400,
+        n_envs: int = 4,
+        repository: ProfileRepository | None = None,
+    ) -> TrainingResult:
+        """Offline training over ``n_envs`` synchronous environments.
+
+        Each iteration advances every environment one step with a single
+        batched network forward (:meth:`act_many`), so the NN cost per
+        decision drops by ``n_envs``x. The learning setup is unchanged —
+        same replay, same update-to-data ratio — but rollouts interleave
+        across environments, so the trajectory (and RNG consumption)
+        differs from the serial :meth:`train`; use the serial path when
+        bitwise reproducibility against it matters.
+        """
+        if episodes <= 0:
+            raise TrainingError("episode budget must be positive")
+        if n_envs <= 0:
+            raise TrainingError("n_envs must be positive")
+        repo = repository or self.build_repository()
+        venv = VectorCoSchedulingEnv.from_factory(
+            lambda rank: self.build_env(repo, env_seed=self.seed + rank),
+            n_envs,
+        )
+        agent = DuelingDoubleDQNAgent(self.dqn_config)
+        result = TrainingResult(agent=agent, repository=repo)
+        corun_before = corun_cache().stats
+
+        obs, infos = venv.reset()
+        masks = venv.action_masks(infos)
+        ep_returns = np.zeros(n_envs)
+        while len(result.episode_returns) < episodes:
+            actions = agent.act_many(obs, masks)
+            next_obs, rewards, terms, truncs, infos = venv.step(actions)
+            dones = terms | truncs
+            # For transitions that ended an episode, bootstrap targets
+            # need the *terminal* state/mask, not the auto-reset one.
+            replay_next = next_obs.copy()
+            next_masks = []
+            for i, info in enumerate(infos):
+                if "final_info" in info:
+                    replay_next[i] = info["final_observation"]
+                    next_masks.append(info["final_info"]["action_mask"])
+                else:
+                    next_masks.append(info["action_mask"])
+            agent.observe_many(
+                obs, actions, rewards, replay_next, dones, np.stack(next_masks)
+            )
+            ep_returns += rewards
+            for i in np.flatnonzero(dones):
+                if len(result.episode_returns) < episodes:
+                    result.episode_returns.append(float(ep_returns[i]))
+                    result.episode_throughputs.append(
+                        infos[i]["final_info"]["schedule"].throughput_gain
+                    )
+                ep_returns[i] = 0.0
+            obs = next_obs
+            masks = venv.action_masks(infos)
+        per_env = [env.decision_cache.stats for env in venv.envs]
+        result.cache_stats = {
+            "corun": corun_cache().stats.delta(corun_before),
+            "decisions": CacheStats(
+                hits=sum(s.hits for s in per_env),
+                misses=sum(s.misses for s in per_env),
+                evictions=sum(s.evictions for s in per_env),
+                size=sum(s.size for s in per_env),
+                maxsize=per_env[0].maxsize,
+            ),
+        }
         return result

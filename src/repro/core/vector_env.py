@@ -1,0 +1,137 @@
+"""Synchronous vectorized co-scheduling environments.
+
+:class:`VectorCoSchedulingEnv` steps ``N`` independent
+:class:`~repro.core.env.CoSchedulingEnv` instances per iteration so the
+agent's network forwards are batched: one
+:meth:`~repro.rl.dqn.DuelingDoubleDQNAgent.act_many` call serves all
+``N`` decisions, amortizing the NN cost that dominates once the co-run
+and binding layers are memoized.
+
+Semantics follow the gymnasium ``SyncVectorEnv`` conventions:
+
+* ``reset()`` resets every sub-environment and returns stacked
+  observations plus per-env infos;
+* ``step(actions)`` steps every sub-environment; a terminated
+  sub-environment is **auto-reset** in the same call (configurable),
+  with its final observation/info preserved under ``final_observation``
+  / ``final_info`` in that env's info dict — the returned observation
+  row is already the first of the next episode;
+* each sub-environment keeps its own RNG stream, so a vector env over
+  envs seeded ``s, s+1, ...`` reproduces the transitions of ``N``
+  serial envs with those seeds exactly.
+
+The wrapper is deliberately synchronous (no processes, no threads): the
+sub-environments are already fast — memoized decisions and precomputed
+observations — so IPC would cost more than it saves, and determinism
+stays trivial.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import SchedulingError
+from repro.core.env import CoSchedulingEnv
+
+__all__ = ["VectorCoSchedulingEnv"]
+
+
+class VectorCoSchedulingEnv:
+    """N synchronous co-scheduling environments behind one batched API."""
+
+    def __init__(self, envs: Sequence[CoSchedulingEnv], autoreset: bool = True):
+        if not envs:
+            raise SchedulingError("a vector env needs at least one environment")
+        self.envs = list(envs)
+        self.autoreset = autoreset
+        first = self.envs[0]
+        for env in self.envs[1:]:
+            if env.observation_space.shape != first.observation_space.shape:
+                raise SchedulingError(
+                    "all sub-environments must share an observation shape"
+                )
+            if env.action_space.n != first.action_space.n:
+                raise SchedulingError(
+                    "all sub-environments must share an action space"
+                )
+        self.observation_space = first.observation_space
+        self.action_space = first.action_space
+
+    @classmethod
+    def from_factory(
+        cls,
+        factory: Callable[[int], CoSchedulingEnv],
+        n_envs: int,
+        autoreset: bool = True,
+    ) -> "VectorCoSchedulingEnv":
+        """Build ``n_envs`` environments with ``factory(rank)``."""
+        if n_envs <= 0:
+            raise SchedulingError("n_envs must be positive")
+        return cls([factory(rank) for rank in range(n_envs)], autoreset=autoreset)
+
+    @property
+    def num_envs(self) -> int:
+        return len(self.envs)
+
+    # ------------------------------------------------------------------
+    def reset(
+        self, *, seed: int | None = None
+    ) -> tuple[np.ndarray, list[dict[str, Any]]]:
+        """Reset every sub-environment.
+
+        ``seed`` seeds env ``i`` with ``seed + i`` (matching ``N``
+        serial envs seeded that way); ``None`` keeps each env's stream.
+        """
+        obs_list, infos = [], []
+        for i, env in enumerate(self.envs):
+            obs, info = env.reset(seed=None if seed is None else seed + i)
+            obs_list.append(obs)
+            infos.append(info)
+        return np.stack(obs_list), infos
+
+    def step(
+        self, actions: Sequence[int] | np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[dict[str, Any]]]:
+        """Step all sub-environments with one action each.
+
+        Returns ``(obs, rewards, terminated, truncated, infos)`` with
+        the leading dimension ``num_envs``. With ``autoreset``, a
+        finishing env's row holds the next episode's initial observation
+        and its info carries ``final_observation``/``final_info``.
+        """
+        actions = np.asarray(actions).ravel()
+        if actions.shape[0] != self.num_envs:
+            raise SchedulingError(
+                f"expected {self.num_envs} actions; got {actions.shape[0]}"
+            )
+        obs_rows, rewards, terms, truncs, infos = [], [], [], [], []
+        for env, action in zip(self.envs, actions):
+            obs, reward, terminated, truncated, info = env.step(int(action))
+            if (terminated or truncated) and self.autoreset:
+                final_obs, final_info = obs, info
+                obs, info = env.reset()
+                info = dict(info)
+                info["final_observation"] = final_obs
+                info["final_info"] = final_info
+            obs_rows.append(obs)
+            rewards.append(reward)
+            terms.append(terminated)
+            truncs.append(truncated)
+            infos.append(info)
+        return (
+            np.stack(obs_rows),
+            np.asarray(rewards, dtype=np.float64),
+            np.asarray(terms, dtype=bool),
+            np.asarray(truncs, dtype=bool),
+            infos,
+        )
+
+    def action_masks(self, infos: list[dict[str, Any]]) -> np.ndarray:
+        """Stack the per-env ``action_mask`` entries of an info list."""
+        return np.stack([info["action_mask"] for info in infos])
+
+    def close(self) -> None:
+        for env in self.envs:
+            env.close()

@@ -158,9 +158,9 @@ class SimulatedGpu:
                 job.job_id, share.fraction * 100.0
             )
 
-        from repro.perfmodel.corun import simulate_corun
+        from repro.perfmodel.cache import cached_simulate_corun
 
-        corun = simulate_corun([j.model for j in jobs], tree)
+        corun = cached_simulate_corun([j.model for j in jobs], tree)
         start = self.clock
         launches = [
             LaunchResult(

@@ -26,6 +26,17 @@ from repro.perfmodel.corun import (
     solo_run_time,
     relative_throughput,
 )
+from repro.perfmodel.cache import (
+    CacheStats,
+    CoRunCache,
+    cached_simulate_corun,
+    corun_cache,
+    corun_cache_disabled,
+    corun_caching_enabled,
+    corun_signature,
+    reset_corun_cache,
+    set_corun_caching,
+)
 
 __all__ = [
     "solo_time",
@@ -38,4 +49,13 @@ __all__ = [
     "corun_time",
     "solo_run_time",
     "relative_throughput",
+    "CacheStats",
+    "CoRunCache",
+    "cached_simulate_corun",
+    "corun_cache",
+    "corun_cache_disabled",
+    "corun_caching_enabled",
+    "corun_signature",
+    "reset_corun_cache",
+    "set_corun_caching",
 ]

@@ -25,12 +25,13 @@ from dataclasses import dataclass
 
 from repro.errors import SchedulingError
 from repro.gpu.partition import PartitionTree
-from repro.perfmodel.interference import solve_domain
+from repro.perfmodel.interference import solve_domain, solve_domain_fast
 from repro.workloads.kernels import KernelModel
 
 __all__ = [
     "CoRunResult",
     "simulate_corun",
+    "simulate_corun_fast",
     "corun_time",
     "solo_run_time",
     "relative_throughput",
@@ -129,6 +130,137 @@ def simulate_corun(
                 )
                 rates[i] = 1.0 / t
         # Advance to the next completion event.
+        dt = min(remaining[i] / rates[i] for i in active)
+        now += dt
+        done = []
+        for i in active:
+            remaining[i] -= rates[i] * dt
+            if remaining[i] <= _WORK_EPS:
+                finish[i] = now
+                done.append(i)
+        if not done:  # pragma: no cover - dt picks at least one finisher
+            raise SchedulingError("co-run simulation failed to progress")
+        active.difference_update(done)
+
+    return CoRunResult(
+        job_names=tuple(m.name for m in models),
+        finish_times=tuple(finish),
+        solo_times=tuple(m.solo_time for m in models),
+        makespan=now,
+    )
+
+
+#: Per-tree static facts (slots, domains, shares) keyed by ``id(tree)``.
+#: Partition trees are immutable; the 29 catalog templates are reused
+#: for every group evaluation, so their derived structures are computed
+#: once. Values keep a strong reference to the tree so the id key stays
+#: valid; the map is cleared if ephemeral trees (solo partitions missing
+#: the co-run cache) ever bloat it.
+_TREE_MEMO: dict[int, tuple] = {}
+_TREE_MEMO_LIMIT = 4096
+
+#: Per-(model, compute share) execution-time constants, keyed by
+#: ``(id(model), beta)``: the compute-phase base ``t_compute *
+#: compute_scale(beta)`` plus the model fields the inner loop needs.
+#: Values keep a strong reference to the model so the id key stays
+#: valid. Both factors of the memoized product are exactly the operands
+#: :meth:`KernelModel.execution_time` multiplies first, so downstream
+#: arithmetic is bitwise-unchanged.
+_EXEC_MEMO: dict[tuple[int, float], tuple] = {}
+_EXEC_MEMO_LIMIT = 65536
+
+
+def _exec_consts(model: KernelModel, beta: float) -> tuple:
+    key = (id(model), beta)
+    hit = _EXEC_MEMO.get(key)
+    if hit is not None and hit[0] is model:
+        return hit
+    consts = (
+        model,
+        model.t_compute * model.compute_scale(beta),
+        model.t_memory,
+        model.bw_demand,
+        model.interference_sensitivity,
+        1.0 - model.overlap,
+    )
+    if len(_EXEC_MEMO) >= _EXEC_MEMO_LIMIT:
+        _EXEC_MEMO.clear()
+    _EXEC_MEMO[key] = consts
+    return consts
+
+
+def _tree_facts(tree: PartitionTree) -> tuple:
+    key = id(tree)
+    hit = _TREE_MEMO.get(key)
+    if hit is not None and hit[0] is tree:
+        return hit
+    slots = tree.slots()
+    facts = (
+        tree,
+        tree.mem_domains(),
+        [tree.gis[g].mem_fraction for g in range(len(tree.gis))],
+        [s.compute_fraction for s in slots],
+        [(s.gi_index, s.ci_index) for s in slots],
+        len(slots),
+    )
+    if len(_TREE_MEMO) >= _TREE_MEMO_LIMIT:
+        _TREE_MEMO.clear()
+    _TREE_MEMO[key] = facts
+    return facts
+
+
+def simulate_corun_fast(
+    models: list[KernelModel], tree: PartitionTree
+) -> CoRunResult:
+    """Lean re-implementation of :func:`simulate_corun` for the fast path.
+
+    Identical event-driven simulation, but the partition's static
+    structure is memoized per tree, domain solving goes through
+    :func:`~repro.perfmodel.interference.solve_domain_fast` (scalar
+    arithmetic, memoized effective demands, no per-job share objects).
+    Every float operation happens in the reference's order, so results
+    are bitwise-identical (pinned by tests).
+    """
+    _, domains, domain_bw, betas, ci_of_slot, n_slots = _tree_facts(tree)
+    n = len(models)
+    if n != n_slots:
+        raise SchedulingError(
+            f"group of {n} jobs cannot fill a partition with "
+            f"{n_slots} slots"
+        )
+
+    consts = [_exec_consts(models[i], betas[i]) for i in range(n)]
+    remaining = [1.0] * n
+    finish = [0.0] * n
+    active = set(range(n))
+    now = 0.0
+
+    while active:
+        ci_load: dict[tuple[int, int], int] = {}
+        for i in active:
+            ci_load[ci_of_slot[i]] = ci_load.get(ci_of_slot[i], 0) + 1
+        rates = [0.0] * n
+        for d_idx, slot_ids in enumerate(domains):
+            live = [i for i in slot_ids if i in active]
+            if not live:
+                continue
+            shares = solve_domain_fast(
+                [models[i] for i in live],
+                [betas[i] for i in live],
+                domain_bw[d_idx],
+            )
+            for i, (avail_bw, pressure) in zip(live, shares):
+                crowd = 1.0 + MPS_COMPUTE_CROWDING * (ci_load[ci_of_slot[i]] - 1)
+                # Inlined KernelModel.execution_time over the memoized
+                # constants — identical operations in identical order.
+                _, tc0, t_mem, bw_dem, sens, inv_ov = consts[i]
+                tc = tc0 * crowd
+                achieved = bw_dem if bw_dem <= avail_bw else avail_bw
+                tm = (t_mem * (bw_dem / achieved)) * (
+                    1.0 + sens * (pressure if pressure > 0.0 else 0.0)
+                )
+                hi, lo = (tc, tm) if tc >= tm else (tm, tc)
+                rates[i] = 1.0 / (hi + inv_ov * lo)
         dt = min(remaining[i] / rates[i] for i in active)
         now += dt
         done = []

@@ -36,7 +36,13 @@ import numpy as np
 
 from repro.workloads.kernels import KernelModel
 
-__all__ = ["DomainShare", "solve_domain", "effective_demand", "CROWDING_PRESSURE"]
+__all__ = [
+    "DomainShare",
+    "solve_domain",
+    "solve_domain_fast",
+    "effective_demand",
+    "CROWDING_PRESSURE",
+]
 
 #: Extra interference pressure contributed by each additional client in
 #: the same memory domain, independent of its bandwidth demand. Models
@@ -124,3 +130,60 @@ def solve_domain(
         )
         for a, p, d in zip(avail, pressure, demand)
     ]
+
+
+#: Memo of :func:`effective_demand` keyed by ``(id(model), beta)``.
+#: The demand is a pure function of the kernel model and the compute
+#: share, both drawn from small fixed sets during training (one model
+#: per profiled program, one share per distinct slot shape). Values
+#: hold a strong reference to the model so the id key stays valid.
+_DEMAND_MEMO: dict[tuple[int, float], tuple[KernelModel, float]] = {}
+
+
+def _effective_demand_cached(model: KernelModel, beta: float) -> float:
+    key = (id(model), beta)
+    hit = _DEMAND_MEMO.get(key)
+    if hit is not None and hit[0] is model:
+        return hit[1]
+    value = effective_demand(model, beta)
+    _DEMAND_MEMO[key] = (model, value)
+    return value
+
+
+def solve_domain_fast(
+    models: list[KernelModel],
+    compute_fractions: list[float],
+    domain_bandwidth: float,
+) -> list[tuple[float, float]]:
+    """Scalar re-implementation of :func:`solve_domain` for the fast path.
+
+    Returns bare ``(available_bw, pressure)`` pairs instead of
+    :class:`DomainShare` objects and memoizes the per-(model, share)
+    effective demand. Domains hold at most a handful of jobs, so the
+    NumPy reduction in :func:`solve_domain` degenerates to the same
+    left-to-right float accumulation performed here — the results are
+    bitwise-identical (pinned by tests); only the constant factors
+    differ.
+    """
+    n = len(models)
+    if n == 0:
+        return []
+    if domain_bandwidth <= 0:
+        raise ValueError("domain bandwidth must be positive")
+    if len(compute_fractions) != n:
+        raise ValueError("one compute fraction per model is required")
+
+    demand = [
+        min(_effective_demand_cached(m, beta), domain_bandwidth)
+        for m, beta in zip(models, compute_fractions)
+    ]
+    total = 0.0
+    for d in demand:
+        total += d
+    crowding = CROWDING_PRESSURE * (n - 1)
+    if total > domain_bandwidth:
+        return [
+            (domain_bandwidth * d / total, (total - d) + crowding)
+            for d in demand
+        ]
+    return [(domain_bandwidth, (total - d) + crowding) for d in demand]

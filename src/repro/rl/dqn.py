@@ -81,11 +81,13 @@ class DuelingDoubleDQNAgent:
             seed=config.seed,
             dueling=config.use_dueling,
         )
+        # seed=None: the target's weights are overwritten by the sync
+        # below, so drawing a second He init would be pure waste.
         self.target = DuelingQNetwork(
             config.n_inputs,
             config.n_actions,
             config.hidden,
-            seed=config.seed + 1,
+            seed=None,
             dueling=config.use_dueling,
         )
         self.target.load_state_dict(self.online.state_dict())
@@ -111,7 +113,7 @@ class DuelingDoubleDQNAgent:
 
     def q_values(self, state: np.ndarray) -> np.ndarray:
         """Online-network Q-values for a single state, shape ``(A,)``."""
-        return self.online.forward(np.atleast_2d(state))[0]
+        return self.online.infer(np.atleast_2d(state))[0]
 
     def act(self, state: np.ndarray, mask: np.ndarray | None = None) -> int:
         """Epsilon-greedy action among the valid set."""
@@ -126,10 +128,43 @@ class DuelingDoubleDQNAgent:
             raise TrainingError("no valid action available")
         self.env_steps += 1
         if self._rng.random() < self.epsilon:
-            return int(self._rng.choice(valid))
+            # equivalent to rng.choice(valid) — same draw, same stream —
+            # without Generator.choice's setup overhead
+            return int(valid[int(self._rng.integers(0, valid.size))])
         q = self.q_values(state)
         q = np.where(mask, q, _NEG_INF)
         return int(np.argmax(q))
+
+    def act_many(
+        self, states: np.ndarray, masks: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Epsilon-greedy actions for a batch of states, shape ``(B,)``.
+
+        One network forward serves the whole batch — this is what makes
+        vectorized rollouts pay: with ``B`` synchronous environments the
+        per-step NN cost is amortized ``B``-fold. All ``B`` states share
+        the current epsilon (they are concurrent, not sequential,
+        decisions); ``env_steps`` advances by ``B``.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        b = states.shape[0]
+        n = self.config.n_actions
+        if masks is None:
+            masks = np.ones((b, n), dtype=bool)
+        masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+        if masks.shape != (b, n):
+            raise ConfigurationError(f"masks must have shape ({b}, {n})")
+        if not masks.any(axis=1).all():
+            raise TrainingError("no valid action available")
+        eps = self.epsilon
+        self.env_steps += b
+        q = self.online.infer(states)
+        actions = np.argmax(np.where(masks, q, _NEG_INF), axis=1)
+        explore = self._rng.random(b) < eps
+        for i in np.flatnonzero(explore):
+            vm = np.flatnonzero(masks[i])
+            actions[i] = vm[int(self._rng.integers(0, vm.size))]
+        return actions.astype(np.int64)
 
     # ------------------------------------------------------------------
     # learning
@@ -155,6 +190,29 @@ class DuelingDoubleDQNAgent:
             return None
         return self.train_step()
 
+    def observe_many(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        next_masks: np.ndarray,
+    ) -> float | None:
+        """Store a batch of transitions, then take one gradient step per
+        stored transition (preserving the serial update-to-data ratio).
+
+        Returns the mean loss over the gradient steps taken, or ``None``
+        while warming up.
+        """
+        self.replay.push_many(
+            states, actions, rewards, next_states, dones, next_masks
+        )
+        if len(self.replay) < self.config.warmup_transitions:
+            return None
+        losses = [self.train_step() for _ in range(len(np.atleast_1d(actions)))]
+        return float(np.mean(losses))
+
     def train_step(self) -> float:
         """One minibatch update (double-DQN target, Huber loss)."""
         cfg = self.config
@@ -164,9 +222,9 @@ class DuelingDoubleDQNAgent:
         # (With use_double off, the target net both picks and evaluates —
         # vanilla DQN's maximization bias, kept for the ablation.)
         dead = ~batch.next_masks.any(axis=1)
-        q_next_target = self.target.forward(batch.next_states)
+        q_next_target = self.target.infer(batch.next_states)
         if cfg.use_double:
-            q_sel = self.online.forward(batch.next_states)
+            q_sel = self.online.infer(batch.next_states)
         else:
             q_sel = q_next_target
         q_sel = np.where(batch.next_masks, q_sel, _NEG_INF)

@@ -21,16 +21,31 @@ __all__ = ["Parameter", "Linear", "ReLU", "Sequential", "DuelingQNetwork"]
 
 
 class Parameter:
-    """A trainable tensor with its gradient accumulator."""
+    """A trainable tensor with its gradient accumulator.
 
-    __slots__ = ("value", "grad")
+    The gradient buffer is allocated on first access — inference-only
+    networks (act-time forwards, target networks) never pay for it.
+    """
+
+    __slots__ = ("value", "_grad")
 
     def __init__(self, value: np.ndarray):
         self.value = np.asarray(value, dtype=np.float64)
-        self.grad = np.zeros_like(self.value)
+        self._grad: np.ndarray | None = None
+
+    @property
+    def grad(self) -> np.ndarray:
+        if self._grad is None:
+            self._grad = np.zeros_like(self.value)
+        return self._grad
+
+    @grad.setter
+    def grad(self, value: np.ndarray) -> None:
+        self._grad = value
 
     def zero_grad(self) -> None:
-        self.grad.fill(0.0)
+        if self._grad is not None:
+            self._grad.fill(0.0)
 
 
 class Module:
@@ -54,15 +69,27 @@ class Module:
 
 
 class Linear(Module):
-    """Affine layer ``y = x W + b`` with He-normal initialization."""
+    """Affine layer ``y = x W + b`` with He-normal initialization.
 
-    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator):
+    ``rng=None`` zero-initializes the weights instead — for networks
+    whose parameters are immediately overwritten (target-network
+    clones), where drawing a full He init would be wasted work.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None,
+    ):
         if in_features <= 0 or out_features <= 0:
             raise ConfigurationError("layer sizes must be positive")
-        scale = np.sqrt(2.0 / in_features)
-        self.weight = Parameter(
-            rng.normal(0.0, scale, size=(in_features, out_features))
-        )
+        if rng is None:
+            weight = np.zeros((in_features, out_features))
+        else:
+            scale = np.sqrt(2.0 / in_features)
+            weight = rng.normal(0.0, scale, size=(in_features, out_features))
+        self.weight = Parameter(weight)
         self.bias = Parameter(np.zeros(out_features))
         self._x: np.ndarray | None = None
 
@@ -136,12 +163,14 @@ class DuelingQNetwork(Module):
         n_inputs: int,
         n_actions: int,
         hidden: tuple[int, ...] = (512, 256, 128),
-        seed: int = 0,
+        seed: int | None = 0,
         dueling: bool = True,
     ):
         if n_inputs <= 0 or n_actions <= 0:
             raise ConfigurationError("network sizes must be positive")
-        rng = np.random.default_rng(seed)
+        # seed=None zero-initializes all weights: the cheap construction
+        # for networks that load a state dict right away (target nets).
+        rng = None if seed is None else np.random.default_rng(seed)
         self.n_inputs = n_inputs
         self.n_actions = n_actions
         self.hidden = tuple(hidden)
@@ -174,6 +203,27 @@ class DuelingQNetwork(Module):
             self.value_head.forward(h)
             return a
         v = self.value_head.forward(h)  # (batch, 1)
+        return v + a - a.mean(axis=1, keepdims=True)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        """Q-values without backprop bookkeeping.
+
+        Performs exactly :meth:`forward`'s arithmetic (same operations,
+        same order — results are bitwise-identical) but skips the
+        per-layer input caching and module dispatch, which dominate the
+        cost of single-row act-time forwards. Safe wherever no
+        ``backward`` will follow (action selection, target evaluation).
+        """
+        h = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for m in self.trunk.modules:
+            if isinstance(m, Linear):
+                h = h @ m.weight.value + m.bias.value
+            else:  # ReLU
+                h = np.where(h > 0, h, 0.0)
+        a = h @ self.advantage_head.weight.value + self.advantage_head.bias.value
+        if not self.dueling:
+            return a
+        v = h @ self.value_head.weight.value + self.value_head.bias.value
         return v + a - a.mean(axis=1, keepdims=True)
 
     def backward(self, grad_q: np.ndarray) -> np.ndarray:

@@ -36,9 +36,13 @@ class SGD:
         self.params = params
         self.lr = lr
         self.momentum = momentum
-        self._velocity = [np.zeros_like(p.value) for p in params]
+        # Velocity buffers are allocated on the first step: agents built
+        # for short rollouts (or inference) never touch them.
+        self._velocity: list[np.ndarray] | None = None
 
     def step(self) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p.value) for p in self.params]
         for p, v in zip(self.params, self._velocity):
             if self.momentum:
                 v *= self.momentum
@@ -71,11 +75,16 @@ class Adam:
         self.lr = lr
         self.b1, self.b2 = b1, b2
         self.eps = eps
-        self._m = [np.zeros_like(p.value) for p in params]
-        self._v = [np.zeros_like(p.value) for p in params]
+        # Moment buffers are allocated on the first step — they double
+        # the parameter memory, which warmup-bound runs never use.
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
         self._t = 0
 
     def step(self) -> None:
+        if self._m is None:
+            self._m = [np.zeros_like(p.value) for p in self.params]
+            self._v = [np.zeros_like(p.value) for p in self.params]
         self._t += 1
         bc1 = 1.0 - self.b1**self._t
         bc2 = 1.0 - self.b2**self._t

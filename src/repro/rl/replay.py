@@ -1,10 +1,23 @@
-"""Uniform experience replay.
+"""Uniform experience replay over preallocated NumPy ring arrays.
 
-Stores ``(s, a, r, s', done, next_mask)`` transitions in a fixed-size
-ring and samples minibatches uniformly. The next-state action mask is
-kept alongside the transition because in the co-scheduling environment
-the valid-template set shrinks as the window drains — the double-DQN
+Stores ``(s, a, r, s', done, next_mask)`` transitions column-wise in
+fixed-capacity ring arrays and samples minibatches uniformly with one
+fancy-indexing gather per column — no per-transition Python objects,
+no per-sample ``np.stack``. The next-state action mask is kept
+alongside the transition because in the co-scheduling environment the
+valid-template set shrinks as the window drains — the double-DQN
 target must not bootstrap through an action that is illegal in ``s'``.
+
+Array shapes are fixed by the first ``push`` (the state/mask widths of
+one environment family never change mid-training); pushing a transition
+with different widths afterwards is an error, not a silent reshape.
+
+Rows are allocated geometrically (doubling from a small block up to
+``capacity``) rather than eagerly: a default 50k-transition buffer over
+a ~200-wide state would otherwise fault in ~160 MB of zero pages up
+front, which short training runs never touch. The ring can only wrap
+once allocation has reached ``capacity``, so the growth path never
+copies a wrapped buffer.
 """
 
 from __future__ import annotations
@@ -15,12 +28,16 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 
-__all__ = ["Transition", "ReplayBuffer"]
+__all__ = ["Transition", "Batch", "ReplayBuffer"]
+
+#: Rows allocated on the first push (grown geometrically thereafter).
+_INITIAL_ALLOC = 1024
 
 
 @dataclass(frozen=True)
 class Transition:
-    """One stored interaction."""
+    """One stored interaction (a row view for inspection/tests; the
+    buffer itself holds columns)."""
 
     state: np.ndarray
     action: int
@@ -52,16 +69,78 @@ class ReplayBuffer:
         if capacity <= 0:
             raise ConfigurationError("replay capacity must be positive")
         self.capacity = capacity
-        self._storage: list[Transition] = []
-        self._next = 0
         self._rng = np.random.default_rng(seed)
+        self._size = 0
+        self._next = 0
+        # Columns are allocated lazily on the first push, when the
+        # state/mask widths are known.
+        self._states: np.ndarray | None = None
+        self._actions: np.ndarray | None = None
+        self._rewards: np.ndarray | None = None
+        self._next_states: np.ndarray | None = None
+        self._dones: np.ndarray | None = None
+        self._next_masks: np.ndarray | None = None
 
     def __len__(self) -> int:
-        return len(self._storage)
+        return self._size
 
     @property
     def full(self) -> bool:
-        return len(self._storage) == self.capacity
+        return self._size == self.capacity
+
+    def __getitem__(self, i: int) -> Transition:
+        """The ``i``-th stored transition, oldest first (copies)."""
+        if not -self._size <= i < self._size:
+            raise IndexError(f"transition index {i} out of range [0, {self._size})")
+        if i < 0:
+            i += self._size
+        # Oldest entry sits at the write head once the ring has wrapped.
+        j = (self._next + i) % self.capacity if self.full else i
+        return Transition(
+            state=self._states[j].copy(),
+            action=int(self._actions[j]),
+            reward=float(self._rewards[j]),
+            next_state=self._next_states[j].copy(),
+            done=bool(self._dones[j]),
+            next_mask=self._next_masks[j].copy(),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def _allocated(self) -> int:
+        return 0 if self._actions is None else self._actions.shape[0]
+
+    def _ensure_capacity(self, n_more: int, state_dim: int, mask_dim: int) -> None:
+        """Grow the column arrays to hold ``n_more`` additional rows.
+
+        Growth doubles from ``_INITIAL_ALLOC`` up to ``capacity``; while
+        allocation is below capacity the ring has never wrapped
+        (``_next == _size``), so the live rows are exactly the prefix
+        and a plain prefix copy preserves them.
+        """
+        allocated = self._allocated
+        needed = min(self.capacity, self._size + n_more)
+        if 0 < allocated >= needed:
+            return
+        new_alloc = min(
+            self.capacity,
+            max(needed, 2 * allocated, min(self.capacity, _INITIAL_ALLOC)),
+        )
+
+        def grow(old: np.ndarray | None, shape: tuple, dtype) -> np.ndarray:
+            new = np.zeros(shape, dtype=dtype)
+            if old is not None and self._size:
+                new[: self._size] = old[: self._size]
+            return new
+
+        self._states = grow(self._states, (new_alloc, state_dim), np.float64)
+        self._actions = grow(self._actions, (new_alloc,), np.int64)
+        self._rewards = grow(self._rewards, (new_alloc,), np.float64)
+        self._next_states = grow(
+            self._next_states, (new_alloc, state_dim), np.float64
+        )
+        self._dones = grow(self._dones, (new_alloc,), bool)
+        self._next_masks = grow(self._next_masks, (new_alloc, mask_dim), bool)
 
     def push(
         self,
@@ -73,37 +152,85 @@ class ReplayBuffer:
         next_mask: np.ndarray,
     ) -> None:
         """Append a transition, evicting the oldest when full."""
-        t = Transition(
-            state=np.asarray(state, dtype=np.float64).copy(),
-            action=int(action),
-            reward=float(reward),
-            next_state=np.asarray(next_state, dtype=np.float64).copy(),
-            done=bool(done),
-            next_mask=np.asarray(next_mask, dtype=bool).copy(),
-        )
-        if len(self._storage) < self.capacity:
-            self._storage.append(t)
-        else:
-            self._storage[self._next] = t
-        self._next = (self._next + 1) % self.capacity
+        state = np.asarray(state, dtype=np.float64).ravel()
+        next_state = np.asarray(next_state, dtype=np.float64).ravel()
+        next_mask = np.asarray(next_mask, dtype=bool).ravel()
+        if self._states is not None and state.shape[0] != self._states.shape[1]:
+            raise ConfigurationError(
+                f"state width {state.shape[0]} does not match the buffer's "
+                f"{self._states.shape[1]}"
+            )
+        self._ensure_capacity(1, state.shape[0], next_mask.shape[0])
+        i = self._next
+        self._states[i] = state
+        self._actions[i] = int(action)
+        self._rewards[i] = float(reward)
+        self._next_states[i] = next_state
+        self._dones[i] = bool(done)
+        self._next_masks[i] = next_mask
+        self._next = (i + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def push_many(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+        next_masks: np.ndarray,
+    ) -> None:
+        """Append a batch of transitions in one vectorized write.
+
+        Rows are inserted in order (row 0 is oldest); the ring wraps
+        exactly as ``push`` called row by row would.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=np.float64))
+        next_states = np.atleast_2d(np.asarray(next_states, dtype=np.float64))
+        next_masks = np.atleast_2d(np.asarray(next_masks, dtype=bool))
+        actions = np.asarray(actions, dtype=np.int64).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        dones = np.asarray(dones, dtype=bool).ravel()
+        n = len(actions)
+        if n == 0:
+            return
+        if n > self.capacity:
+            # Only the trailing ``capacity`` rows can survive anyway.
+            sl = slice(n - self.capacity, None)
+            states, next_states, next_masks = (
+                states[sl],
+                next_states[sl],
+                next_masks[sl],
+            )
+            actions, rewards, dones = actions[sl], rewards[sl], dones[sl]
+            n = self.capacity
+        self._ensure_capacity(n, states.shape[1], next_masks.shape[1])
+        idx = (self._next + np.arange(n)) % self.capacity
+        self._states[idx] = states
+        self._actions[idx] = actions
+        self._rewards[idx] = rewards
+        self._next_states[idx] = next_states
+        self._dones[idx] = dones
+        self._next_masks[idx] = next_masks
+        self._next = int((self._next + n) % self.capacity)
+        self._size = min(self._size + n, self.capacity)
 
     def sample(self, batch_size: int) -> Batch:
         """Uniformly sample ``batch_size`` transitions (with replacement
         only when the buffer is smaller than the batch)."""
-        if not self._storage:
+        if self._size == 0:
             raise ConfigurationError("cannot sample from an empty buffer")
-        replace = batch_size > len(self._storage)
-        idx = self._rng.choice(len(self._storage), size=batch_size, replace=replace)
-        ts = [self._storage[i] for i in idx]
+        replace = batch_size > self._size
+        idx = self._rng.choice(self._size, size=batch_size, replace=replace)
         return Batch(
-            states=np.stack([t.state for t in ts]),
-            actions=np.array([t.action for t in ts], dtype=np.int64),
-            rewards=np.array([t.reward for t in ts], dtype=np.float64),
-            next_states=np.stack([t.next_state for t in ts]),
-            dones=np.array([t.done for t in ts], dtype=bool),
-            next_masks=np.stack([t.next_mask for t in ts]),
+            states=self._states[idx],
+            actions=self._actions[idx],
+            rewards=self._rewards[idx],
+            next_states=self._next_states[idx],
+            dones=self._dones[idx],
+            next_masks=self._next_masks[idx],
         )
 
     def clear(self) -> None:
-        self._storage.clear()
+        self._size = 0
         self._next = 0

@@ -1,0 +1,133 @@
+"""The synchronous vector environment must be a faithful batching of
+serial environments: same transitions, same RNG streams, gymnasium-style
+autoreset bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulingError
+from repro.core.env import CoSchedulingEnv
+from repro.core.vector_env import VectorCoSchedulingEnv
+from repro.workloads.jobs import Job
+
+NAMES = ["lavaMD", "stream", "kmeans", "lud_B", "qs_Coral_P1", "hotspot3D"]
+
+
+def _make_env(full_repository, catalog, seed, window_size=6):
+    window = [Job.submit(n) for n in NAMES[:window_size]]
+    return CoSchedulingEnv(
+        windows=[window],
+        repository=full_repository,
+        catalog=catalog,
+        window_size=window_size,
+        seed=seed,
+    )
+
+
+def _first_valid(mask: np.ndarray) -> int:
+    return int(np.flatnonzero(mask)[0])
+
+
+@pytest.fixture
+def venv(full_repository, catalog):
+    return VectorCoSchedulingEnv.from_factory(
+        lambda rank: _make_env(full_repository, catalog, seed=10 + rank),
+        n_envs=2,
+    )
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            VectorCoSchedulingEnv([])
+
+    def test_from_factory_bad_count(self, full_repository, catalog):
+        with pytest.raises(SchedulingError):
+            VectorCoSchedulingEnv.from_factory(
+                lambda rank: _make_env(full_repository, catalog, rank), 0
+            )
+
+    def test_mismatched_observation_shapes(self, full_repository, catalog):
+        a = _make_env(full_repository, catalog, 0, window_size=6)
+        b = _make_env(full_repository, catalog, 0, window_size=5)
+        with pytest.raises(SchedulingError):
+            VectorCoSchedulingEnv([a, b])
+
+    def test_num_envs(self, venv):
+        assert venv.num_envs == 2
+
+
+class TestBatchedStepping:
+    def test_reset_shapes_and_masks(self, venv):
+        obs, infos = venv.reset(seed=0)
+        assert obs.shape[0] == 2
+        masks = venv.action_masks(infos)
+        assert masks.shape == (2, venv.action_space.n)
+        assert masks.dtype == bool
+
+    def test_wrong_action_count(self, venv):
+        venv.reset(seed=0)
+        with pytest.raises(SchedulingError):
+            venv.step([0])
+
+    def test_matches_serial_envs(self, full_repository, catalog):
+        """Vector transitions replicate two serial envs bitwise,
+        including across autoresets."""
+        serial = [
+            _make_env(full_repository, catalog, seed=0),
+            _make_env(full_repository, catalog, seed=1),
+        ]
+        vector = VectorCoSchedulingEnv.from_factory(
+            lambda rank: _make_env(full_repository, catalog, seed=rank), 2
+        )
+        s_obs, s_infos = [], []
+        for env in serial:
+            o, i = env.reset()
+            s_obs.append(o)
+            s_infos.append(i)
+        v_obs, v_infos = vector.reset()
+        assert np.array_equal(v_obs, np.stack(s_obs))
+
+        for _ in range(12):
+            actions = [_first_valid(info["action_mask"]) for info in s_infos]
+            v_obs, v_rew, v_term, v_trunc, v_infos = vector.step(actions)
+            for i, env in enumerate(serial):
+                o, r, term, trunc, info = env.step(actions[i])
+                assert r == v_rew[i]
+                assert term == v_term[i]
+                if term or trunc:
+                    # the vector env auto-reset: its row is the next
+                    # episode's first observation, the terminal one is
+                    # preserved under final_observation/final_info
+                    assert np.array_equal(
+                        v_infos[i]["final_observation"], o
+                    )
+                    f = v_infos[i]["final_info"]
+                    assert f["n_remaining"] == info["n_remaining"]
+                    assert "schedule" in f
+                    o, info = env.reset()
+                else:
+                    assert "final_info" not in v_infos[i]
+                assert np.array_equal(v_obs[i], o)
+                assert np.array_equal(
+                    v_infos[i]["action_mask"], info["action_mask"]
+                )
+                s_infos[i] = info
+
+    def test_no_autoreset_mode(self, full_repository, catalog):
+        vector = VectorCoSchedulingEnv.from_factory(
+            lambda rank: _make_env(full_repository, catalog, seed=rank),
+            1,
+            autoreset=False,
+        )
+        _, infos = vector.reset()
+        done = False
+        for _ in range(10):
+            a = _first_valid(infos[0]["action_mask"])
+            _, _, term, trunc, infos = vector.step([a])
+            if term[0] or trunc[0]:
+                done = True
+                assert "final_info" not in infos[0]
+                assert "schedule" in infos[0]
+                break
+        assert done

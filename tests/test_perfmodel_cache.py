@@ -1,0 +1,178 @@
+"""Co-run cache correctness: canonical signatures, LRU behaviour, and
+bitwise equivalence between the fast path and the reference simulation.
+
+These tests pin the contract the whole fast path rests on: memoized or
+lean evaluations must produce the *exact* floats of the reference
+computation, so schedules (and therefore training trajectories) are
+bitwise-identical with caching on or off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.perfmodel.cache import (
+    CoRunCache,
+    cached_simulate_corun,
+    corun_cache,
+    corun_cache_disabled,
+    corun_caching_enabled,
+    corun_signature,
+    kernel_signature,
+    partition_signature,
+    reset_corun_cache,
+)
+from repro.perfmodel.corun import simulate_corun, simulate_corun_fast
+from repro.perfmodel.interference import solve_domain, solve_domain_fast
+from repro.workloads.jobs import Job
+from repro.workloads.suite import TRAINING_SET
+
+
+def _groups(catalog, max_groups=40, seed=3):
+    """Randomized (models, tree) pairs drawn from the catalog templates
+    and the training-set kernels."""
+    rng = np.random.default_rng(seed)
+    models = [Job.submit(name).model for name in TRAINING_SET]
+    pairs = []
+    for action in range(catalog.n_actions):
+        tree = catalog.variant(action).tree
+        n = len(tree.slots())
+        idx = rng.integers(0, len(models), size=n)
+        pairs.append(([models[i] for i in idx], tree))
+        if len(pairs) >= max_groups:
+            break
+    return pairs
+
+
+class TestCoRunCache:
+    def test_get_put_and_stats(self):
+        cache = CoRunCache(maxsize=4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        s = cache.stats
+        assert (s.hits, s.misses, s.size) == (1, 1, 1)
+        assert s.hit_rate == 0.5
+
+    def test_lru_eviction_prefers_stale_entries(self):
+        cache = CoRunCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a" — "b" is now least recently used
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert cache.stats.evictions == 1
+
+    def test_bounded_size(self):
+        cache = CoRunCache(maxsize=8)
+        for i in range(100):
+            cache.put(i, i)
+        assert len(cache) == 8
+        assert cache.stats.evictions == 92
+
+    def test_get_or_compute_computes_once(self):
+        cache = CoRunCache(maxsize=4)
+        calls = []
+        for _ in range(3):
+            v = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert v == 42
+        assert len(calls) == 1
+
+    def test_clear_and_reset(self):
+        cache = CoRunCache(maxsize=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.hits == 1  # counters survive a plain clear
+        cache.clear(reset_stats=True)
+        assert cache.stats.hits == 0
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ConfigurationError):
+            CoRunCache(maxsize=0)
+
+    def test_stats_delta(self):
+        cache = CoRunCache(maxsize=4)
+        cache.put("a", 1)
+        before = cache.stats
+        cache.get("a")
+        cache.get("b")
+        d = cache.stats.delta(before)
+        assert (d.hits, d.misses) == (1, 1)
+
+
+class TestSignatures:
+    def test_kernel_signature_shared_across_submissions(self):
+        a = Job.submit("stream").model
+        b = Job.submit("stream").model
+        assert kernel_signature(a) == kernel_signature(b)
+        # memoized path returns the same tuple for the same model
+        assert kernel_signature(a) is kernel_signature(a)
+
+    def test_kernel_signature_distinguishes_programs(self):
+        assert kernel_signature(Job.submit("stream").model) != kernel_signature(
+            Job.submit("lavaMD").model
+        )
+
+    def test_partition_signature_distinguishes_trees(self, catalog):
+        sigs = {
+            partition_signature(catalog.variant(a).tree)
+            for a in range(catalog.n_actions)
+        }
+        assert len(sigs) == catalog.n_actions
+
+    def test_corun_signature_is_order_sensitive(self, catalog):
+        tree = next(
+            catalog.variant(a).tree
+            for a in range(catalog.n_actions)
+            if len(catalog.variant(a).tree.slots()) == 2
+        )
+        m1, m2 = Job.submit("stream").model, Job.submit("lavaMD").model
+        assert corun_signature([m1, m2], tree) != corun_signature([m2, m1], tree)
+
+
+class TestBitwiseEquivalence:
+    def test_fast_simulation_matches_reference(self, catalog):
+        for models, tree in _groups(catalog):
+            ref = simulate_corun(models, tree)
+            fast = simulate_corun_fast(models, tree)
+            assert fast == ref  # frozen dataclass: exact float equality
+
+    def test_cached_matches_uncached(self, catalog):
+        for models, tree in _groups(catalog):
+            with corun_cache_disabled():
+                ref = cached_simulate_corun(models, tree)
+            hot = cached_simulate_corun(models, tree)  # miss, then hit
+            hot2 = cached_simulate_corun(models, tree)
+            assert hot == ref
+            assert hot2 is hot  # served from cache, shared instance
+
+    def test_solve_domain_fast_matches_reference(self):
+        models = [Job.submit(n).model for n in ["stream", "lavaMD", "kmeans"]]
+        for k in (1, 2, 3):
+            for alpha in (0.25, 0.5, 1.0):
+                betas = [0.5, 0.25, 0.125][:k]
+                ref = solve_domain(models[:k], betas, alpha)
+                fast = solve_domain_fast(models[:k], betas, alpha)
+                assert len(fast) == len(ref)
+                for share, (avail, pressure) in zip(ref, fast):
+                    assert avail == share.available_bw
+                    assert pressure == share.pressure
+
+
+class TestGlobalSwitch:
+    def test_disabled_scope_restores_state(self):
+        assert corun_caching_enabled()
+        with corun_cache_disabled():
+            assert not corun_caching_enabled()
+        assert corun_caching_enabled()
+
+    def test_disabled_scope_bypasses_default_cache(self, catalog):
+        models, tree = _groups(catalog, max_groups=1)[0]
+        reset_corun_cache()
+        with corun_cache_disabled():
+            cached_simulate_corun(models, tree)
+        s = corun_cache().stats
+        assert (s.hits, s.misses, s.size) == (0, 0, 0)

@@ -59,8 +59,10 @@ class TestReplay:
         buf = ReplayBuffer(capacity=3, seed=0)
         self._push(buf, 5)
         assert len(buf) == 3
-        states = {t.state[0] for t in buf._storage}
+        states = {buf[i].state[0] for i in range(len(buf))}
         assert states == {2.0, 3.0, 4.0}
+        # oldest-first indexing across the wrapped ring
+        assert [buf[i].state[0] for i in range(len(buf))] == [2.0, 3.0, 4.0]
 
     def test_sample_shapes(self):
         buf = ReplayBuffer(capacity=10, seed=0)
@@ -86,7 +88,7 @@ class TestReplay:
         s = np.zeros(3)
         buf.push(s, 0, 0.0, s, False, np.ones(2, dtype=bool))
         s[:] = 99.0
-        assert buf._storage[0].state[0] == 0.0
+        assert buf[0].state[0] == 0.0
 
 
 class TestSchedules:

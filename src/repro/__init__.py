@@ -32,6 +32,7 @@ Subpackages:
 ``repro.core``      the paper's contribution: problem, rewards, trainer,
                     online optimizer, baselines, metrics, evaluation harness
 ``repro.cluster``   Section VI multi-GPU extension
+``repro.faults``    deterministic fault injection for the serving path
 =================== ========================================================
 """
 
@@ -46,6 +47,7 @@ from repro.workloads.jobs import Job, JobQueue
 from repro.workloads.generator import MixCategory, QueueGenerator, paper_queues
 from repro.workloads.suite import BENCHMARKS, TRAINING_SET, UNSEEN_SET
 from repro.perfmodel.corun import simulate_corun, relative_throughput
+from repro.faults import FaultConfig, FaultInjector, FaultKind, RetryPolicy
 from repro.core.actions import ActionCatalog
 from repro.core.trainer import OfflineTrainer, TrainingResult
 from repro.core.optimizer import OnlineOptimizer
@@ -83,6 +85,10 @@ __all__ = [
     "UNSEEN_SET",
     "simulate_corun",
     "relative_throughput",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultKind",
+    "RetryPolicy",
     "ActionCatalog",
     "OfflineTrainer",
     "TrainingResult",

@@ -9,7 +9,10 @@ Subcommands cover the pipeline stages:
   and the 19 MIG configurations;
 * ``train``    — run offline training, report convergence, save weights;
 * ``schedule`` — schedule one of the paper's queues (Q1..Q12) with a
-  chosen method and print the resulting groups and metrics.
+  chosen method and print the resulting groups and metrics;
+* ``cluster``  — drain a queue through the Slurm-like batch system on a
+  multi-GPU cluster, optionally under seeded fault injection
+  (``--faults RATE``) to exercise the retry/fallback machinery.
 """
 
 from __future__ import annotations
@@ -26,10 +29,20 @@ from repro.core.baselines import (
     MpsOnlyScheduler,
     TimeSharingScheduler,
 )
+from repro.cluster import (
+    BatchSystem,
+    ClusterState,
+    CoSchedulingPolicy,
+    FcfsPolicy,
+    JobState,
+    PolicySelector,
+)
 from repro.core.evaluation import profile_all_benchmarks
 from repro.core.metrics import evaluate_schedule
 from repro.core.optimizer import OnlineOptimizer
 from repro.core.trainer import OfflineTrainer
+from repro.errors import SchedulingError
+from repro.faults import FaultConfig, FaultInjector, RetryPolicy
 from repro.gpu.arch import A100_40GB
 from repro.gpu.device import SimulatedGpu
 from repro.gpu.mig import enumerate_gi_combinations
@@ -170,6 +183,78 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    queues = paper_queues()
+    if args.queue not in queues:
+        print(f"unknown queue {args.queue}; choose from {sorted(queues)}")
+        return 2
+    names = queues[args.queue].benchmark_names * args.repeat
+
+    trainer = OfflineTrainer(
+        window_size=args.window, c_max=args.c_max, seed=args.seed
+    )
+    print(f"training the node-local agent ({args.episodes} episodes) ...")
+    result = trainer.train(episodes=args.episodes)
+    profile_all_benchmarks(result.repository)
+    optimizer = OnlineOptimizer(
+        result.agent,
+        result.repository,
+        ActionCatalog(c_max=args.c_max),
+        args.window,
+    )
+    selector = PolicySelector(
+        co_scheduling=CoSchedulingPolicy(optimizer),
+        fcfs=FcfsPolicy(),
+        crowding_threshold=args.crowding,
+    )
+    injector = None
+    if args.faults > 0:
+        injector = FaultInjector(
+            FaultConfig.uniform(args.faults, seed=args.fault_seed)
+        )
+    bs = BatchSystem(
+        cluster=ClusterState.homogeneous(args.gpus),
+        selector=selector,
+        window_size=args.window,
+        min_batch=2,
+        faults=injector,
+        retry=RetryPolicy(max_retries=args.max_retries),
+        max_retries=args.max_retries,
+    )
+    for name in names:
+        bs.sbatch(name)
+    print(f"draining {len(names)} jobs over {args.gpus} GPUs ...")
+    bs.drain()
+
+    counts = {s.value: len(bs.squeue(s)) for s in JobState}
+    print("\njob states: " + "  ".join(f"{k}={v}" for k, v in counts.items()))
+    try:
+        acct = bs.sacct()
+    except SchedulingError:
+        print("no job completed (fault rate too high?)")
+        return 1
+    for key in (
+        "completed",
+        "failed",
+        "cancelled",
+        "job_retries",
+        "dispatch_retries",
+        "fallback_windows",
+        "degraded_groups",
+    ):
+        print(f"{key:<18s} {acct[key]:8d}")
+    for key in ("mean_wait", "mean_turnaround", "makespan"):
+        print(f"{key:<18s} {acct[key]:10.1f}s")
+    print(f"{'utilization':<18s} {bs.cluster.utilization():10.3f}")
+    if injector is not None:
+        inj = injector.summary()
+        print(
+            "injected faults: "
+            + "  ".join(f"{k}={v}" for k, v in inj.items())
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gpu",
@@ -214,6 +299,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--episodes", type=int, default=800)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser(
+        "cluster",
+        help="drain a queue through the Slurm-like batch system",
+    )
+    p.add_argument("queue", nargs="?", default="Q1", help="Q1..Q12")
+    p.add_argument("--gpus", type=int, default=2)
+    p.add_argument("--repeat", type=int, default=1,
+                   help="submit the queue this many times")
+    p.add_argument("--window", type=int, default=12)
+    p.add_argument("--c-max", type=int, default=4)
+    p.add_argument("--episodes", type=int, default=800)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--crowding", type=int, default=2,
+                   help="queue depth per free GPU that triggers co-scheduling")
+    p.add_argument("--faults", type=float, default=0.0,
+                   help="per-decision fault rate for every fault kind "
+                        "(0 disables injection)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the deterministic fault injector")
+    p.add_argument("--max-retries", type=int, default=3,
+                   help="retry cap for transient faults and job re-queues")
+    p.set_defaults(fn=_cmd_cluster)
 
     return parser
 

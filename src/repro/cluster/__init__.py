@@ -16,14 +16,26 @@ extension:
 * :mod:`repro.cluster.batch` — a Slurm-shaped batch-system facade
   (sbatch/squeue/sinfo/sacct) over the two-level scheduler, the
   integration surface the paper names as future work.
+
+Both schedulers are failure-aware: attach a
+:class:`repro.faults.FaultInjector` and they retry transient device /
+MIG-reconfiguration faults with exponential backoff, degrade
+unconfigurable groups to solo runs, re-queue crashed jobs up to a
+retry cap, and fall back to FCFS when the window policy raises.
 """
 
-from repro.cluster.node import GpuNode, ClusterState
+from repro.faults import FaultConfig, FaultInjector, FaultKind, RetryPolicy
+from repro.cluster.node import ExecutionOutcome, GpuNode, ClusterState
 from repro.cluster.scheduler import ClusterScheduler, DispatchRecord
 from repro.cluster.policy import PolicySelector, FcfsPolicy, CoSchedulingPolicy
 from repro.cluster.batch import BatchSystem, BatchJob, JobState
 
 __all__ = [
+    "FaultConfig",
+    "FaultInjector",
+    "FaultKind",
+    "RetryPolicy",
+    "ExecutionOutcome",
     "GpuNode",
     "ClusterState",
     "ClusterScheduler",

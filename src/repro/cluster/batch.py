@@ -15,6 +15,14 @@ verbs —
 Time is event-driven: the system dispatches whenever a GPU is free and
 enough jobs are pending; job completion times come from the underlying
 schedule simulation.
+
+Fault tolerance: with a :class:`~repro.faults.FaultInjector` attached,
+dispatch survives injected faults — transient device errors and MIG
+reconfiguration failures are retried with exponential backoff (and an
+unconfigurable group degrades to solo runs), crashed jobs are
+re-queued up to ``max_retries`` times before landing in the terminal
+``FAILED`` state, and a window whose policy raises (e.g. the RL
+optimizer) falls back to FCFS instead of aborting the drain.
 """
 
 from __future__ import annotations
@@ -22,7 +30,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-from repro.errors import SchedulingError
+from repro.errors import ReproError, SchedulingError
+from repro.faults import FaultInjector, RetryPolicy
 from repro.cluster.node import ClusterState
 from repro.cluster.policy import PolicySelector
 from repro.workloads.jobs import Job
@@ -34,6 +43,8 @@ class JobState(enum.Enum):
     PENDING = "PD"
     RUNNING = "R"
     COMPLETED = "CD"
+    FAILED = "F"
+    CANCELLED = "CA"
 
 
 @dataclass
@@ -46,6 +57,7 @@ class BatchJob:
     node: str | None = None
     start_time: float | None = None
     end_time: float | None = None
+    retries: int = 0  # times this job was re-queued after a crash
 
     @property
     def wait_time(self) -> float | None:
@@ -69,18 +81,32 @@ class BatchSystem:
         selector: PolicySelector,
         window_size: int = 12,
         min_batch: int = 2,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        max_retries: int = 3,
     ):
         if window_size < 1:
             raise SchedulingError("window size must be positive")
         if min_batch < 1:
             raise SchedulingError("min batch must be positive")
+        if max_retries < 0:
+            raise SchedulingError("max_retries cannot be negative")
         self.cluster = cluster
         self.selector = selector
         self.window_size = window_size
         self.min_batch = min_batch
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        self.max_retries = max_retries
         self.now = 0.0
+        self.fallback_windows = 0  # policy raised -> FCFS took over
+        self.dispatch_retries = 0  # device-level retries spent
+        self.degraded_groups = 0  # groups that fell back to solo runs
         self._records: dict[str, BatchJob] = {}
         self._pending: list[str] = []
+        if faults is not None:
+            for node in cluster.nodes:
+                node.device.faults = faults
 
     # ------------------------------------------------------------------
     # user-facing verbs
@@ -114,7 +140,12 @@ class BatchSystem:
 
     def scancel(self, job_id: str) -> None:
         """Cancel a pending job (running jobs cannot be preempted —
-        MIG/MPS reconfiguration requires an idle device)."""
+        MIG/MPS reconfiguration requires an idle device).
+
+        The accounting record survives in the ``CANCELLED`` state so
+        ``squeue``/``sacct`` keep a trace of the submission; cancelled
+        jobs are excluded from the wait/turnaround means.
+        """
         record = self._records.get(job_id)
         if record is None:
             raise SchedulingError(f"unknown job id {job_id!r}")
@@ -124,7 +155,7 @@ class BatchSystem:
                 "can be cancelled"
             )
         self._pending.remove(job_id)
-        del self._records[job_id]
+        record.state = JobState.CANCELLED
 
     # ------------------------------------------------------------------
     # time advance / dispatch
@@ -157,7 +188,12 @@ class BatchSystem:
 
     def drain(self) -> float:
         """Dispatch everything pending (advancing time as needed) and
-        return the final makespan."""
+        return the final makespan.
+
+        Terminates even under heavy fault injection: a job can only
+        re-queue ``max_retries`` times before it is ``FAILED``, so the
+        pending list strictly shrinks in job-attempts.
+        """
         while self._pending:
             horizon = max(self.now, self.cluster.least_loaded().available_at)
             saved_min = self.min_batch
@@ -182,37 +218,62 @@ class BatchSystem:
         policy = self.selector.select(
             queue_depth=len(self._pending) + take, free_gpus=max(free, 1)
         )
-        schedule = policy.schedule(window)
+        try:
+            schedule = policy.schedule(window)
+        except ReproError:
+            # graceful degradation: an optimizer failure costs this
+            # window its co-scheduling gain, never the whole drain
+            self.fallback_windows += 1
+            schedule = self.selector.fcfs.schedule(window)
         start = max(self.now, node.available_at)
         node.device.clock = start
-        node.execute_schedule(schedule)
-        # per-job completion: group start offset + the job's own finish
-        offset = start
-        finish_of: dict[str, float] = {}
-        for group in schedule.groups:
-            for job, t in zip(group.jobs, group.result.finish_times):
-                finish_of[job.job_id] = offset + t
-            offset += group.corun_time
+        outcome = node.execute_schedule_ft(schedule, self.retry)
+        self.dispatch_retries += outcome.retries
+        self.degraded_groups += outcome.degraded_groups
+        failed = set(outcome.failed_job_ids)
         for jid in ids:
             r = self._records[jid]
-            r.state = JobState.RUNNING
+            if jid in failed and r.retries < self.max_retries:
+                r.retries += 1
+                r.state = JobState.PENDING
+                r.node = None
+                r.start_time = None
+                r.end_time = None
+                self._pending.append(jid)
+                continue
             r.node = node.name
             r.start_time = start
-            r.end_time = finish_of[jid]
+            r.end_time = outcome.finish_of[jid]
+            if jid in failed:
+                r.state = JobState.FAILED  # terminal: retry budget spent
+            else:
+                r.state = JobState.RUNNING
 
     # ------------------------------------------------------------------
     # accounting
     # ------------------------------------------------------------------
     def sacct(self) -> dict:
-        """Aggregate accounting over completed jobs."""
+        """Aggregate accounting over finished jobs.
+
+        Wait/turnaround means cover completed jobs only; failed and
+        cancelled submissions are counted but excluded from the means.
+        """
         done = [r for r in self._records.values() if r.state is JobState.COMPLETED]
         if not done:
             raise SchedulingError("no completed jobs yet")
         waits = [r.wait_time for r in done]
         turns = [r.turnaround for r in done]
+        states = [r.state for r in self._records.values()]
         return {
             "completed": len(done),
+            "failed": states.count(JobState.FAILED),
+            "cancelled": states.count(JobState.CANCELLED),
+            "job_retries": sum(r.retries for r in self._records.values()),
+            "dispatch_retries": self.dispatch_retries,
+            "fallback_windows": self.fallback_windows,
+            "degraded_groups": self.degraded_groups,
             "mean_wait": sum(waits) / len(waits),
             "mean_turnaround": sum(turns) / len(turns),
             "makespan": self.cluster.makespan,
         }
+

@@ -2,19 +2,36 @@
 
 The cluster layer only needs each device's availability horizon (when
 its current work drains) and a way to execute a scheduled window on it;
-both come from :class:`repro.gpu.device.SimulatedGpu`.
+both come from :class:`repro.gpu.device.SimulatedGpu`. The
+fault-tolerant execution path (:meth:`GpuNode.execute_schedule_ft`)
+adds bounded retry with exponential backoff for transient device /
+MIG-reconfiguration faults and degrades an unconfigurable group to
+solo (time-sharing) runs, reporting per-job outcomes so the batch
+layer can re-queue crashed jobs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import SchedulingError
+from repro.errors import FaultError, SchedulingError
+from repro.faults import RetryPolicy
 from repro.core.problem import Schedule
 from repro.gpu.arch import A100_40GB, GpuSpec
-from repro.gpu.device import SimulatedGpu
+from repro.gpu.device import LaunchResult, SimulatedGpu
 
-__all__ = ["GpuNode", "ClusterState"]
+__all__ = ["ExecutionOutcome", "GpuNode", "ClusterState"]
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """What actually happened when a schedule ran on one GPU."""
+
+    end_time: float
+    finish_of: dict  # job_id -> absolute finish time on this node's clock
+    failed_job_ids: tuple
+    retries: int  # device-level retries spent (transient/reconfig)
+    degraded_groups: int  # groups that exhausted retries and ran solo
 
 
 @dataclass
@@ -33,6 +50,11 @@ class GpuNode:
         """Wall-clock time at which this GPU becomes free."""
         return self.device.clock
 
+    @property
+    def busy_time(self) -> float:
+        """Time this GPU spent executing (excludes idle gaps/backoff)."""
+        return self.device.busy_time
+
     def execute_schedule(self, schedule: Schedule) -> float:
         """Run a node-local schedule's groups back to back.
 
@@ -46,6 +68,90 @@ class GpuNode:
         for group in schedule.groups:
             self.device.run_group(list(group.jobs), group.partition)
         return self.device.clock
+
+    # ------------------------------------------------------------------
+    # fault-tolerant execution
+    # ------------------------------------------------------------------
+    def execute_schedule_ft(
+        self, schedule: Schedule, retry: RetryPolicy
+    ) -> ExecutionOutcome:
+        """Like :meth:`execute_schedule`, but failure-aware.
+
+        Transient device errors and MIG reconfiguration faults are
+        retried up to ``retry.max_retries`` times, waiting an
+        exponentially growing (simulated) backoff between attempts. A
+        group that still cannot launch degrades to solo runs — time
+        sharing needs no MIG reconfiguration, so it is always
+        realizable. Crashed launches are reported, never raised: the
+        caller decides whether to re-queue.
+
+        With no injector attached this replays exactly the same
+        ``run_group`` calls as :meth:`execute_schedule`.
+        """
+        if not schedule.groups:
+            raise SchedulingError("cannot execute an empty schedule")
+        finish_of: dict[str, float] = {}
+        failed: list[str] = []
+        retries = 0
+        degraded = 0
+        for group in schedule.groups:
+            jobs = list(group.jobs)
+            record = None
+            attempt = 0
+            while True:
+                try:
+                    record = self.device.run_group(jobs, group.partition)
+                    break
+                except FaultError:
+                    attempt += 1
+                    retries += 1
+                    if attempt > retry.max_retries:
+                        break
+                    self.device.clock += retry.backoff(attempt)
+            if record is not None:
+                launches = record.launches
+            else:
+                # Degraded path: the group never launched; run each job
+                # exclusively instead (the FCFS fallback for this group).
+                degraded += 1
+                launches = []
+                for job in jobs:
+                    launch, extra = self._solo_with_retry(job, retry)
+                    retries += extra
+                    if launch is None:
+                        # even solo launches kept faulting: report the
+                        # job as failed at the current clock
+                        launch = LaunchResult(
+                            job_id=job.job_id,
+                            benchmark_name=job.benchmark_name,
+                            start_time=self.device.clock,
+                            elapsed=0.0,
+                            failed=True,
+                        )
+                    launches.append(launch)
+            for launch in launches:
+                finish_of[launch.job_id] = launch.end_time
+                if launch.failed:
+                    failed.append(launch.job_id)
+        return ExecutionOutcome(
+            end_time=self.device.clock,
+            finish_of=finish_of,
+            failed_job_ids=tuple(failed),
+            retries=retries,
+            degraded_groups=degraded,
+        )
+
+    def _solo_with_retry(self, job, retry: RetryPolicy):
+        """One solo run with bounded retries; (launch | None, retries)."""
+        attempt = 0
+        while True:
+            try:
+                return self.device.run_solo(job), attempt
+            except FaultError:
+                attempt += 1
+                if attempt > retry.max_retries:
+                    return None, attempt
+                self.device.clock += retry.backoff(attempt)
 
 
 @dataclass
@@ -73,7 +179,14 @@ class ClusterState:
 
     @property
     def total_busy_time(self) -> float:
-        return sum(n.available_at for n in self.nodes)
+        """Sum of executing time over nodes.
+
+        Measured per node from actual group execution, not from the
+        availability horizon — a clock jumped forward over an idle gap
+        (as the batch system does when dispatch happens late) must not
+        count as busy time.
+        """
+        return sum(n.busy_time for n in self.nodes)
 
     def utilization(self) -> float:
         """Fraction of cluster-time busy until the global makespan."""

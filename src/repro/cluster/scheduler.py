@@ -5,16 +5,22 @@ frees up first (the "node/GPU allocations" level the paper adds above
 the hierarchical partitioning). Bottom level: the per-window policy —
 normally the node-local RL optimizer, or FCFS under light load via
 :class:`~repro.cluster.policy.PolicySelector`.
+
+The dispatch loop is failure-aware: a window whose policy raises falls
+back to FCFS, device-level faults are retried with backoff inside
+:meth:`~repro.cluster.node.GpuNode.execute_schedule_ft`, and crashed
+jobs re-enter the global queue until their retry budget is spent.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import SchedulingError
+from repro.errors import ReproError, SchedulingError
+from repro.faults import FaultInjector, RetryPolicy
 from repro.cluster.node import ClusterState
 from repro.cluster.policy import PolicySelector
-from repro.workloads.jobs import JobQueue
+from repro.workloads.jobs import Job, JobQueue
 
 __all__ = ["DispatchRecord", "ClusterScheduler"]
 
@@ -29,6 +35,9 @@ class DispatchRecord:
     start_time: float
     end_time: float
     throughput_gain: float
+    retries: int = 0  # device-level retries spent on this window
+    fell_back: bool = False  # policy raised; FCFS scheduled the window
+    n_failed: int = 0  # jobs that crashed during this window
 
 
 @dataclass
@@ -38,18 +47,31 @@ class ClusterScheduler:
     cluster: ClusterState
     selector: PolicySelector
     window_size: int = 12
+    faults: FaultInjector | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    max_retries: int = 3
     history: list[DispatchRecord] = field(default_factory=list)
+    failed_jobs: list[Job] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.faults is not None:
+            for node in self.cluster.nodes:
+                node.device.faults = self.faults
 
     def run(self, queue: JobQueue) -> list[DispatchRecord]:
         """Dispatch the whole queue; returns the dispatch log.
 
         Windows are cut FIFO from the queue head (the paper's window
         semantics); each goes to the earliest-available GPU under the
-        policy the selector picks for the current load.
+        policy the selector picks for the current load. Crashed jobs
+        re-enter the queue tail; after ``max_retries`` re-queues they
+        are dropped into :attr:`failed_jobs` so the drain terminates
+        with every job accounted for.
         """
         if self.window_size < 1:
             raise SchedulingError("window size must be positive")
         records: list[DispatchRecord] = []
+        attempts: dict[str, int] = {}
         while len(queue) > 0:
             w = min(self.window_size, len(queue))
             window = queue.pop_window(w)
@@ -62,16 +84,37 @@ class ClusterScheduler:
             policy = self.selector.select(
                 queue_depth=len(queue) + w, free_gpus=free
             )
-            schedule = policy.schedule(window)
+            fell_back = False
+            try:
+                schedule = policy.schedule(window)
+            except ReproError:
+                fell_back = True
+                policy = self.selector.fcfs
+                schedule = policy.schedule(window)
             start = node.available_at
-            end = node.execute_schedule(schedule)
+            outcome = node.execute_schedule_ft(schedule, self.retry)
+            failed_ids = set(outcome.failed_job_ids)
+            n_failed = 0
+            for job in window:
+                if job.job_id not in failed_ids:
+                    continue
+                n_failed += 1
+                n = attempts.get(job.job_id, 0)
+                if n >= self.max_retries:
+                    self.failed_jobs.append(job)
+                else:
+                    attempts[job.job_id] = n + 1
+                    queue.push(job)
             record = DispatchRecord(
                 node_name=node.name,
                 policy_name=policy.name,
                 window_size=w,
                 start_time=start,
-                end_time=end,
+                end_time=outcome.end_time,
                 throughput_gain=schedule.throughput_gain,
+                retries=outcome.retries,
+                fell_back=fell_back,
+                n_failed=n_failed,
             )
             records.append(record)
         self.history.extend(records)
@@ -98,4 +141,7 @@ class ClusterScheduler:
                 r.throughput_gain for r in self.history
             )
             / len(self.history),
+            "windows_fell_back": sum(1 for r in self.history if r.fell_back),
+            "dispatch_retries": sum(r.retries for r in self.history),
+            "jobs_failed": len(self.failed_jobs),
         }

@@ -17,6 +17,9 @@ __all__ = [
     "ProfileError",
     "SchedulingError",
     "TrainingError",
+    "FaultError",
+    "TransientDeviceError",
+    "ReconfigFaultError",
 ]
 
 
@@ -58,3 +61,20 @@ class SchedulingError(ReproError):
 
 class TrainingError(ReproError):
     """The offline RL training loop was configured or used incorrectly."""
+
+
+class FaultError(ReproError):
+    """An injected runtime fault (see :mod:`repro.faults`).
+
+    Distinct from :class:`ConfigurationError`: the request was valid,
+    the (simulated) hardware failed. Fault errors are retryable by the
+    cluster layer's recovery logic.
+    """
+
+
+class TransientDeviceError(FaultError):
+    """The device rejected a launch with a transient, retryable error."""
+
+
+class ReconfigFaultError(FaultError):
+    """MIG repartitioning failed at runtime (busy driver state)."""

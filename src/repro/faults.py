@@ -1,0 +1,203 @@
+"""Deterministic fault injection for the online serving path.
+
+Real deployments of the paper's online scheduler (a Slurm-integrated
+resource manager, Sections VI/VII) see failures the simulation layer
+otherwise hides: jobs crash, MIG reconfiguration fails on busy driver
+state, stragglers run long, devices throw transient errors. MISO
+(Li et al.) and the MIG-serving work of Tan et al. treat exactly these
+as first-class scheduling events. :class:`FaultInjector` reproduces
+them on demand so the cluster layer's recovery logic is testable.
+
+Determinism contract
+--------------------
+Every decision is a pure function of ``(seed, key, draw_index)`` — the
+draw is a SHA-256 hash mapped to a uniform in ``[0, 1)``, with a
+per-key monotonic draw counter. Keys are built from *stable* workload
+identity (benchmark names, partition labels), never from per-process
+job ids, so two runs of the same scenario with the same seed make
+bit-identical fault decisions, and decisions for one key do not shift
+when unrelated keys are queried in between.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FaultKind", "FaultConfig", "RetryPolicy", "FaultInjector"]
+
+
+class FaultKind(enum.Enum):
+    """The failure modes the injector can produce."""
+
+    JOB_FAILURE = "job_failure"          # a job crashes partway through
+    TRANSIENT_DEVICE = "transient_device"  # whole-launch retryable error
+    RECONFIG_FAILURE = "reconfig_failure"  # MIG repartitioning fails
+    STRAGGLER = "straggler"              # a job runs slower than modelled
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Rates and shapes for injected faults.
+
+    All rates are per-decision probabilities in ``[0, 1]``; job-level
+    rates (``job_failure_rate`` + ``straggler_rate``) share one uniform
+    draw and must sum to at most 1.
+    """
+
+    seed: int = 0
+    job_failure_rate: float = 0.0
+    transient_rate: float = 0.0
+    reconfig_failure_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_slowdown: float = 2.0  # worst-case elapsed multiplier
+    crash_fraction: float = 0.5  # fraction of the run spent before a crash
+
+    def __post_init__(self) -> None:
+        for name in (
+            "job_failure_rate",
+            "transient_rate",
+            "reconfig_failure_rate",
+            "straggler_rate",
+        ):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1]; got {rate}"
+                )
+        if self.job_failure_rate + self.straggler_rate > 1.0 + 1e-12:
+            raise ConfigurationError(
+                "job_failure_rate + straggler_rate cannot exceed 1"
+            )
+        if self.straggler_slowdown < 1.0:
+            raise ConfigurationError(
+                f"straggler_slowdown must be >= 1; got {self.straggler_slowdown}"
+            )
+        if not 0.0 < self.crash_fraction <= 1.0:
+            raise ConfigurationError(
+                f"crash_fraction must be in (0, 1]; got {self.crash_fraction}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return (
+            self.job_failure_rate > 0
+            or self.transient_rate > 0
+            or self.reconfig_failure_rate > 0
+            or self.straggler_rate > 0
+        )
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0, **overrides) -> "FaultConfig":
+        """Every fault mode at the same rate — the CLI ``--faults`` knob."""
+        kwargs = dict(
+            seed=seed,
+            job_failure_rate=rate,
+            transient_rate=rate,
+            reconfig_failure_rate=rate,
+            straggler_rate=rate,
+        )
+        kwargs.update(overrides)
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry with exponential backoff, in simulated seconds.
+
+    ``max_retries`` bounds device-level retries (transient errors,
+    failed MIG reconfiguration) per launch attempt; the batch layer
+    separately caps how many times a crashed job is re-queued.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries cannot be negative")
+        if self.backoff_base < 0 or self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                "backoff requires base >= 0 and factor >= 1"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Simulated wait before retry number ``attempt`` (1-based)."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class FaultInjector:
+    """Seeded, order-robust fault oracle shared by all devices.
+
+    One injector typically serves a whole cluster; per-key draw
+    counters keep each fault stream independent of the others.
+    """
+
+    config: FaultConfig
+    counts: Counter = field(default_factory=Counter)
+    _draws: dict = field(default_factory=dict, repr=False)
+
+    @property
+    def enabled(self) -> bool:
+        return self.config.enabled
+
+    # ------------------------------------------------------------------
+    # the deterministic uniform source
+    # ------------------------------------------------------------------
+    def _uniform(self, key: str) -> float:
+        n = self._draws.get(key, 0)
+        self._draws[key] = n + 1
+        digest = hashlib.sha256(
+            f"{self.config.seed}:{key}:{n}".encode()
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2.0**64
+
+    # ------------------------------------------------------------------
+    # decisions
+    # ------------------------------------------------------------------
+    def reconfig_fails(self, partition_label: str) -> bool:
+        """Does realizing this MIG partition fail this time?"""
+        hit = (
+            self._uniform(f"reconfig:{partition_label}")
+            < self.config.reconfig_failure_rate
+        )
+        if hit:
+            self.counts[FaultKind.RECONFIG_FAILURE] += 1
+        return hit
+
+    def launch_hits_transient(self, group_signature: str) -> bool:
+        """Does this group launch die on a transient device error?"""
+        hit = (
+            self._uniform(f"transient:{group_signature}")
+            < self.config.transient_rate
+        )
+        if hit:
+            self.counts[FaultKind.TRANSIENT_DEVICE] += 1
+        return hit
+
+    def job_fault(self, benchmark_name: str) -> FaultKind | None:
+        """Per-job outcome inside a group: crash, straggle, or neither."""
+        u = self._uniform(f"job:{benchmark_name}")
+        if u < self.config.job_failure_rate:
+            self.counts[FaultKind.JOB_FAILURE] += 1
+            return FaultKind.JOB_FAILURE
+        if u < self.config.job_failure_rate + self.config.straggler_rate:
+            self.counts[FaultKind.STRAGGLER] += 1
+            return FaultKind.STRAGGLER
+        return None
+
+    def straggler_factor(self, benchmark_name: str) -> float:
+        """Elapsed-time multiplier in [1, straggler_slowdown]."""
+        u = self._uniform(f"straggler:{benchmark_name}")
+        return 1.0 + (self.config.straggler_slowdown - 1.0) * u
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Injected-fault counts by kind (stable keys for reporting)."""
+        return {kind.value: self.counts.get(kind, 0) for kind in FaultKind}

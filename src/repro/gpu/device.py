@@ -19,11 +19,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import MigError, PartitionError, SchedulingError
+from repro.errors import (
+    MigError,
+    PartitionError,
+    ReconfigFaultError,
+    SchedulingError,
+    TransientDeviceError,
+)
+from repro.faults import FaultInjector, FaultKind
 from repro.gpu.arch import A100_40GB, GpuSpec
 from repro.gpu.mig import MigManager
 from repro.gpu.mps import MpsControl
-from repro.gpu.partition import CiNode, GiNode, MpsShare, PartitionTree
+from repro.gpu.partition import (
+    CiNode,
+    GiNode,
+    MpsShare,
+    PartitionTree,
+    format_partition,
+)
 from repro.workloads.jobs import Job
 
 if False:  # import-cycle guard: perfmodel imports gpu.partition
@@ -40,6 +53,7 @@ class LaunchResult:
     benchmark_name: str
     start_time: float
     elapsed: float
+    failed: bool = False  # the job crashed ``elapsed`` seconds in
 
     @property
     def end_time(self) -> float:
@@ -66,10 +80,16 @@ class SimulatedGpu:
     silently produce impossible configurations.
     """
 
-    def __init__(self, spec: GpuSpec = A100_40GB):
+    def __init__(
+        self, spec: GpuSpec = A100_40GB, faults: FaultInjector | None = None
+    ):
         self.spec = spec
         self.mig = MigManager(spec)
         self.clock = 0.0
+        # Busy time accumulates only while groups execute; schedulers may
+        # jump ``clock`` forward to model idle gaps without touching it.
+        self.busy_time = 0.0
+        self.faults = faults
         self.history: list[GroupRunRecord] = []
         self._mps_daemons: list[MpsControl] = []
 
@@ -84,6 +104,19 @@ class SimulatedGpu:
         when the device is idle, matching the MIG restriction.
         """
         tree.validate(self.spec)
+        if (
+            self.faults is not None
+            and self.faults.enabled
+            and tree.mig_enabled
+            and self.faults.reconfig_fails(format_partition(tree))
+        ):
+            # Raised before any teardown: the previous configuration
+            # stays intact, exactly as a failed nvidia-smi call would
+            # leave the real device.
+            raise ReconfigFaultError(
+                f"injected MIG reconfiguration failure realizing "
+                f"{format_partition(tree)}"
+            )
         for daemon in self._mps_daemons:
             daemon.quit()
         self._mps_daemons = []
@@ -137,7 +170,20 @@ class SimulatedGpu:
 
         Jobs bind to ``tree.slots()`` in order. The wall clock advances
         by the group's makespan.
+
+        With a :class:`~repro.faults.FaultInjector` attached, a launch
+        may raise :class:`TransientDeviceError` (retryable, no state
+        change) or :class:`ReconfigFaultError` (from ``configure``), and
+        individual launches may come back ``failed`` (crashed partway)
+        or stretched by a straggler slowdown.
         """
+        inject = self.faults is not None and self.faults.enabled
+        if inject and self.faults.launch_hits_transient(
+            "+".join(sorted(j.benchmark_name for j in jobs))
+        ):
+            raise TransientDeviceError(
+                "injected transient device error; launch can be retried"
+            )
         daemons = self.configure(tree)
         slots = tree.slots()
         if len(jobs) != len(slots):
@@ -162,16 +208,39 @@ class SimulatedGpu:
 
         corun = cached_simulate_corun([j.model for j in jobs], tree)
         start = self.clock
+        if inject:
+            elapsed: list[float] = []
+            crashed: list[bool] = []
+            for j, t in zip(jobs, corun.finish_times):
+                kind = self.faults.job_fault(j.benchmark_name)
+                if kind is FaultKind.JOB_FAILURE:
+                    elapsed.append(t * self.faults.config.crash_fraction)
+                    crashed.append(True)
+                elif kind is FaultKind.STRAGGLER:
+                    elapsed.append(
+                        t * self.faults.straggler_factor(j.benchmark_name)
+                    )
+                    crashed.append(False)
+                else:
+                    elapsed.append(t)
+                    crashed.append(False)
+            makespan = max(elapsed)
+        else:
+            elapsed = list(corun.finish_times)
+            crashed = [False] * len(jobs)
+            makespan = corun.makespan
         launches = [
             LaunchResult(
                 job_id=j.job_id,
                 benchmark_name=j.benchmark_name,
                 start_time=start,
                 elapsed=t,
+                failed=f,
             )
-            for j, t in zip(jobs, corun.finish_times)
+            for j, t, f in zip(jobs, elapsed, crashed)
         ]
-        self.clock = start + corun.makespan
+        self.clock = start + makespan
+        self.busy_time += makespan
         for daemon in daemons:
             daemon.quit()
         record = GroupRunRecord(partition=tree, corun=corun, launches=launches)
@@ -211,6 +280,7 @@ class SimulatedGpu:
     # ------------------------------------------------------------------
     def reset_clock(self) -> None:
         self.clock = 0.0
+        self.busy_time = 0.0
 
     @property
     def total_groups_run(self) -> int:

@@ -59,9 +59,11 @@ class TestSubmission:
         bs = batch_factory()
         jid = bs.sbatch("stream")
         bs.scancel(jid)
-        assert bs.squeue() == []
+        # the record survives for accounting, in the CANCELLED state
+        assert bs.squeue(JobState.PENDING) == []
+        assert [r.state for r in bs.squeue()] == [JobState.CANCELLED]
         with pytest.raises(SchedulingError):
-            bs.scancel(jid)
+            bs.scancel(jid)  # no longer pending
 
     def test_sinfo_initially_free(self, batch_factory):
         bs = batch_factory(n_gpus=3)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Terminal dashboard over a telemetry artifact directory.
+
+Reads the bundle that ``repro-gpu trace`` / ``repro-gpu cluster
+--telemetry DIR`` writes (``trace.json``, ``metrics.prom``,
+``timeline.json``) and prints a per-node timeline summary: busy/idle
+split, group count, an ASCII utilization strip per GPU, and the
+headline counters from the metrics exposition.
+
+Run:  python examples/telemetry_dashboard.py out/
+      repro-gpu trace Q1 --episodes 50 --faults 0.05 --out out/   # to produce out/
+"""
+
+import json
+import os
+import sys
+
+STRIP_WIDTH = 60
+
+
+def load_artifacts(out_dir: str):
+    with open(os.path.join(out_dir, "timeline.json")) as fh:
+        timeline = json.load(fh)
+    prom_path = os.path.join(out_dir, "metrics.prom")
+    metrics: dict[str, float] = {}
+    if os.path.exists(prom_path):
+        with open(prom_path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line or line.startswith("#"):
+                    continue
+                name_part, _, value = line.rpartition(" ")
+                base = name_part.split("{", 1)[0]
+                try:
+                    metrics[base] = metrics.get(base, 0.0) + float(value)
+                except ValueError:
+                    continue
+    return timeline, metrics
+
+
+def utilization_strip(intervals: list[dict], makespan: float) -> str:
+    """One character per time slice: '#' busy, '.' idle."""
+    if makespan <= 0:
+        return "." * STRIP_WIDTH
+    cells = [0.0] * STRIP_WIDTH
+    cell_span = makespan / STRIP_WIDTH
+    for iv in intervals:
+        lo = int(iv["start"] / cell_span)
+        hi = min(int(iv["end"] / cell_span), STRIP_WIDTH - 1)
+        for c in range(lo, hi + 1):
+            cell_lo = c * cell_span
+            cell_hi = cell_lo + cell_span
+            overlap = min(iv["end"], cell_hi) - max(iv["start"], cell_lo)
+            cells[c] += max(overlap, 0.0)
+    return "".join(
+        "#" if c >= 0.5 * cell_span else "+" if c > 0 else "."
+        for c in cells
+    )
+
+
+def main() -> int:
+    out_dir = sys.argv[1] if len(sys.argv) > 1 else "out"
+    if not os.path.exists(os.path.join(out_dir, "timeline.json")):
+        print(
+            f"no timeline.json under {out_dir!r} — produce one with:\n"
+            f"  repro-gpu trace Q1 --episodes 50 --faults 0.05 --out {out_dir}"
+        )
+        return 1
+    timeline, metrics = load_artifacts(out_dir)
+    makespan = timeline["makespan"]
+    devices = timeline["devices"]
+
+    print(f"telemetry bundle: {out_dir}/")
+    print(f"makespan {makespan:.1f}s   "
+          f"cluster utilization {timeline['utilization']:.1%}")
+    print()
+    for node in sorted(devices):
+        intervals = devices[node]
+        busy = sum(iv["duration"] for iv in intervals)
+        idle = max(makespan - busy, 0.0)
+        print(f"{node}  groups={len(intervals):3d}  "
+              f"busy={busy:9.1f}s  idle={idle:8.1f}s  "
+              f"util={busy / makespan if makespan else 0.0:6.1%}")
+        print(f"      |{utilization_strip(intervals, makespan)}|")
+    if metrics:
+        print()
+        print("counters:")
+        for name in (
+            "windows_dispatched_total",
+            "jobs_completed_total",
+            "jobs_failed_total",
+            "job_requeues_total",
+            "dispatch_retries_total",
+            "degraded_groups_total",
+            "policy_fallbacks_total",
+            "faults_injected_total",
+            "device_reconfigs_total",
+        ):
+            if name in metrics:
+                print(f"  {name:28s} {metrics[name]:10.0f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,8 @@ Subpackages:
                     online optimizer, baselines, metrics, evaluation harness
 ``repro.cluster``   Section VI multi-GPU extension
 ``repro.faults``    deterministic fault injection for the serving path
+``repro.telemetry`` metrics registry, sim-clock tracer, Perfetto/Prometheus
+                    exporters for the scheduler, devices, and trainer
 =================== ========================================================
 """
 
@@ -48,6 +50,13 @@ from repro.workloads.generator import MixCategory, QueueGenerator, paper_queues
 from repro.workloads.suite import BENCHMARKS, TRAINING_SET, UNSEEN_SET
 from repro.perfmodel.corun import simulate_corun, relative_throughput
 from repro.faults import FaultConfig, FaultInjector, FaultKind, RetryPolicy
+from repro.telemetry import (
+    MetricsRegistry,
+    NullTelemetry,
+    Telemetry,
+    Tracer,
+    write_artifacts,
+)
 from repro.core.actions import ActionCatalog
 from repro.core.trainer import OfflineTrainer, TrainingResult
 from repro.core.optimizer import OnlineOptimizer
@@ -89,6 +98,11 @@ __all__ = [
     "FaultInjector",
     "FaultKind",
     "RetryPolicy",
+    "MetricsRegistry",
+    "NullTelemetry",
+    "Telemetry",
+    "Tracer",
+    "write_artifacts",
     "ActionCatalog",
     "OfflineTrainer",
     "TrainingResult",

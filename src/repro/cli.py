@@ -12,12 +12,20 @@ Subcommands cover the pipeline stages:
   chosen method and print the resulting groups and metrics;
 * ``cluster``  — drain a queue through the Slurm-like batch system on a
   multi-GPU cluster, optionally under seeded fault injection
-  (``--faults RATE``) to exercise the retry/fallback machinery.
+  (``--faults RATE``) to exercise the retry/fallback machinery;
+  ``--json PATH`` dumps the full accounting as one machine-readable
+  document and ``--telemetry DIR`` writes trace/metrics artifacts;
+* ``trace``    — run a cluster scenario with telemetry always on and
+  write ``trace.json`` (Perfetto-loadable), ``metrics.prom``
+  (Prometheus text format), and ``timeline.json`` (per-device busy
+  intervals) to an output directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
 import numpy as np
@@ -41,7 +49,6 @@ from repro.core.evaluation import profile_all_benchmarks
 from repro.core.metrics import evaluate_schedule
 from repro.core.optimizer import OnlineOptimizer
 from repro.core.trainer import OfflineTrainer
-from repro.errors import SchedulingError
 from repro.faults import FaultConfig, FaultInjector, RetryPolicy
 from repro.gpu.arch import A100_40GB
 from repro.gpu.device import SimulatedGpu
@@ -51,6 +58,13 @@ from repro.gpu.variants import enumerate_hierarchical, enumerate_mps_only
 from repro.profiling.classify import classify
 from repro.profiling.profiler import NsightProfiler
 from repro.profiling.repository import ProfileRepository
+from repro.telemetry import (
+    NULL_TELEMETRY,
+    Telemetry,
+    device_timelines,
+    utilization_from_timelines,
+    write_artifacts,
+)
 from repro.workloads.generator import paper_queues
 from repro.workloads.jobs import Job
 from repro.workloads.suite import BENCHMARKS
@@ -107,11 +121,13 @@ def _cmd_variants(args: argparse.Namespace) -> int:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
     trainer = OfflineTrainer(
         window_size=args.window,
         c_max=args.c_max,
         n_training_queues=args.queues,
         seed=args.seed,
+        telemetry=telemetry,
     )
     print(
         f"training: W={args.window} C_max={args.c_max} "
@@ -131,6 +147,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
 
         save_agent(result.agent, args.output)
         print(f"saved agent checkpoint to {args.output}")
+    if args.telemetry:
+        paths = write_artifacts(telemetry, args.telemetry)
+        print("telemetry artifacts: " + "  ".join(paths.values()))
     return 0
 
 
@@ -183,17 +202,33 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_cluster(args: argparse.Namespace) -> int:
+def _run_cluster_scenario(
+    args: argparse.Namespace, telemetry: Telemetry, out=None
+) -> tuple[BatchSystem, FaultInjector | None] | None:
+    """Train the node-local agent, assemble the batch system, drain the
+    queue. Shared by ``cluster`` and ``trace``; returns ``None`` (after
+    printing a hint) for an unknown queue name. Progress lines go to
+    ``out`` (stderr when ``--json -`` claims stdout for the document)."""
+    out = out if out is not None else sys.stdout
     queues = paper_queues()
     if args.queue not in queues:
-        print(f"unknown queue {args.queue}; choose from {sorted(queues)}")
-        return 2
+        print(
+            f"unknown queue {args.queue}; choose from {sorted(queues)}",
+            file=out,
+        )
+        return None
     names = queues[args.queue].benchmark_names * args.repeat
 
     trainer = OfflineTrainer(
-        window_size=args.window, c_max=args.c_max, seed=args.seed
+        window_size=args.window,
+        c_max=args.c_max,
+        seed=args.seed,
+        telemetry=telemetry,
     )
-    print(f"training the node-local agent ({args.episodes} episodes) ...")
+    print(
+        f"training the node-local agent ({args.episodes} episodes) ...",
+        file=out,
+    )
     result = trainer.train(episodes=args.episodes)
     profile_all_benchmarks(result.repository)
     optimizer = OnlineOptimizer(
@@ -201,6 +236,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         result.repository,
         ActionCatalog(c_max=args.c_max),
         args.window,
+        telemetry=telemetry,
     )
     selector = PolicySelector(
         co_scheduling=CoSchedulingPolicy(optimizer),
@@ -220,18 +256,69 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         faults=injector,
         retry=RetryPolicy(max_retries=args.max_retries),
         max_retries=args.max_retries,
+        telemetry=telemetry,
     )
     for name in names:
         bs.sbatch(name)
-    print(f"draining {len(names)} jobs over {args.gpus} GPUs ...")
+    print(f"draining {len(names)} jobs over {args.gpus} GPUs ...", file=out)
     bs.drain()
+    return bs, injector
+
+
+def _cluster_document(
+    args: argparse.Namespace, bs: BatchSystem, injector: FaultInjector | None
+) -> dict:
+    """The machine-readable run summary behind ``cluster --json``."""
+    return {
+        "queue": args.queue,
+        "gpus": args.gpus,
+        "window_size": args.window,
+        "fault_rate": args.faults,
+        "job_states": {s.value: len(bs.squeue(s)) for s in JobState},
+        "sacct": bs.sacct(),
+        "utilization": bs.cluster.utilization(),
+        "fault_summary": injector.summary() if injector is not None else None,
+        "dispatch_history": [dataclasses.asdict(r) for r in bs.history],
+        "nodes": bs.sinfo(),
+    }
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+    # With ``--json -`` stdout carries the document alone; the
+    # human-readable report moves to stderr so the output stays pipeable.
+    out = sys.stderr if args.json == "-" else sys.stdout
+    run = _run_cluster_scenario(args, telemetry, out=out)
+    if run is None:
+        return 2
+    bs, injector = run
 
     counts = {s.value: len(bs.squeue(s)) for s in JobState}
-    print("\njob states: " + "  ".join(f"{k}={v}" for k, v in counts.items()))
-    try:
-        acct = bs.sacct()
-    except SchedulingError:
-        print("no job completed (fault rate too high?)")
+    print(
+        "\njob states: " + "  ".join(f"{k}={v}" for k, v in counts.items()),
+        file=out,
+    )
+    if args.json:
+        doc = _cluster_document(args, bs, injector)
+        if args.json == "-":
+            json.dump(doc, sys.stdout, indent=1, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json, "w") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote run document to {args.json}", file=out)
+    if args.telemetry:
+        paths = write_artifacts(
+            telemetry,
+            args.telemetry,
+            makespan=bs.cluster.makespan,
+            n_tracks=len(bs.cluster.nodes),
+        )
+        print("telemetry artifacts: " + "  ".join(paths.values()), file=out)
+    acct = bs.sacct()
+    if acct["completed"] == 0:
+        print("no job completed (fault rate too high?)", file=out)
         return 1
     for key in (
         "completed",
@@ -242,16 +329,51 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         "fallback_windows",
         "degraded_groups",
     ):
-        print(f"{key:<18s} {acct[key]:8d}")
+        print(f"{key:<18s} {acct[key]:8d}", file=out)
     for key in ("mean_wait", "mean_turnaround", "makespan"):
-        print(f"{key:<18s} {acct[key]:10.1f}s")
-    print(f"{'utilization':<18s} {bs.cluster.utilization():10.3f}")
+        print(f"{key:<18s} {acct[key]:10.1f}s", file=out)
+    print(f"{'utilization':<18s} {bs.cluster.utilization():10.3f}", file=out)
     if injector is not None:
         inj = injector.summary()
         print(
             "injected faults: "
-            + "  ".join(f"{k}={v}" for k, v in inj.items())
+            + "  ".join(f"{k}={v}" for k, v in inj.items()),
+            file=out,
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    telemetry = Telemetry()
+    run = _run_cluster_scenario(args, telemetry)
+    if run is None:
+        return 2
+    bs, injector = run
+
+    paths = write_artifacts(
+        telemetry,
+        args.out,
+        makespan=bs.cluster.makespan,
+        n_tracks=len(bs.cluster.nodes),
+    )
+    tracer = telemetry.tracer
+    timelines = device_timelines(tracer)
+    util = utilization_from_timelines(
+        timelines, bs.cluster.makespan, len(bs.cluster.nodes)
+    )
+    print(f"\ntrace: {len(tracer)} records on {len(tracer.tracks())} tracks"
+          f" ({tracer.dropped} dropped)")
+    for track in tracer.tracks():
+        n_spans = len(tracer.spans(track=track))
+        n_events = len(tracer.events(track=track))
+        print(f"  {track:<8s} {n_spans:4d} spans  {n_events:4d} events")
+    print(f"utilization from timeline: {util:.3f} "
+          f"(cluster reports {bs.cluster.utilization():.3f})")
+    if injector is not None:
+        inj = injector.summary()
+        print("injected faults: " + "  ".join(f"{k}={v}" for k, v in inj.items()))
+    for name, path in paths.items():
+        print(f"{name:<9s} {path}")
     return 0
 
 
@@ -285,6 +407,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--episodes", type=int, default=2000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--output", help="save the trained agent checkpoint (.npz) here")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="record training metrics and write telemetry "
+                        "artifacts to this directory")
     p.set_defaults(fn=_cmd_train)
 
     p = sub.add_parser("schedule", help="schedule a Table V queue")
@@ -300,28 +425,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(fn=_cmd_schedule)
 
+    def add_cluster_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("queue", nargs="?", default="Q1", help="Q1..Q12")
+        p.add_argument("--gpus", type=int, default=2)
+        p.add_argument("--repeat", type=int, default=1,
+                       help="submit the queue this many times")
+        p.add_argument("--window", type=int, default=12)
+        p.add_argument("--c-max", type=int, default=4)
+        p.add_argument("--episodes", type=int, default=800)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--crowding", type=int, default=2,
+                       help="queue depth per free GPU that triggers "
+                            "co-scheduling")
+        p.add_argument("--faults", type=float, default=0.0,
+                       help="per-decision fault rate for every fault kind "
+                            "(0 disables injection)")
+        p.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for the deterministic fault injector")
+        p.add_argument("--max-retries", type=int, default=3,
+                       help="retry cap for transient faults and job re-queues")
+
     p = sub.add_parser(
         "cluster",
         help="drain a queue through the Slurm-like batch system",
     )
-    p.add_argument("queue", nargs="?", default="Q1", help="Q1..Q12")
-    p.add_argument("--gpus", type=int, default=2)
-    p.add_argument("--repeat", type=int, default=1,
-                   help="submit the queue this many times")
-    p.add_argument("--window", type=int, default=12)
-    p.add_argument("--c-max", type=int, default=4)
-    p.add_argument("--episodes", type=int, default=800)
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--crowding", type=int, default=2,
-                   help="queue depth per free GPU that triggers co-scheduling")
-    p.add_argument("--faults", type=float, default=0.0,
-                   help="per-decision fault rate for every fault kind "
-                        "(0 disables injection)")
-    p.add_argument("--fault-seed", type=int, default=0,
-                   help="seed for the deterministic fault injector")
-    p.add_argument("--max-retries", type=int, default=3,
-                   help="retry cap for transient faults and job re-queues")
+    add_cluster_args(p)
+    p.add_argument("--json", metavar="PATH",
+                   help="dump accounting, job states, utilization, fault "
+                        "summary, and dispatch history as one JSON document "
+                        "('-' for stdout)")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="record traces/metrics and write trace.json, "
+                        "metrics.prom, and timeline.json to this directory")
     p.set_defaults(fn=_cmd_cluster)
+
+    p = sub.add_parser(
+        "trace",
+        help="run a cluster scenario with telemetry on and export "
+             "Perfetto/Prometheus/timeline artifacts",
+    )
+    add_cluster_args(p)
+    p.add_argument("--out", metavar="DIR", default="out",
+                   help="artifact directory (default: out/)")
+    p.set_defaults(fn=_cmd_trace)
 
     return parser
 

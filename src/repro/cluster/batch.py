@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 
 from repro.errors import ReproError, SchedulingError
 from repro.faults import FaultInjector, RetryPolicy
+from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
 from repro.cluster.node import ClusterState
 from repro.cluster.policy import PolicySelector
+from repro.cluster.scheduler import DispatchRecord
 from repro.workloads.jobs import Job
 
 __all__ = ["JobState", "BatchJob", "BatchSystem"]
@@ -84,6 +86,7 @@ class BatchSystem:
         faults: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         max_retries: int = 3,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ):
         if window_size < 1:
             raise SchedulingError("window size must be positive")
@@ -98,15 +101,20 @@ class BatchSystem:
         self.faults = faults
         self.retry = retry or RetryPolicy()
         self.max_retries = max_retries
+        self.telemetry = telemetry
         self.now = 0.0
         self.fallback_windows = 0  # policy raised -> FCFS took over
         self.dispatch_retries = 0  # device-level retries spent
         self.degraded_groups = 0  # groups that fell back to solo runs
+        self.history: list[DispatchRecord] = []  # one entry per dispatch
         self._records: dict[str, BatchJob] = {}
         self._pending: list[str] = []
         if faults is not None:
             for node in cluster.nodes:
                 node.device.faults = faults
+            faults.telemetry = telemetry
+        for node in cluster.nodes:
+            node.device.telemetry = telemetry
 
     # ------------------------------------------------------------------
     # user-facing verbs
@@ -116,6 +124,15 @@ class BatchSystem:
         job = Job.submit(benchmark_name, user=user)
         self._records[job.job_id] = BatchJob(job=job, submit_time=self.now)
         self._pending.append(job.job_id)
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "sbatch",
+                "batch",
+                self.now,
+                category="batch",
+                job=benchmark_name,
+            )
+            self.telemetry.count("jobs_submitted_total", 1)
         return job.job_id
 
     def squeue(self, state: JobState | None = None) -> list[BatchJob]:
@@ -176,7 +193,7 @@ class BatchSystem:
                     and r.end_time is not None
                     and r.end_time <= self.now + 1e-9
                 ):
-                    r.state = JobState.COMPLETED
+                    self._complete(r)
             node = self.cluster.least_loaded()
             if node.available_at > self.now + 1e-9:
                 break  # every GPU busy beyond the horizon
@@ -206,8 +223,13 @@ class BatchSystem:
         self.now = max(self.now, self.cluster.makespan)
         for r in self._records.values():
             if r.state is JobState.RUNNING:
-                r.state = JobState.COMPLETED
+                self._complete(r)
         return self.cluster.makespan
+
+    def _complete(self, record: BatchJob) -> None:
+        record.state = JobState.COMPLETED
+        if self.telemetry.enabled:
+            self.telemetry.count("jobs_completed_total", 1)
 
     def _dispatch(self, node) -> None:
         take = min(self.window_size, len(self._pending))
@@ -218,19 +240,33 @@ class BatchSystem:
         policy = self.selector.select(
             queue_depth=len(self._pending) + take, free_gpus=max(free, 1)
         )
+        fell_back = False
         try:
             schedule = policy.schedule(window)
         except ReproError:
             # graceful degradation: an optimizer failure costs this
             # window its co-scheduling gain, never the whole drain
             self.fallback_windows += 1
+            fell_back = True
             schedule = self.selector.fcfs.schedule(window)
         start = max(self.now, node.available_at)
         node.device.clock = start
+        if self.telemetry.enabled:
+            self.telemetry.gauge("queue_depth", len(self._pending))
+            if fell_back:
+                self.telemetry.event(
+                    "fallback",
+                    node.name,
+                    start,
+                    category="scheduler",
+                    policy=self.selector.fcfs.name,
+                )
+                self.telemetry.count("policy_fallbacks_total", 1, node=node.name)
         outcome = node.execute_schedule_ft(schedule, self.retry)
         self.dispatch_retries += outcome.retries
         self.degraded_groups += outcome.degraded_groups
         failed = set(outcome.failed_job_ids)
+        n_failed = 0
         for jid in ids:
             r = self._records[jid]
             if jid in failed and r.retries < self.max_retries:
@@ -240,14 +276,75 @@ class BatchSystem:
                 r.start_time = None
                 r.end_time = None
                 self._pending.append(jid)
+                n_failed += 1
+                if self.telemetry.enabled:
+                    self.telemetry.event(
+                        "requeue",
+                        node.name,
+                        outcome.end_time,
+                        category="batch",
+                        job=r.job.benchmark_name,
+                        attempt=r.retries,
+                    )
+                    self.telemetry.count("job_requeues_total", 1)
                 continue
             r.node = node.name
             r.start_time = start
             r.end_time = outcome.finish_of[jid]
             if jid in failed:
                 r.state = JobState.FAILED  # terminal: retry budget spent
+                n_failed += 1
+                if self.telemetry.enabled:
+                    self.telemetry.event(
+                        "job_failed",
+                        node.name,
+                        outcome.finish_of[jid],
+                        category="batch",
+                        job=r.job.benchmark_name,
+                    )
+                    self.telemetry.count("jobs_failed_total", 1)
             else:
                 r.state = JobState.RUNNING
+        effective_policy = self.selector.fcfs.name if fell_back else policy.name
+        self.history.append(
+            DispatchRecord(
+                node_name=node.name,
+                policy_name=effective_policy,
+                window_size=take,
+                start_time=start,
+                end_time=outcome.end_time,
+                throughput_gain=schedule.throughput_gain,
+                retries=outcome.retries,
+                fell_back=fell_back,
+                n_failed=n_failed,
+            )
+        )
+        if self.telemetry.enabled:
+            self.telemetry.span(
+                "window",
+                node.name,
+                start,
+                outcome.end_time,
+                category="scheduler",
+                policy=effective_policy,
+                window_size=take,
+                gain=schedule.throughput_gain,
+                retries=outcome.retries,
+                fell_back=fell_back,
+                n_failed=n_failed,
+            )
+            self.telemetry.count(
+                "windows_dispatched_total",
+                1,
+                node=node.name,
+                policy=effective_policy,
+            )
+            self.telemetry.observe(
+                "window_gain", schedule.throughput_gain, node=node.name
+            )
+            self.telemetry.observe(
+                "window_seconds", outcome.end_time - start, node=node.name
+            )
 
     # ------------------------------------------------------------------
     # accounting
@@ -257,12 +354,14 @@ class BatchSystem:
 
         Wait/turnaround means cover completed jobs only; failed and
         cancelled submissions are counted but excluded from the means.
+        With no completions yet, the dict comes back zero-filled
+        (``completed == 0`` and zero means) instead of raising, so
+        accounting is always queryable — callers that need to
+        distinguish "nothing ran" check the count.
         """
         done = [r for r in self._records.values() if r.state is JobState.COMPLETED]
-        if not done:
-            raise SchedulingError("no completed jobs yet")
-        waits = [r.wait_time for r in done]
-        turns = [r.turnaround for r in done]
+        waits = [r.wait_time for r in done] or [0.0]
+        turns = [r.turnaround for r in done] or [0.0]
         states = [r.state for r in self._records.values()]
         return {
             "completed": len(done),

@@ -41,6 +41,11 @@ class GpuNode:
     name: str
     device: SimulatedGpu
 
+    def __post_init__(self) -> None:
+        # The device's trace track carries the node's name, so exported
+        # timelines get one track per GPU node.
+        self.device.track = self.name
+
     @classmethod
     def create(cls, name: str, spec: GpuSpec = A100_40GB) -> "GpuNode":
         return cls(name=name, device=SimulatedGpu(spec))
@@ -90,6 +95,7 @@ class GpuNode:
         """
         if not schedule.groups:
             raise SchedulingError("cannot execute an empty schedule")
+        tel = self.device.telemetry
         finish_of: dict[str, float] = {}
         failed: list[str] = []
         retries = 0
@@ -105,15 +111,43 @@ class GpuNode:
                 except FaultError:
                     attempt += 1
                     retries += 1
+                    if tel.enabled:
+                        tel.event(
+                            "retry",
+                            self.name,
+                            self.device.clock,
+                            category="fault",
+                            attempt=attempt,
+                        )
+                        tel.count("dispatch_retries_total", 1, node=self.name)
                     if attempt > retry.max_retries:
                         break
-                    self.device.clock += retry.backoff(attempt)
+                    wait = retry.backoff(attempt)
+                    if tel.enabled:
+                        tel.span(
+                            "backoff",
+                            self.name,
+                            self.device.clock,
+                            self.device.clock + wait,
+                            category="fault",
+                            attempt=attempt,
+                        )
+                    self.device.clock += wait
             if record is not None:
                 launches = record.launches
             else:
                 # Degraded path: the group never launched; run each job
                 # exclusively instead (the FCFS fallback for this group).
                 degraded += 1
+                if tel.enabled:
+                    tel.event(
+                        "degraded",
+                        self.name,
+                        self.device.clock,
+                        category="fault",
+                        jobs=[j.benchmark_name for j in jobs],
+                    )
+                    tel.count("degraded_groups_total", 1, node=self.name)
                 launches = []
                 for job in jobs:
                     launch, extra = self._solo_with_retry(job, retry)
@@ -144,14 +178,35 @@ class GpuNode:
     def _solo_with_retry(self, job, retry: RetryPolicy):
         """One solo run with bounded retries; (launch | None, retries)."""
         attempt = 0
+        tel = self.device.telemetry
         while True:
             try:
                 return self.device.run_solo(job), attempt
             except FaultError:
                 attempt += 1
+                if tel.enabled:
+                    tel.event(
+                        "retry",
+                        self.name,
+                        self.device.clock,
+                        category="fault",
+                        attempt=attempt,
+                        job=job.benchmark_name,
+                    )
+                    tel.count("dispatch_retries_total", 1, node=self.name)
                 if attempt > retry.max_retries:
                     return None, attempt
-                self.device.clock += retry.backoff(attempt)
+                wait = retry.backoff(attempt)
+                if tel.enabled:
+                    tel.span(
+                        "backoff",
+                        self.name,
+                        self.device.clock,
+                        self.device.clock + wait,
+                        category="fault",
+                        attempt=attempt,
+                    )
+                self.device.clock += wait
 
 
 @dataclass

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ReproError, SchedulingError
 from repro.faults import FaultInjector, RetryPolicy
+from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
 from repro.cluster.node import ClusterState
 from repro.cluster.policy import PolicySelector
 from repro.workloads.jobs import Job, JobQueue
@@ -50,6 +51,7 @@ class ClusterScheduler:
     faults: FaultInjector | None = None
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     max_retries: int = 3
+    telemetry: Telemetry = NULL_TELEMETRY
     history: list[DispatchRecord] = field(default_factory=list)
     failed_jobs: list[Job] = field(default_factory=list)
 
@@ -57,6 +59,9 @@ class ClusterScheduler:
         if self.faults is not None:
             for node in self.cluster.nodes:
                 node.device.faults = self.faults
+            self.faults.telemetry = self.telemetry
+        for node in self.cluster.nodes:
+            node.device.telemetry = self.telemetry
 
     def run(self, queue: JobQueue) -> list[DispatchRecord]:
         """Dispatch the whole queue; returns the dispatch log.
@@ -92,6 +97,15 @@ class ClusterScheduler:
                 policy = self.selector.fcfs
                 schedule = policy.schedule(window)
             start = node.available_at
+            if self.telemetry.enabled and fell_back:
+                self.telemetry.event(
+                    "fallback",
+                    node.name,
+                    start,
+                    category="scheduler",
+                    policy=policy.name,
+                )
+                self.telemetry.count("policy_fallbacks_total", 1, node=node.name)
             outcome = node.execute_schedule_ft(schedule, self.retry)
             failed_ids = set(outcome.failed_job_ids)
             n_failed = 0
@@ -117,6 +131,34 @@ class ClusterScheduler:
                 n_failed=n_failed,
             )
             records.append(record)
+            if self.telemetry.enabled:
+                self.telemetry.span(
+                    "window",
+                    node.name,
+                    start,
+                    outcome.end_time,
+                    category="scheduler",
+                    policy=policy.name,
+                    window_size=w,
+                    gain=schedule.throughput_gain,
+                    retries=outcome.retries,
+                    fell_back=fell_back,
+                    n_failed=n_failed,
+                )
+                self.telemetry.count(
+                    "windows_dispatched_total",
+                    1,
+                    node=node.name,
+                    policy=policy.name,
+                )
+                self.telemetry.observe(
+                    "window_gain", schedule.throughput_gain, node=node.name
+                )
+                self.telemetry.observe(
+                    "window_seconds",
+                    outcome.end_time - start,
+                    node=node.name,
+                )
         self.history.extend(records)
         return records
 

@@ -33,6 +33,7 @@ from repro.perfmodel.cache import CacheStats, corun_cache
 from repro.profiling.profiler import NsightProfiler
 from repro.profiling.repository import ProfileRepository
 from repro.rl.dqn import DQNConfig, DuelingDoubleDQNAgent
+from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
 from repro.workloads.generator import QueueGenerator
 from repro.workloads.jobs import Job
 from repro.workloads.suite import TRAINING_SET
@@ -78,6 +79,7 @@ class OfflineTrainer:
         profile_noise: float = 0.01,
         dqn_overrides: dict | None = None,
         binding: str = "auto",
+        telemetry: Telemetry = NULL_TELEMETRY,
     ):
         if window_size < 2:
             raise TrainingError("training needs windows of at least 2 jobs")
@@ -89,6 +91,8 @@ class OfflineTrainer:
         self.reward_config = reward_config or RewardConfig()
         self.profile_noise = profile_noise
         self.binding = binding
+        self.telemetry = telemetry
+        self._losses_recorded = 0
         self.catalog = ActionCatalog(spec, c_max=c_max)
         extractor = FeatureExtractor(window_size)
         cfg_kwargs = {
@@ -164,6 +168,7 @@ class OfflineTrainer:
         agent = DuelingDoubleDQNAgent(self.dqn_config)
         result = TrainingResult(agent=agent, repository=repo)
         corun_before = corun_cache().stats
+        self._losses_recorded = 0
 
         for _ in range(episodes):
             obs, info = env.reset()
@@ -183,11 +188,44 @@ class OfflineTrainer:
             result.episode_throughputs.append(
                 info["schedule"].throughput_gain
             )
+            if self.telemetry.enabled:
+                self._record_episode(
+                    agent, ep_return, info["schedule"].throughput_gain
+                )
         result.cache_stats = {
             "corun": corun_cache().stats.delta(corun_before),
             "decisions": env.decision_cache.stats,
         }
+        if self.telemetry.enabled:
+            self._record_cache_stats(result.cache_stats)
         return result
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    _GAIN_BUCKETS = (0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 1.75, 2.0, 3.0)
+    _LOSS_BUCKETS = (1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 25.0, 100.0)
+
+    def _record_episode(
+        self, agent: DuelingDoubleDQNAgent, ep_return: float, gain: float
+    ) -> None:
+        tel = self.telemetry
+        tel.observe("train_episode_return", ep_return, buckets=self._GAIN_BUCKETS)
+        tel.observe("train_episode_throughput", gain, buckets=self._GAIN_BUCKETS)
+        tel.gauge("train_epsilon", agent.epsilon)
+        n = self._losses_recorded
+        for loss in agent.loss_history[n:]:
+            tel.observe("train_loss", loss, buckets=self._LOSS_BUCKETS)
+        self._losses_recorded = len(agent.loss_history)
+
+    def _record_cache_stats(self, cache_stats: dict) -> None:
+        for name, stats in cache_stats.items():
+            self.telemetry.gauge(
+                "corun_cache_hit_rate"
+                if name == "corun"
+                else "decision_cache_hit_rate",
+                stats.hit_rate,
+            )
 
     def train_vectorized(
         self,
@@ -217,6 +255,7 @@ class OfflineTrainer:
         agent = DuelingDoubleDQNAgent(self.dqn_config)
         result = TrainingResult(agent=agent, repository=repo)
         corun_before = corun_cache().stats
+        self._losses_recorded = 0
 
         obs, infos = venv.reset()
         masks = venv.action_masks(infos)
@@ -245,6 +284,12 @@ class OfflineTrainer:
                     result.episode_throughputs.append(
                         infos[i]["final_info"]["schedule"].throughput_gain
                     )
+                    if self.telemetry.enabled:
+                        self._record_episode(
+                            agent,
+                            float(ep_returns[i]),
+                            infos[i]["final_info"]["schedule"].throughput_gain,
+                        )
                 ep_returns[i] = 0.0
             obs = next_obs
             masks = venv.action_masks(infos)
@@ -259,4 +304,6 @@ class OfflineTrainer:
                 maxsize=per_env[0].maxsize,
             ),
         }
+        if self.telemetry.enabled:
+            self._record_cache_stats(result.cache_stats)
         return result

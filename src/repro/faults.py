@@ -27,6 +27,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
 
 __all__ = ["FaultKind", "FaultConfig", "RetryPolicy", "FaultInjector"]
 
@@ -141,6 +142,7 @@ class FaultInjector:
 
     config: FaultConfig
     counts: Counter = field(default_factory=Counter)
+    telemetry: Telemetry = field(default=NULL_TELEMETRY, repr=False)
     _draws: dict = field(default_factory=dict, repr=False)
 
     @property
@@ -150,6 +152,11 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # the deterministic uniform source
     # ------------------------------------------------------------------
+    def _record(self, kind: FaultKind) -> None:
+        self.counts[kind] += 1
+        if self.telemetry.enabled:
+            self.telemetry.count("faults_injected_total", 1, kind=kind.value)
+
     def _uniform(self, key: str) -> float:
         n = self._draws.get(key, 0)
         self._draws[key] = n + 1
@@ -168,7 +175,7 @@ class FaultInjector:
             < self.config.reconfig_failure_rate
         )
         if hit:
-            self.counts[FaultKind.RECONFIG_FAILURE] += 1
+            self._record(FaultKind.RECONFIG_FAILURE)
         return hit
 
     def launch_hits_transient(self, group_signature: str) -> bool:
@@ -178,17 +185,17 @@ class FaultInjector:
             < self.config.transient_rate
         )
         if hit:
-            self.counts[FaultKind.TRANSIENT_DEVICE] += 1
+            self._record(FaultKind.TRANSIENT_DEVICE)
         return hit
 
     def job_fault(self, benchmark_name: str) -> FaultKind | None:
         """Per-job outcome inside a group: crash, straggle, or neither."""
         u = self._uniform(f"job:{benchmark_name}")
         if u < self.config.job_failure_rate:
-            self.counts[FaultKind.JOB_FAILURE] += 1
+            self._record(FaultKind.JOB_FAILURE)
             return FaultKind.JOB_FAILURE
         if u < self.config.job_failure_rate + self.config.straggler_rate:
-            self.counts[FaultKind.STRAGGLER] += 1
+            self._record(FaultKind.STRAGGLER)
             return FaultKind.STRAGGLER
         return None
 

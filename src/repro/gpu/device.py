@@ -27,6 +27,7 @@ from repro.errors import (
     TransientDeviceError,
 )
 from repro.faults import FaultInjector, FaultKind
+from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
 from repro.gpu.arch import A100_40GB, GpuSpec
 from repro.gpu.mig import MigManager
 from repro.gpu.mps import MpsControl
@@ -81,7 +82,10 @@ class SimulatedGpu:
     """
 
     def __init__(
-        self, spec: GpuSpec = A100_40GB, faults: FaultInjector | None = None
+        self,
+        spec: GpuSpec = A100_40GB,
+        faults: FaultInjector | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
     ):
         self.spec = spec
         self.mig = MigManager(spec)
@@ -90,6 +94,8 @@ class SimulatedGpu:
         # jump ``clock`` forward to model idle gaps without touching it.
         self.busy_time = 0.0
         self.faults = faults
+        self.telemetry = telemetry
+        self.track = "gpu"  # trace track name; GpuNode overrides with its own
         self.history: list[GroupRunRecord] = []
         self._mps_daemons: list[MpsControl] = []
 
@@ -113,6 +119,14 @@ class SimulatedGpu:
             # Raised before any teardown: the previous configuration
             # stays intact, exactly as a failed nvidia-smi call would
             # leave the real device.
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "fault:reconfig",
+                    self.track,
+                    self.clock,
+                    category="fault",
+                    partition=format_partition(tree),
+                )
             raise ReconfigFaultError(
                 f"injected MIG reconfiguration failure realizing "
                 f"{format_partition(tree)}"
@@ -130,6 +144,17 @@ class SimulatedGpu:
                 max_clients=self.spec.max_mps_clients,
             )
             self._mps_daemons.append(daemon)
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "configure",
+                    self.track,
+                    self.clock,
+                    category="device",
+                    partition=format_partition(tree),
+                )
+                self.telemetry.count(
+                    "device_reconfigs_total", 1, node=self.track
+                )
             return self._mps_daemons
 
         if not self.mig.enabled:
@@ -160,6 +185,15 @@ class SimulatedGpu:
                 )
         for gi_index in range(len(tree.gis)):
             self._mps_daemons.extend(daemons_by_gi[gi_index])
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "configure",
+                self.track,
+                self.clock,
+                category="device",
+                partition=format_partition(tree),
+            )
+            self.telemetry.count("device_reconfigs_total", 1, node=self.track)
         return self._mps_daemons
 
     # ------------------------------------------------------------------
@@ -181,6 +215,14 @@ class SimulatedGpu:
         if inject and self.faults.launch_hits_transient(
             "+".join(sorted(j.benchmark_name for j in jobs))
         ):
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "fault:transient",
+                    self.track,
+                    self.clock,
+                    category="fault",
+                    jobs=[j.benchmark_name for j in jobs],
+                )
             raise TransientDeviceError(
                 "injected transient device error; launch can be retried"
             )
@@ -209,6 +251,7 @@ class SimulatedGpu:
         corun = cached_simulate_corun([j.model for j in jobs], tree)
         start = self.clock
         if inject:
+            tel = self.telemetry
             elapsed: list[float] = []
             crashed: list[bool] = []
             for j, t in zip(jobs, corun.finish_times):
@@ -216,11 +259,28 @@ class SimulatedGpu:
                 if kind is FaultKind.JOB_FAILURE:
                     elapsed.append(t * self.faults.config.crash_fraction)
                     crashed.append(True)
+                    if tel.enabled:
+                        tel.event(
+                            "fault:job_failure",
+                            self.track,
+                            start + elapsed[-1],
+                            category="fault",
+                            job=j.benchmark_name,
+                        )
                 elif kind is FaultKind.STRAGGLER:
                     elapsed.append(
                         t * self.faults.straggler_factor(j.benchmark_name)
                     )
                     crashed.append(False)
+                    if tel.enabled:
+                        tel.event(
+                            "fault:straggler",
+                            self.track,
+                            start,
+                            category="fault",
+                            job=j.benchmark_name,
+                            slowdown=elapsed[-1] / t if t > 0 else 1.0,
+                        )
                 else:
                     elapsed.append(t)
                     crashed.append(False)
@@ -245,6 +305,21 @@ class SimulatedGpu:
             daemon.quit()
         record = GroupRunRecord(partition=tree, corun=corun, launches=launches)
         self.history.append(record)
+        if self.telemetry.enabled:
+            self.telemetry.span(
+                "run_group",
+                self.track,
+                start,
+                self.clock,
+                category="device",
+                partition=format_partition(tree),
+                concurrency=len(jobs),
+                jobs=[j.benchmark_name for j in jobs],
+            )
+            self.telemetry.count("device_groups_total", 1, node=self.track)
+            self.telemetry.count(
+                "device_busy_seconds_total", makespan, node=self.track
+            )
         return record
 
     def run_solo(self, job: Job) -> LaunchResult:

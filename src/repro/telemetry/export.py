@@ -1,0 +1,235 @@
+"""Exporters: Chrome trace JSON, Prometheus text, device timelines.
+
+Three read-only views over one run's telemetry:
+
+* :func:`chrome_trace` — the ``trace_event`` format understood by
+  Perfetto / ``chrome://tracing``. One *thread track* per tracer track
+  (one per GPU node plus system tracks), complete ``"X"`` events for
+  spans and instant ``"i"`` events for point occurrences. Simulated
+  seconds map to microseconds (the format's native unit).
+* :func:`prometheus_text` — the text exposition format, with counters
+  suffixed ``_total``-as-named, gauges plain, and full
+  ``_bucket``/``_sum``/``_count`` lines for histograms.
+* :func:`device_timelines` — per-track busy intervals recovered from
+  ``run_group`` spans. Their summed durations reproduce each device's
+  ``busy_time`` exactly, so :func:`utilization_from_timelines` agrees
+  with :meth:`ClusterState.utilization` to float precision.
+
+:func:`write_artifacts` bundles all three to a directory (the CLI's
+``--telemetry PATH`` / ``trace`` output).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.telemetry.facade import Telemetry
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.tracer import Event, Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "device_timelines",
+    "utilization_from_timelines",
+    "write_artifacts",
+]
+
+_SECONDS_TO_US = 1e6
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro-gpu") -> dict:
+    """Render the tracer's buffer as a ``trace_event`` document."""
+    tracks = tracer.tracks()
+    tid_of = {track: i + 1 for i, track in enumerate(tracks)}
+    events: list[dict] = [
+        {
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": process_name},
+        }
+    ]
+    for track in tracks:
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid_of[track],
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+    for record in tracer.records():
+        if isinstance(record, Span):
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid_of[record.track],
+                    "name": record.name,
+                    "cat": record.category,
+                    "ts": record.start * _SECONDS_TO_US,
+                    "dur": record.duration * _SECONDS_TO_US,
+                    "args": record.args,
+                }
+            )
+        elif isinstance(record, Event):
+            events.append(
+                {
+                    "ph": "i",
+                    "pid": 1,
+                    "tid": tid_of[record.track],
+                    "name": record.name,
+                    "cat": record.category,
+                    "ts": record.ts * _SECONDS_TO_US,
+                    "s": "t",  # thread-scoped instant
+                    "args": record.args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path) -> dict:
+    doc = chrome_trace(tracer)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _format_value(v: float) -> str:
+    if v == int(v) and abs(v) < 1e15:
+        return str(int(v))
+    return repr(float(v))
+
+
+def _format_labels(key, extra: dict | None = None) -> str:
+    pairs = list(key) + sorted((extra or {}).items())
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry's state in Prometheus text exposition format."""
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (Counter, Gauge)):
+            for key, value in metric.series().items():
+                lines.append(
+                    f"{metric.name}{_format_labels(key)} {_format_value(value)}"
+                )
+        elif isinstance(metric, Histogram):
+            for key in metric.series():
+                snap = metric.snapshot(**dict(key))
+                for bound, cumulative in snap.buckets:
+                    le = "+Inf" if bound == "+Inf" else _format_value(bound)
+                    lines.append(
+                        f"{metric.name}_bucket"
+                        f"{_format_labels(key, {'le': le})} {cumulative}"
+                    )
+                lines.append(
+                    f"{metric.name}_sum{_format_labels(key)} "
+                    f"{_format_value(snap.total)}"
+                )
+                lines.append(
+                    f"{metric.name}_count{_format_labels(key)} {snap.count}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# device utilization timelines
+# ----------------------------------------------------------------------
+def device_timelines(
+    tracer: Tracer, span_name: str = "run_group"
+) -> dict[str, list[dict]]:
+    """Busy intervals per device track, chronological.
+
+    Each interval is one executed group: ``start``/``end`` on the
+    device's simulated clock plus the group's labels. Gaps between
+    intervals are idle time (or fault backoff).
+    """
+    timelines: dict[str, list[dict]] = {}
+    for span in tracer.spans(name=span_name):
+        timelines.setdefault(span.track, []).append(
+            {
+                "start": span.start,
+                "end": span.end,
+                "duration": span.duration,
+                **span.args,
+            }
+        )
+    for intervals in timelines.values():
+        intervals.sort(key=lambda iv: iv["start"])
+    return timelines
+
+
+def utilization_from_timelines(
+    timelines: dict[str, list[dict]], makespan: float, n_tracks: int | None = None
+) -> float:
+    """Cluster utilization recomputed from exported busy intervals."""
+    if makespan <= 0:
+        return 0.0
+    n = n_tracks if n_tracks is not None else len(timelines)
+    if n <= 0:
+        return 0.0
+    busy = sum(
+        iv["duration"] for intervals in timelines.values() for iv in intervals
+    )
+    return busy / (makespan * n)
+
+
+# ----------------------------------------------------------------------
+# one-call artifact bundle
+# ----------------------------------------------------------------------
+def write_artifacts(
+    telemetry: Telemetry, out_dir, makespan: float | None = None,
+    n_tracks: int | None = None,
+) -> dict[str, str]:
+    """Write ``trace.json``, ``metrics.prom`` and ``timeline.json``.
+
+    Returns ``{artifact_name: path}``. ``makespan``/``n_tracks`` refine
+    the utilization figure embedded in the timeline document.
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    paths: dict[str, str] = {}
+
+    trace_path = os.path.join(out_dir, "trace.json")
+    write_chrome_trace(telemetry.tracer, trace_path)
+    paths["trace"] = trace_path
+
+    prom_path = os.path.join(out_dir, "metrics.prom")
+    with open(prom_path, "w") as fh:
+        fh.write(prometheus_text(telemetry.registry))
+    paths["metrics"] = prom_path
+
+    timelines = device_timelines(telemetry.tracer)
+    span = makespan
+    if span is None:
+        span = max(
+            (iv["end"] for ivs in timelines.values() for iv in ivs),
+            default=0.0,
+        )
+    doc = {
+        "makespan": span,
+        "utilization": utilization_from_timelines(timelines, span, n_tracks),
+        "devices": timelines,
+    }
+    timeline_path = os.path.join(out_dir, "timeline.json")
+    with open(timeline_path, "w") as fh:
+        json.dump(doc, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    paths["timeline"] = timeline_path
+    return paths

@@ -285,8 +285,10 @@ class TestFaultTolerantDrain:
         records = bs.squeue()
         assert all(r.state is JobState.FAILED for r in records)
         assert all(r.retries == 2 for r in records)
-        with pytest.raises(SchedulingError):
-            bs.sacct()  # nothing completed
+        acct = bs.sacct()  # nothing completed -> zero-filled, not raising
+        assert acct["completed"] == 0
+        assert acct["failed"] == 3
+        assert acct["mean_turnaround"] == 0.0
 
     def test_transient_faults_retried_with_backoff(self):
         inj = FaultInjector(

@@ -7,8 +7,14 @@ Reads the bundle that ``repro-gpu trace`` / ``repro-gpu cluster
 split, group count, an ASCII utilization strip per GPU, and the
 headline counters from the metrics exposition.
 
+If insight artifacts are present in the same directory (``repro-gpu
+alerts --out DIR`` / ``--insight DIR``) the dashboard also renders the
+raised alerts (``alerts.jsonl``) and the worst decisions by attributed
+regret (``regret.jsonl``).
+
 Run:  python examples/telemetry_dashboard.py out/
       repro-gpu trace Q1 --episodes 50 --faults 0.05 --out out/   # to produce out/
+      repro-gpu alerts Q1 --faults 0.05 --insight out --out out   # + insight
 """
 
 import json
@@ -58,6 +64,53 @@ def utilization_strip(intervals: list[dict], makespan: float) -> str:
     )
 
 
+def load_jsonl(path: str) -> list[dict]:
+    rows = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def render_alerts(out_dir: str) -> None:
+    path = os.path.join(out_dir, "alerts.jsonl")
+    if not os.path.exists(path):
+        return
+    alerts = load_jsonl(path)
+    print()
+    if not alerts:
+        print("alerts: none raised")
+        return
+    print(f"alerts ({len(alerts)}):")
+    for a in alerts:
+        print(f"  [{a['severity']:<8s}] {a['kind']:<18s} "
+              f"t={a['ts']:8.1f}  {a['message']}")
+
+
+def render_worst_decisions(out_dir: str, top: int = 5) -> None:
+    path = os.path.join(out_dir, "regret.jsonl")
+    if not os.path.exists(path):
+        return
+    windows = load_jsonl(path)
+    decisions = [d for w in windows for d in w.get("decisions", [])]
+    total = sum(w.get("regret_vs_oracle", 0.0) for w in windows)
+    print()
+    print(f"regret: {total:.1f}s vs. oracle over {len(windows)} windows")
+    ranked = sorted(
+        decisions, key=lambda d: -d.get("attributed_regret", 0.0)
+    )[:top]
+    if not ranked:
+        return
+    print(f"worst {len(ranked)} decisions:")
+    for d in ranked:
+        where = f"{d['source']}:{d['seq']}.{d['step']}"
+        print(f"  {where:<12s} regret={d['attributed_regret']:7.1f}s  "
+              f"q-gap={d['q_gap_to_greedy']:6.3f}  "
+              f"[{', '.join(d['jobs'])}]")
+
+
 def main() -> int:
     out_dir = sys.argv[1] if len(sys.argv) > 1 else "out"
     if not os.path.exists(os.path.join(out_dir, "timeline.json")):
@@ -98,6 +151,8 @@ def main() -> int:
         ):
             if name in metrics:
                 print(f"  {name:28s} {metrics[name]:10.0f}")
+    render_alerts(out_dir)
+    render_worst_decisions(out_dir)
     return 0
 
 

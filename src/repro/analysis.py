@@ -30,6 +30,8 @@ __all__ = [
     "comparison_table",
     "export_results",
     "load_results",
+    "regret_report",
+    "alerts_table",
 ]
 
 
@@ -156,3 +158,83 @@ def load_results(path: str | Path) -> dict[str, dict[str, ScheduleMetrics]]:
             for q, d in per_queue.items()
         }
     return out
+
+
+def regret_report(analyses, top: int = 10) -> str:
+    """Formatted regret summary over analyzed windows.
+
+    ``analyses`` is the :class:`~repro.insight.regret.WindowRegret`
+    list the :class:`~repro.insight.regret.RegretAnalyzer` returns
+    (duck-typed — only attribute access, so this module stays import-
+    light). Three sections: per-window accounting vs. the oracle and
+    time sharing, regret rolled up per CI/MI/US job class, and the
+    ranked worst decisions.
+    """
+    if not analyses:
+        return "no recorded windows to analyze\n"
+    lines = [
+        f"{'window':<12s} {'method':<16s} {'realized':>9s} {'oracle':>9s} "
+        f"{'regret':>8s} {'rel':>7s} {'vs-ts':>8s}"
+    ]
+    for w in analyses:
+        lines.append(
+            f"{w.source + ':' + str(w.seq):<12s} {w.method[:16]:<16s} "
+            f"{w.total_time:9.1f} {w.oracle_time:9.1f} "
+            f"{w.regret_vs_oracle:8.1f} {w.relative_regret:6.1%} "
+            f"{w.regret_vs_timesharing:8.1f}"
+        )
+    total = sum(w.total_time for w in analyses)
+    oracle = sum(w.oracle_time for w in analyses)
+    regret = sum(w.regret_vs_oracle for w in analyses)
+    lines.append(
+        f"{'TOTAL':<12s} {'':<16s} {total:9.1f} {oracle:9.1f} "
+        f"{regret:8.1f} {regret / oracle if oracle else 0.0:6.1%}"
+    )
+
+    per_class: dict = {}
+    for w in analyses:
+        for cls, value in w.per_class.items():
+            per_class[cls] = per_class.get(cls, 0.0) + value
+    if per_class:
+        lines.append("")
+        lines.append("regret by job class (attributed seconds):")
+        for cls in sorted(per_class):
+            lines.append(f"  {cls:<4s} {per_class[cls]:10.1f}")
+
+    ranked = sorted(
+        (d for w in analyses for d in w.decisions),
+        key=lambda d: (-d.attributed_regret, d.source, d.seq, d.step),
+    )[:top]
+    if ranked:
+        lines.append("")
+        lines.append(f"worst {len(ranked)} decisions by attributed regret:")
+        lines.append(
+            f"  {'decision':<14s} {'regret':>8s} {'share':>7s} "
+            f"{'q-gap':>7s} {'pred-err':>9s}  group"
+        )
+        for d in ranked:
+            where = f"{d.source}:{d.seq}.{d.step}"
+            jobs = ", ".join(d.jobs)
+            lines.append(
+                f"  {where:<14s} {d.attributed_regret:8.1f} "
+                f"{d.time_share:6.1%} {d.q_gap_to_greedy:7.3f} "
+                f"{d.prediction_error:9.2f}  "
+                f"C={len(d.jobs)} {d.partition} [{jobs}]"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def alerts_table(alerts) -> str:
+    """Formatted view of :class:`~repro.insight.alerts.Alert` list."""
+    if not alerts:
+        return "no alerts raised\n"
+    lines = [
+        f"{'kind':<18s} {'sev':<8s} {'ts':>10s} {'value':>10s} "
+        f"{'bound':>10s}  message"
+    ]
+    for a in alerts:
+        lines.append(
+            f"{a.kind:<18s} {a.severity:<8s} {a.ts:10.1f} "
+            f"{a.value:10.3f} {a.threshold:10.3f}  {a.message}"
+        )
+    return "\n".join(lines) + "\n"

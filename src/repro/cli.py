@@ -18,7 +18,17 @@ Subcommands cover the pipeline stages:
 * ``trace``    — run a cluster scenario with telemetry always on and
   write ``trace.json`` (Perfetto-loadable), ``metrics.prom``
   (Prometheus text format), and ``timeline.json`` (per-device busy
-  intervals) to an output directory.
+  intervals) to an output directory;
+* ``alerts``   — run a cluster scenario with the insight anomaly/SLO
+  detectors over its telemetry and print the raised alerts;
+* ``benchgate`` — diff a fresh training benchmark against the
+  committed ``BENCH_training.json`` with tolerance bands; exits
+  non-zero on regression (the CI perf gate).
+
+``--insight DIR`` (on ``train``/``schedule``/``cluster``/``trace``/
+``alerts``) attaches the decision flight recorder and writes
+``decisions.jsonl`` plus the regret analysis (``regret.jsonl``,
+``worst_decisions.txt``) to the directory.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 
 import numpy as np
@@ -120,14 +131,60 @@ def _cmd_variants(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_recorder(args: argparse.Namespace):
+    """A DecisionRecorder when ``--insight DIR`` was given, else None."""
+    if not getattr(args, "insight", None):
+        return None
+    from repro.insight import DecisionRecorder
+
+    return DecisionRecorder()
+
+
+def _write_insight_artifacts(
+    recorder, repository: ProfileRepository, out_dir: str, out=None
+) -> dict[str, str]:
+    """Write ``decisions.jsonl``, ``regret.jsonl`` and
+    ``worst_decisions.txt`` from a populated recorder; prints the
+    regret report. Returns ``{artifact_name: path}``."""
+    from repro.analysis import regret_report
+    from repro.insight import (
+        RegretAnalyzer,
+        write_decision_log,
+        write_regret_jsonl,
+    )
+
+    out = out if out is not None else sys.stdout
+    os.makedirs(out_dir, exist_ok=True)
+    paths: dict[str, str] = {}
+
+    paths["decisions"] = os.path.join(out_dir, "decisions.jsonl")
+    n = write_decision_log(recorder, paths["decisions"])
+
+    analyses = RegretAnalyzer(repository).analyze_recorder(recorder)
+    paths["regret"] = os.path.join(out_dir, "regret.jsonl")
+    write_regret_jsonl(analyses, paths["regret"])
+
+    report = regret_report(analyses)
+    paths["report"] = os.path.join(out_dir, "worst_decisions.txt")
+    with open(paths["report"], "w") as fh:
+        fh.write(report)
+
+    print(f"\ninsight: {n} records over {len(analyses)} windows", file=out)
+    print(report, end="", file=out)
+    print("insight artifacts: " + "  ".join(paths.values()), file=out)
+    return paths
+
+
 def _cmd_train(args: argparse.Namespace) -> int:
     telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+    recorder = _make_recorder(args)
     trainer = OfflineTrainer(
         window_size=args.window,
         c_max=args.c_max,
         n_training_queues=args.queues,
         seed=args.seed,
         telemetry=telemetry,
+        recorder=recorder,
     )
     print(
         f"training: W={args.window} C_max={args.c_max} "
@@ -150,6 +207,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     if args.telemetry:
         paths = write_artifacts(telemetry, args.telemetry)
         print("telemetry artifacts: " + "  ".join(paths.values()))
+    if recorder is not None:
+        _write_insight_artifacts(recorder, result.repository, args.insight)
     return 0
 
 
@@ -159,23 +218,42 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         print(f"unknown queue {args.queue}; choose from {sorted(queues)}")
         return 2
     window = queues[args.queue].window(args.window)
+    telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
 
     repo = ProfileRepository()
     profile_all_benchmarks(repo)
+    recorder = _make_recorder(args)
+    if recorder is not None and args.method != "rl":
+        print("--insight records RL decisions only; ignoring for "
+              f"method {args.method}")
+        recorder = None
 
     if args.method == "rl":
         trainer = OfflineTrainer(
-            window_size=args.window, c_max=args.c_max, seed=args.seed
+            window_size=args.window,
+            c_max=args.c_max,
+            seed=args.seed,
+            telemetry=telemetry,
         )
         result = trainer.train(episodes=args.episodes)
         profile_all_benchmarks(result.repository)
+        repo = result.repository
         optimizer = OnlineOptimizer(
             result.agent,
             result.repository,
             ActionCatalog(c_max=args.c_max),
             args.window,
+            telemetry=telemetry,
+            recorder=recorder,
         )
         schedule = optimizer.optimize(window).schedule
+    elif args.method == "oracle":
+        from repro.core.oracle import OracleScheduler
+
+        scheduler = OracleScheduler(
+            repo, ActionCatalog(c_max=args.c_max), window_size=args.window
+        )
+        schedule = scheduler.schedule(window)
     else:
         scheduler = {
             "timeshare": TimeSharingScheduler(),
@@ -199,16 +277,50 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         f"avg slowdown {metrics.avg_slowdown:.3f}  "
         f"fairness {metrics.fairness:.3f}"
     )
+    if args.telemetry:
+        # One-shot schedulers execute nothing, so render the planned
+        # schedule as back-to-back groups on a single synthetic device.
+        start = 0.0
+        for i, group in enumerate(schedule.groups):
+            telemetry.span(
+                "run_group",
+                "device0",
+                start,
+                start + group.corun_time,
+                category="schedule",
+                group=i,
+                concurrency=group.concurrency,
+                partition=format_partition(group.partition),
+                jobs=", ".join(j.benchmark_name for j in group.jobs),
+            )
+            start += group.corun_time
+        paths = write_artifacts(
+            telemetry, args.telemetry,
+            makespan=schedule.total_time, n_tracks=1,
+        )
+        print("telemetry artifacts: " + "  ".join(paths.values()))
+    if recorder is not None:
+        _write_insight_artifacts(recorder, repo, args.insight)
     return 0
+
+
+@dataclasses.dataclass
+class _ClusterRun:
+    """What ``_run_cluster_scenario`` hands back to the subcommands."""
+
+    bs: BatchSystem
+    injector: FaultInjector | None
+    recorder: object | None
+    repository: ProfileRepository
 
 
 def _run_cluster_scenario(
     args: argparse.Namespace, telemetry: Telemetry, out=None
-) -> tuple[BatchSystem, FaultInjector | None] | None:
+) -> _ClusterRun | None:
     """Train the node-local agent, assemble the batch system, drain the
-    queue. Shared by ``cluster`` and ``trace``; returns ``None`` (after
-    printing a hint) for an unknown queue name. Progress lines go to
-    ``out`` (stderr when ``--json -`` claims stdout for the document)."""
+    queue. Shared by ``cluster``/``trace``/``alerts``; returns ``None``
+    (after printing a hint) for an unknown queue name. Progress lines go
+    to ``out`` (stderr when ``--json -`` claims stdout for the document)."""
     out = out if out is not None else sys.stdout
     queues = paper_queues()
     if args.queue not in queues:
@@ -231,12 +343,14 @@ def _run_cluster_scenario(
     )
     result = trainer.train(episodes=args.episodes)
     profile_all_benchmarks(result.repository)
+    recorder = _make_recorder(args)
     optimizer = OnlineOptimizer(
         result.agent,
         result.repository,
         ActionCatalog(c_max=args.c_max),
         args.window,
         telemetry=telemetry,
+        recorder=recorder,
     )
     selector = PolicySelector(
         co_scheduling=CoSchedulingPolicy(optimizer),
@@ -262,7 +376,7 @@ def _run_cluster_scenario(
         bs.sbatch(name)
     print(f"draining {len(names)} jobs over {args.gpus} GPUs ...", file=out)
     bs.drain()
-    return bs, injector
+    return _ClusterRun(bs, injector, recorder, result.repository)
 
 
 def _cluster_document(
@@ -291,7 +405,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     run = _run_cluster_scenario(args, telemetry, out=out)
     if run is None:
         return 2
-    bs, injector = run
+    bs, injector = run.bs, run.injector
 
     counts = {s.value: len(bs.squeue(s)) for s in JobState}
     print(
@@ -316,6 +430,10 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             n_tracks=len(bs.cluster.nodes),
         )
         print("telemetry artifacts: " + "  ".join(paths.values()), file=out)
+    if run.recorder is not None:
+        _write_insight_artifacts(
+            run.recorder, run.repository, args.insight, out=out
+        )
     acct = bs.sacct()
     if acct["completed"] == 0:
         print("no job completed (fault rate too high?)", file=out)
@@ -348,7 +466,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     run = _run_cluster_scenario(args, telemetry)
     if run is None:
         return 2
-    bs, injector = run
+    bs, injector = run.bs, run.injector
 
     paths = write_artifacts(
         telemetry,
@@ -374,7 +492,78 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print("injected faults: " + "  ".join(f"{k}={v}" for k, v in inj.items()))
     for name, path in paths.items():
         print(f"{name:<9s} {path}")
+    if run.recorder is not None:
+        _write_insight_artifacts(run.recorder, run.repository, args.insight)
     return 0
+
+
+def _cmd_alerts(args: argparse.Namespace) -> int:
+    from repro.analysis import alerts_table
+    from repro.insight import AlertEngine, write_alerts_jsonl
+
+    telemetry = Telemetry()
+    run = _run_cluster_scenario(args, telemetry)
+    if run is None:
+        return 2
+    bs = run.bs
+
+    alerts = AlertEngine(telemetry).scan()
+    print()
+    print(alerts_table(alerts), end="")
+    if run.injector is not None:
+        inj = run.injector.summary()
+        print("injected faults: " + "  ".join(f"{k}={v}" for k, v in inj.items()))
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        alerts_path = os.path.join(args.out, "alerts.jsonl")
+        write_alerts_jsonl(alerts, alerts_path)
+        paths = write_artifacts(
+            telemetry,
+            args.out,
+            makespan=bs.cluster.makespan,
+            n_tracks=len(bs.cluster.nodes),
+        )
+        print(
+            "alert artifacts: "
+            + "  ".join([alerts_path, *paths.values()])
+        )
+    if run.recorder is not None:
+        _write_insight_artifacts(run.recorder, run.repository, args.insight)
+    if alerts and args.fail_on_alert:
+        return 1
+    return 0
+
+
+def _cmd_benchgate(args: argparse.Namespace) -> int:
+    from repro.insight import benchgate as bg
+
+    baseline = bg.load_bench(args.baseline)
+    if args.candidate:
+        candidate = bg.load_bench(args.candidate)
+    elif args.measure:
+        print(
+            f"measuring a fresh training benchmark "
+            f"({args.episodes} episodes x {args.timed_runs} timed runs) ..."
+        )
+        candidate = bg.measure_training_bench(
+            episodes=args.episodes, timed_runs=args.timed_runs
+        )
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(candidate, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote measured candidate to {args.out}")
+    else:
+        print("benchgate needs --candidate PATH or --measure")
+        return 2
+
+    checks = bg.compare_bench(baseline, candidate, tolerance=args.tolerance)
+    print(bg.format_checks(checks))
+    if bg.gate_passes(checks):
+        print("bench gate: PASS")
+        return 0
+    print("bench gate: REGRESSED")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -410,19 +599,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", metavar="DIR",
                    help="record training metrics and write telemetry "
                         "artifacts to this directory")
+    p.add_argument("--insight", metavar="DIR",
+                   help="record per-step decisions and write decisions/"
+                        "regret artifacts to this directory")
     p.set_defaults(fn=_cmd_train)
 
     p = sub.add_parser("schedule", help="schedule a Table V queue")
     p.add_argument("queue", help="Q1..Q12")
     p.add_argument(
         "--method",
-        choices=("rl", "timeshare", "mig", "mps", "default"),
+        choices=("rl", "oracle", "timeshare", "mig", "mps", "default"),
         default="rl",
     )
     p.add_argument("--window", type=int, default=12)
     p.add_argument("--c-max", type=int, default=4)
     p.add_argument("--episodes", type=int, default=800)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="write trace/metrics/timeline artifacts for the "
+                        "planned schedule to this directory")
+    p.add_argument("--insight", metavar="DIR",
+                   help="(rl only) record the optimizer's decisions and "
+                        "write decisions/regret artifacts here")
     p.set_defaults(fn=_cmd_schedule)
 
     def add_cluster_args(p: argparse.ArgumentParser) -> None:
@@ -444,6 +642,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for the deterministic fault injector")
         p.add_argument("--max-retries", type=int, default=3,
                        help="retry cap for transient faults and job re-queues")
+        p.add_argument("--insight", metavar="DIR",
+                       help="record per-window RL decisions and write "
+                            "decisions/regret artifacts to this directory")
 
     p = sub.add_parser(
         "cluster",
@@ -468,6 +669,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="DIR", default="out",
                    help="artifact directory (default: out/)")
     p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser(
+        "alerts",
+        help="run a cluster scenario and scan its telemetry with the "
+             "insight anomaly/SLO detectors",
+    )
+    add_cluster_args(p)
+    p.add_argument("--out", metavar="DIR",
+                   help="also write alerts.jsonl plus the trace/metrics/"
+                        "timeline artifacts here")
+    p.add_argument("--fail-on-alert", action="store_true",
+                   help="exit 1 if any alert is raised (CI gating)")
+    p.set_defaults(fn=_cmd_alerts)
+
+    p = sub.add_parser(
+        "benchgate",
+        help="diff a training benchmark against the committed baseline "
+             "and fail on regression",
+    )
+    p.add_argument("--baseline", default="BENCH_training.json",
+                   help="committed baseline JSON "
+                        "(default: BENCH_training.json)")
+    p.add_argument("--candidate", metavar="PATH",
+                   help="candidate benchmark JSON to compare")
+    p.add_argument("--measure", action="store_true",
+                   help="measure a fresh candidate in-process instead of "
+                        "reading one")
+    p.add_argument("--episodes", type=int, default=30,
+                   help="episodes per measured run (with --measure)")
+    p.add_argument("--timed-runs", type=int, default=2,
+                   help="timed repetitions, best-of (with --measure)")
+    p.add_argument("--tolerance", type=float, default=None,
+                   help="allowed fractional drop per ratio check "
+                        "(default 0.15)")
+    p.add_argument("--out", metavar="PATH",
+                   help="write the measured candidate JSON here")
+    p.set_defaults(fn=_cmd_benchgate)
 
     return parser
 

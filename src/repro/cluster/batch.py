@@ -40,6 +40,11 @@ from repro.workloads.jobs import Job
 
 __all__ = ["JobState", "BatchJob", "BatchSystem"]
 
+#: queue-wait histogram buckets (simulated seconds)
+_WAIT_BUCKETS = (
+    1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0,
+)
+
 
 class JobState(enum.Enum):
     PENDING = "PD"
@@ -253,6 +258,12 @@ class BatchSystem:
         node.device.clock = start
         if self.telemetry.enabled:
             self.telemetry.gauge("queue_depth", len(self._pending))
+            for jid in ids:
+                self.telemetry.observe(
+                    "queue_wait_seconds",
+                    start - self._records[jid].submit_time,
+                    buckets=_WAIT_BUCKETS,
+                )
             if fell_back:
                 self.telemetry.event(
                     "fallback",

@@ -97,15 +97,19 @@ class ClusterScheduler:
                 policy = self.selector.fcfs
                 schedule = policy.schedule(window)
             start = node.available_at
-            if self.telemetry.enabled and fell_back:
-                self.telemetry.event(
-                    "fallback",
-                    node.name,
-                    start,
-                    category="scheduler",
-                    policy=policy.name,
-                )
-                self.telemetry.count("policy_fallbacks_total", 1, node=node.name)
+            if self.telemetry.enabled:
+                self.telemetry.gauge("queue_depth", len(queue))
+                if fell_back:
+                    self.telemetry.event(
+                        "fallback",
+                        node.name,
+                        start,
+                        category="scheduler",
+                        policy=policy.name,
+                    )
+                    self.telemetry.count(
+                        "policy_fallbacks_total", 1, node=node.name
+                    )
             outcome = node.execute_schedule_ft(schedule, self.retry)
             failed_ids = set(outcome.failed_job_ids)
             n_failed = 0

@@ -397,7 +397,31 @@ class CoSchedulingEnv(Env):
         return {
             "action_mask": self.catalog.mask(n),
             "n_remaining": n,
+            "window_index": self._window_idx,
         }
+
+    # ------------------------------------------------------------------
+    # read-only views for observability tooling (decision recorder)
+    # ------------------------------------------------------------------
+    @property
+    def window_index(self) -> int:
+        """Index of the active window (-1 before the first reset)."""
+        return self._window_idx
+
+    @property
+    def window_jobs(self) -> list:
+        """The active window's jobs, in window order (copy)."""
+        return list(self._jobs)
+
+    @property
+    def job_profiles(self) -> list:
+        """Profiles aligned with :attr:`window_jobs` (copy)."""
+        return list(self._profiles)
+
+    @property
+    def availability(self) -> tuple[bool, ...]:
+        """Which window slots are still schedulable."""
+        return tuple(self._available)
 
     def _bind(self, tree, cand_profiles) -> list[int]:
         """Reference binder: candidate jobs onto the template's slots.

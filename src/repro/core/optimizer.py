@@ -57,8 +57,17 @@ class OnlineDecision:
 
     @property
     def overhead_fraction(self) -> float:
-        """Decision compute time relative to the executed makespan."""
-        return self.decision_seconds / max(self.schedule.total_time, 1e-12)
+        """Decision compute time relative to the executed makespan.
+
+        A zero/near-zero makespan (degenerate schedule) would turn the
+        old ``decision_seconds / max(total, 1e-12)`` into a meaningless
+        astronomically large number: report 0.0 when no decision time
+        was spent either, ``inf`` when it was.
+        """
+        total = self.schedule.total_time
+        if total <= 1e-9:
+            return 0.0 if self.decision_seconds <= 0.0 else float("inf")
+        return self.decision_seconds / total
 
 
 class OnlineOptimizer:
@@ -77,6 +86,7 @@ class OnlineOptimizer:
         rerank_top_k: int = 5,
         clock: Callable[[], float] | None = None,
         telemetry: Telemetry = NULL_TELEMETRY,
+        recorder: "DecisionRecorder | None" = None,
     ):
         if rerank_top_k < 1:
             raise SchedulingError("rerank_top_k must be at least 1")
@@ -89,6 +99,7 @@ class OnlineOptimizer:
         self.rerank_top_k = rerank_top_k
         self.clock = clock if clock is not None else time.perf_counter
         self.telemetry = telemetry
+        self.recorder = recorder
         self.agent.freeze()
 
     # ------------------------------------------------------------------
@@ -114,6 +125,7 @@ class OnlineOptimizer:
             self.repository.store(job, profile)
             schedule.append(ScheduledGroup.run_solo(job))
 
+        capture = None
         if len(profiled) == 1:
             schedule.append(ScheduledGroup.run_solo(profiled[0]))
         elif profiled:
@@ -125,16 +137,49 @@ class OnlineOptimizer:
                 reward_config=self.reward_config,
                 shuffle_windows=False,
             )
+            if self.recorder is not None:
+                from repro.insight.records import WindowCapture
+
+                capture = WindowCapture(self.recorder, "online", self.agent, env)
             obs, info = env.reset(options={"window_index": 0})
             done = False
             while not done:
                 t0 = self.clock()
                 action = self._select_action(env, obs, info["action_mask"])
                 decision_time += self.clock() - t0
+                if capture is not None:
+                    capture.stage(obs, info["action_mask"], action)
                 obs, _, terminated, truncated, info = env.step(action)
                 done = terminated or truncated
             for group in self._enforce_gain(info["schedule"]):
                 schedule.append(group)
+            if capture is not None:
+                capture.finalize(
+                    info["schedule"],
+                    schedule,
+                    full_window=window,
+                    method=self.name,
+                    c_max=self.catalog.c_max,
+                    window_size=self.window_size,
+                    n_unprofiled=len(unprofiled),
+                    decision_seconds=decision_time,
+                )
+        if self.recorder is not None and capture is None:
+            # no agent decision this window (<=1 profiled job) — still
+            # log the window so regret accounting covers every pass
+            from repro.insight.records import WindowCapture
+
+            WindowCapture(
+                self.recorder, "online", self.agent, env=None
+            ).finalize_empty(
+                schedule,
+                full_window=window,
+                method=self.name,
+                c_max=self.catalog.c_max,
+                window_size=self.window_size,
+                n_unprofiled=len(unprofiled),
+                decision_seconds=decision_time,
+            )
         if self.telemetry.enabled:
             self.telemetry.observe(
                 "optimizer_decision_seconds", decision_time

@@ -42,6 +42,19 @@ class OracleScheduler:
         self.window_size = window_size
 
     def schedule(self, window: list[Job]) -> Schedule:
+        return self.schedule_explained(window)[0]
+
+    def schedule_explained(
+        self, window: list[Job]
+    ) -> tuple[Schedule, list[dict]]:
+        """Oracle schedule plus one explanation dict per greedy step.
+
+        Each dict records the committed template's partition ``label``,
+        its greedy rate-gain ``score``, the chosen ``jobs``, and whether
+        the group was ``kept`` (or split back to solos for losing to
+        time sharing). Used by the regret analyzer to show what the
+        oracle would have picked where the agent diverged.
+        """
         if not window:
             raise SchedulingError("empty window")
         if len(window) > self.window_size:
@@ -65,11 +78,12 @@ class OracleScheduler:
 
         available = [True] * len(jobs)
         schedule = Schedule(method=self.name)
+        choices: list[dict] = []
         while sum(available) >= 2:
             mask = self.catalog.mask(sum(available))
             candidates = [i for i, a in enumerate(available) if a]
             cand_profiles = [profiles[i] for i in candidates]
-            best: tuple[float, ScheduledGroup, list[int]] | None = None
+            best: tuple[float, ScheduledGroup, list[int], str] | None = None
             for action in np.flatnonzero(mask):
                 variant = self.catalog.variant(int(action))
                 binding = env._bind(variant.tree, cand_profiles)
@@ -83,17 +97,24 @@ class OracleScheduler:
                     group.solo_run_time - group.corun_time
                 ) / group.corun_time
                 if best is None or score > best[0]:
-                    best = (score, group, chosen)
+                    best = (score, group, chosen, variant.label)
             assert best is not None
-            _, group, chosen = best
-            if group.result.beats_time_sharing():
+            score, group, chosen, label = best
+            kept = group.result.beats_time_sharing()
+            if kept:
                 schedule.append(group)
             else:
                 for i in chosen:
                     schedule.append(ScheduledGroup.run_solo(jobs[i]))
+            choices.append({
+                "label": label,
+                "score": score,
+                "jobs": tuple(jobs[i].benchmark_name for i in chosen),
+                "kept": kept,
+            })
             for i in chosen:
                 available[i] = False
         for i, a in enumerate(available):
             if a:
                 schedule.append(ScheduledGroup.run_solo(jobs[i]))
-        return schedule
+        return schedule, choices

@@ -80,6 +80,7 @@ class OfflineTrainer:
         dqn_overrides: dict | None = None,
         binding: str = "auto",
         telemetry: Telemetry = NULL_TELEMETRY,
+        recorder=None,
     ):
         if window_size < 2:
             raise TrainingError("training needs windows of at least 2 jobs")
@@ -92,6 +93,7 @@ class OfflineTrainer:
         self.profile_noise = profile_noise
         self.binding = binding
         self.telemetry = telemetry
+        self.recorder = recorder
         self._losses_recorded = 0
         self.catalog = ActionCatalog(spec, c_max=c_max)
         extractor = FeatureExtractor(window_size)
@@ -170,27 +172,49 @@ class OfflineTrainer:
         corun_before = corun_cache().stats
         self._losses_recorded = 0
 
-        for _ in range(episodes):
+        for ep_idx in range(episodes):
             obs, info = env.reset()
+            capture = None
+            if self.recorder is not None:
+                from repro.insight.records import WindowCapture
+
+                capture = WindowCapture(self.recorder, "train", agent, env)
             done = False
             ep_return = 0.0
             while not done:
                 mask = info["action_mask"]
+                if capture is not None:
+                    epsilon = agent.epsilon  # before act() advances it
                 action = agent.act(obs, mask)
+                if capture is not None:
+                    capture.stage(obs, mask, action, epsilon=epsilon)
                 next_obs, reward, terminated, truncated, info = env.step(action)
+                if capture is not None:
+                    capture.set_reward(reward)
                 done = terminated or truncated
                 agent.observe(
                     obs, action, reward, next_obs, done, info["action_mask"]
                 )
                 obs = next_obs
                 ep_return += reward
+            if capture is not None:
+                terminal = info["schedule"]
+                capture.finalize(
+                    terminal,
+                    terminal,
+                    full_window=env.window_jobs,
+                    method=terminal.method,
+                    c_max=self.c_max,
+                    window_size=self.window_size,
+                )
             result.episode_returns.append(ep_return)
             result.episode_throughputs.append(
                 info["schedule"].throughput_gain
             )
             if self.telemetry.enabled:
                 self._record_episode(
-                    agent, ep_return, info["schedule"].throughput_gain
+                    agent, ep_return, info["schedule"].throughput_gain,
+                    obs, ep_idx,
                 )
         result.cache_stats = {
             "corun": corun_cache().stats.delta(corun_before),
@@ -206,17 +230,40 @@ class OfflineTrainer:
     _GAIN_BUCKETS = (0.5, 0.75, 0.9, 1.0, 1.1, 1.25, 1.5, 1.75, 2.0, 3.0)
     _LOSS_BUCKETS = (1e-4, 1e-3, 1e-2, 0.1, 0.5, 1.0, 5.0, 25.0, 100.0)
 
+    _Q_BUCKETS = (-10.0, -5.0, -1.0, 0.0, 1.0, 2.5, 5.0, 10.0, 25.0, 100.0)
+
     def _record_episode(
-        self, agent: DuelingDoubleDQNAgent, ep_return: float, gain: float
+        self,
+        agent: DuelingDoubleDQNAgent,
+        ep_return: float,
+        gain: float,
+        final_obs: np.ndarray,
+        episode_index: int,
     ) -> None:
         tel = self.telemetry
         tel.observe("train_episode_return", ep_return, buckets=self._GAIN_BUCKETS)
         tel.observe("train_episode_throughput", gain, buckets=self._GAIN_BUCKETS)
         tel.gauge("train_epsilon", agent.epsilon)
         n = self._losses_recorded
-        for loss in agent.loss_history[n:]:
+        losses = agent.loss_history[n:]
+        for loss in losses:
             tel.observe("train_loss", loss, buckets=self._LOSS_BUCKETS)
         self._losses_recorded = len(agent.loss_history)
+        # per-episode event on the "train" track: the stream the insight
+        # drift/blowup detectors replay (episode index as the timestamp)
+        q_max = float(np.max(agent.q_values(final_obs)))
+        tel.observe("train_q_max", q_max, buckets=self._Q_BUCKETS)
+        tel.event(
+            "episode",
+            "train",
+            float(episode_index),
+            category="train",
+            q_max=q_max,
+            loss=float(np.mean(losses)) if losses else 0.0,
+            ep_return=ep_return,
+            gain=gain,
+            epsilon=agent.epsilon,
+        )
 
     def _record_cache_stats(self, cache_stats: dict) -> None:
         for name, stats in cache_stats.items():
@@ -247,6 +294,11 @@ class OfflineTrainer:
             raise TrainingError("episode budget must be positive")
         if n_envs <= 0:
             raise TrainingError("n_envs must be positive")
+        if self.recorder is not None:
+            raise TrainingError(
+                "decision recording needs the serial train() path — "
+                "vectorized rollouts interleave windows across envs"
+            )
         repo = repository or self.build_repository()
         venv = VectorCoSchedulingEnv.from_factory(
             lambda rank: self.build_env(repo, env_seed=self.seed + rank),
@@ -289,6 +341,8 @@ class OfflineTrainer:
                             agent,
                             float(ep_returns[i]),
                             infos[i]["final_info"]["schedule"].throughput_gain,
+                            infos[i]["final_observation"],
+                            len(result.episode_returns) - 1,
                         )
                 ep_returns[i] = 0.0
             obs = next_obs

@@ -1,0 +1,81 @@
+"""repro.insight — decision-level observability on top of telemetry.
+
+Four pieces (DESIGN.md §10):
+
+* :mod:`repro.insight.records` — the decision flight recorder:
+  structured :class:`DecisionRecord`/:class:`WindowRecord` capture for
+  :class:`~repro.core.optimizer.OnlineOptimizer` and
+  :class:`~repro.core.trainer.OfflineTrainer`, with lossless JSONL
+  round-trip;
+* :mod:`repro.insight.regret` — post-hoc regret attribution: replay a
+  decision log against the :class:`~repro.core.oracle.OracleScheduler`
+  and the time-sharing baseline, attribute per-window regret to
+  decisions and CI/MI/US job classes, rank the worst decisions;
+* :mod:`repro.insight.alerts` — streaming anomaly/SLO detectors over a
+  run's telemetry (straggler/retry/fallback/requeue rates, utilization
+  floor, queue-wait p95, training Q-drift and TD-loss blowup) raising
+  typed :class:`Alert`\\ s back into the trace;
+* :mod:`repro.insight.benchgate` — the bench-regression gate diffing a
+  fresh ``BENCH_training.json`` against the committed baseline with
+  tolerance bands (the ``repro-gpu benchgate`` CI job).
+
+Everything here is observer-only: recording consumes no randomness and
+mutates no scheduler state, so instrumented runs stay bitwise-identical
+to bare ones.
+"""
+
+from repro.insight.alerts import (
+    Alert,
+    AlertConfig,
+    AlertEngine,
+    write_alerts_jsonl,
+)
+from repro.insight.benchgate import (
+    GateCheck,
+    compare_bench,
+    format_checks,
+    gate_passes,
+    load_bench,
+    measure_training_bench,
+)
+from repro.insight.records import (
+    AlternativeAction,
+    DecisionRecord,
+    DecisionRecorder,
+    WindowCapture,
+    WindowRecord,
+    read_decision_log,
+    write_decision_log,
+)
+from repro.insight.regret import (
+    DecisionRegret,
+    RegretAnalyzer,
+    WindowRegret,
+    worst_decisions,
+    write_regret_jsonl,
+)
+
+__all__ = [
+    "Alert",
+    "AlertConfig",
+    "AlertEngine",
+    "write_alerts_jsonl",
+    "GateCheck",
+    "compare_bench",
+    "format_checks",
+    "gate_passes",
+    "load_bench",
+    "measure_training_bench",
+    "AlternativeAction",
+    "DecisionRecord",
+    "DecisionRecorder",
+    "WindowCapture",
+    "WindowRecord",
+    "read_decision_log",
+    "write_decision_log",
+    "DecisionRegret",
+    "RegretAnalyzer",
+    "WindowRegret",
+    "worst_decisions",
+    "write_regret_jsonl",
+]

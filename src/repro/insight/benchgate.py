@@ -1,0 +1,241 @@
+"""Bench-regression gate: diff a fresh benchmark against the baseline.
+
+The perf suite (``benchmarks/test_perf_training.py``) writes its
+measurements to ``BENCH_training.json``; this module compares such a
+document against the committed baseline with per-metric tolerance
+bands and reports which checks regressed — the ``repro-gpu benchgate``
+CLI exits non-zero on any regression, which is what CI gates on.
+
+Checked metrics (all "higher is better"):
+
+* ``speedup.episodes_per_sec_fastpath`` — fast-path training throughput
+* ``speedup.speedup``                   — fast-path / reference ratio
+* ``hit_rate.corun_cache_tail.hit_rate`` — steady-state cache hit rate
+* ``speedup.identical_returns``          — must stay ``true`` (the
+  fast path's bitwise-identity contract; no tolerance band)
+
+A candidate value ``c`` regresses against baseline ``b`` when
+``c < b * (1 - tolerance)``. Default tolerance is 0.15 per metric; CI
+uses a much looser band (shared runners are noisy) via ``--tolerance``.
+
+:func:`measure_training_bench` regenerates a candidate document with
+the same schema without going through pytest — a cheap smoke
+measurement for CI (smaller episode budget, fewer timed runs, no
+hard speedup assertion).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = [
+    "GateCheck",
+    "DEFAULT_TOLERANCE",
+    "RATIO_CHECKS",
+    "BOOL_CHECKS",
+    "load_bench",
+    "compare_bench",
+    "gate_passes",
+    "format_checks",
+    "measure_training_bench",
+]
+
+DEFAULT_TOLERANCE = 0.15
+
+#: dotted keys compared with a tolerance band, higher-is-better
+RATIO_CHECKS = (
+    "speedup.episodes_per_sec_fastpath",
+    "speedup.speedup",
+    "hit_rate.corun_cache_tail.hit_rate",
+)
+
+#: dotted keys that must be exactly true in the candidate
+BOOL_CHECKS = ("speedup.identical_returns",)
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One compared metric and its verdict."""
+
+    key: str
+    baseline: float
+    candidate: float
+    ratio: float        # candidate / baseline (inf when baseline is 0)
+    tolerance: float
+    regressed: bool
+
+
+def _lookup(doc: dict, dotted: str):
+    node = doc
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise ReproError(f"benchmark document is missing {dotted!r}")
+        node = node[part]
+    return node
+
+
+def load_bench(path) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def compare_bench(
+    baseline: dict, candidate: dict, tolerance: float | None = None
+) -> list[GateCheck]:
+    """Every gate check, in declaration order."""
+    tol = DEFAULT_TOLERANCE if tolerance is None else tolerance
+    if tol < 0:
+        raise ReproError("tolerance must be non-negative")
+    checks: list[GateCheck] = []
+    for key in RATIO_CHECKS:
+        b = float(_lookup(baseline, key))
+        c = float(_lookup(candidate, key))
+        ratio = c / b if b > 0 else float("inf")
+        checks.append(GateCheck(
+            key=key,
+            baseline=b,
+            candidate=c,
+            ratio=ratio,
+            tolerance=tol,
+            regressed=c < b * (1.0 - tol),
+        ))
+    for key in BOOL_CHECKS:
+        b = bool(_lookup(baseline, key))
+        c = bool(_lookup(candidate, key))
+        checks.append(GateCheck(
+            key=key,
+            baseline=float(b),
+            candidate=float(c),
+            ratio=1.0 if c == b else 0.0,
+            tolerance=0.0,
+            regressed=not c,
+        ))
+    return checks
+
+
+def gate_passes(checks: list[GateCheck]) -> bool:
+    return not any(c.regressed for c in checks)
+
+
+def format_checks(checks: list[GateCheck]) -> str:
+    """Human-readable verdict table for the CLI."""
+    lines = [
+        f"{'metric':<40s} {'baseline':>12s} {'candidate':>12s} "
+        f"{'ratio':>7s} {'tol':>5s}  verdict"
+    ]
+    for c in checks:
+        verdict = "REGRESSED" if c.regressed else "ok"
+        lines.append(
+            f"{c.key:<40s} {c.baseline:12.4f} {c.candidate:12.4f} "
+            f"{c.ratio:7.3f} {c.tolerance:5.2f}  {verdict}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# fresh candidate measurement (CI smoke mode)
+# ----------------------------------------------------------------------
+def measure_training_bench(
+    episodes: int = 30,
+    timed_runs: int = 2,
+    clock=time.perf_counter,
+) -> dict:
+    """A fresh benchmark document with the committed baseline's schema.
+
+    Mirrors ``benchmarks/test_perf_training.py`` at a smaller scale:
+    warm-up pass per mode, best-of-``timed_runs`` timings, the bitwise
+    identity check, and the greedy-rollout tail hit rate. Makes no
+    threshold assertion itself — the gate's tolerance band does the
+    judging.
+    """
+    from repro.core.env import CoSchedulingEnv
+    from repro.core.trainer import OfflineTrainer
+    from repro.perfmodel.cache import (
+        corun_cache,
+        corun_cache_disabled,
+        reset_corun_cache,
+    )
+
+    if episodes <= 0 or timed_runs <= 0:
+        raise ReproError("episodes and timed_runs must be positive")
+    repository = OfflineTrainer().build_repository()
+    tr_on = OfflineTrainer()
+    tr_off = OfflineTrainer()
+
+    with corun_cache_disabled():
+        tr_off.train(episodes=episodes, repository=repository)
+    reset_corun_cache()
+    tr_on.train(episodes=episodes, repository=repository)
+
+    off_times, on_times = [], []
+    result_off = result_on = None
+    for _ in range(timed_runs):
+        with corun_cache_disabled():
+            t0 = clock()
+            result_off = tr_off.train(episodes=episodes, repository=repository)
+            off_times.append(clock() - t0)
+        t0 = clock()
+        result_on = tr_on.train(episodes=episodes, repository=repository)
+        on_times.append(clock() - t0)
+
+    identical = (
+        result_on.episode_returns == result_off.episode_returns
+        and result_on.episode_throughputs == result_off.episode_throughputs
+    )
+    best_off, best_on = min(off_times), min(on_times)
+    corun = result_on.cache_stats["corun"]
+    decisions = result_on.cache_stats["decisions"]
+    evals = corun.lookups + decisions.hits
+
+    # greedy tail rollout for the steady-state cache hit rate
+    agent = result_on.agent
+    agent.freeze()
+    env = CoSchedulingEnv(
+        windows=tr_on._windows,
+        repository=repository,
+        catalog=tr_on.catalog,
+        window_size=tr_on.window_size,
+        reward_config=tr_on.reward_config,
+        seed=tr_on.seed,
+        binding=tr_on.binding,
+        memoize_decisions=False,
+    )
+    reset_corun_cache()
+    warmup = min(10, max(episodes // 5, 1))
+    snapshot = corun_cache().stats  # zero; overwritten at the warmup mark
+    for episode in range(episodes):
+        if episode == warmup:
+            snapshot = corun_cache().stats
+        obs, info = env.reset()
+        done = False
+        while not done:
+            action = agent.act(obs, info["action_mask"])
+            obs, _, terminated, truncated, info = env.step(action)
+            done = terminated or truncated
+    tail = corun_cache().stats.delta(snapshot)
+
+    return {
+        "speedup": {
+            "episodes": episodes,
+            "timed_runs": timed_runs,
+            "off_times_s": off_times,
+            "on_times_s": on_times,
+            "episodes_per_sec_reference": episodes / best_off,
+            "episodes_per_sec_fastpath": episodes / best_on,
+            "speedup": best_off / best_on,
+            "corun_evals_per_sec_fastpath": evals / best_on,
+            "corun_cache": corun.to_dict(),
+            "decision_memo": decisions.to_dict(),
+            "identical_returns": identical,
+        },
+        "hit_rate": {
+            "episodes": episodes,
+            "measured_after_episode": warmup,
+            "policy": "greedy",
+            "corun_cache_tail": tail.to_dict(),
+        },
+    }

@@ -1,0 +1,329 @@
+"""Post-hoc regret attribution over a recorded decision log.
+
+For every :class:`~repro.insight.records.WindowRecord` the analyzer
+replays the same problem instance through the
+:class:`~repro.core.oracle.OracleScheduler` (the policy-class upper
+bound) and compares:
+
+* ``regret_vs_oracle``      — realized window makespan minus the
+  oracle's, the agent's true shortfall;
+* ``regret_vs_timesharing`` — realized makespan minus the time-sharing
+  /FCFS makespan (running every job solo). Negative: the agent *beat*
+  the baseline, which is the normal case.
+
+Replay is bit-reproducible: profiles are a pure function of the
+benchmark name (the Nsight-like profiler derives its noise from the
+program name), and the oracle/predictor are deterministic — so two
+same-seed runs produce byte-identical regret reports.
+
+Window-level regret is then *attributed*: each recorded decision
+receives a share proportional to its group's co-run time (the fraction
+of the makespan that decision is responsible for), and each share is
+split equally over the group's jobs and rolled up per CI/MI/US job
+class. Jobs the agent never co-scheduled (solo drains, online
+profiling runs) absorb the leftover share. The ranked
+``worst_decisions`` view surfaces where the policy lost the most time.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.core.actions import ActionCatalog
+from repro.core.oracle import OracleScheduler
+from repro.profiling.classify import classify
+from repro.workloads.jobs import Job
+
+from repro.insight.records import (
+    DecisionRecord,
+    DecisionRecorder,
+    WindowRecord,
+    read_decision_log,
+)
+
+__all__ = [
+    "DecisionRegret",
+    "WindowRegret",
+    "RegretAnalyzer",
+    "worst_decisions",
+    "write_regret_jsonl",
+]
+
+
+@dataclass(frozen=True)
+class DecisionRegret:
+    """One decision's slice of its window's oracle regret."""
+
+    source: str
+    seq: int
+    step: int
+    action: int
+    partition: str
+    jobs: tuple[str, ...]
+    corun_time: float
+    time_share: float          # corun_time / window total_time
+    attributed_regret: float   # time_share * window regret_vs_oracle
+    q_gap_to_greedy: float
+    prediction_error: float    # realized - predicted group makespan
+    explored: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "decision_regret",
+            "source": self.source,
+            "seq": self.seq,
+            "step": self.step,
+            "action": self.action,
+            "partition": self.partition,
+            "jobs": list(self.jobs),
+            "corun_time": self.corun_time,
+            "time_share": self.time_share,
+            "attributed_regret": self.attributed_regret,
+            "q_gap_to_greedy": self.q_gap_to_greedy,
+            "prediction_error": self.prediction_error,
+            "explored": self.explored,
+        }
+
+
+@dataclass(frozen=True)
+class WindowRegret:
+    """Regret accounting for one recorded window/episode."""
+
+    source: str
+    seq: int
+    window: tuple[str, ...]
+    method: str
+    total_time: float
+    solo_time: float
+    oracle_time: float
+    throughput_gain: float
+    oracle_gain: float
+    regret_vs_oracle: float
+    regret_vs_timesharing: float
+    relative_regret: float     # regret_vs_oracle / oracle_time
+    per_class: dict            # job class -> attributed regret seconds
+    oracle_choices: tuple[str, ...]
+    decisions: tuple[DecisionRegret, ...]
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "window_regret",
+            "source": self.source,
+            "seq": self.seq,
+            "window": list(self.window),
+            "method": self.method,
+            "total_time": self.total_time,
+            "solo_time": self.solo_time,
+            "oracle_time": self.oracle_time,
+            "throughput_gain": self.throughput_gain,
+            "oracle_gain": self.oracle_gain,
+            "regret_vs_oracle": self.regret_vs_oracle,
+            "regret_vs_timesharing": self.regret_vs_timesharing,
+            "relative_regret": self.relative_regret,
+            "per_class": dict(sorted(self.per_class.items())),
+            "oracle_choices": list(self.oracle_choices),
+            "decisions": [d.to_dict() for d in self.decisions],
+        }
+
+
+class RegretAnalyzer:
+    """Replays a decision log against the oracle and attributes regret.
+
+    ``repository`` must hold a profile for every benchmark that appears
+    in the log (the CLI hands over the run's own repository; a fresh
+    one built via :func:`~repro.core.evaluation.profile_all_benchmarks`
+    is equivalent because profiles are deterministic per program name).
+    """
+
+    def __init__(self, repository):
+        self.repository = repository
+        # oracle totals keyed by the exact problem instance
+        self._oracle_cache: dict[tuple, tuple[float, tuple[str, ...]]] = {}
+        self._class_cache: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        decisions: list[DecisionRecord],
+        windows: list[WindowRecord],
+    ) -> list[WindowRegret]:
+        """One :class:`WindowRegret` per window record, log order.
+
+        Raises :class:`~repro.errors.ReproError` if any decision record
+        fails to match its window (count mismatch / orphan decisions) —
+        i.e. the round-trip guarantee is checked, not assumed.
+        """
+        by_key: dict[tuple, list[DecisionRecord]] = {}
+        for d in decisions:
+            by_key.setdefault((d.source, d.seq), []).append(d)
+        out: list[WindowRegret] = []
+        seen: set[tuple] = set()
+        for w in windows:
+            key = (w.source, w.seq)
+            seen.add(key)
+            recs = sorted(by_key.get(key, []), key=lambda d: d.step)
+            if len(recs) != w.n_decisions:
+                raise ReproError(
+                    f"window {key}: {len(recs)} decision records for "
+                    f"{w.n_decisions} recorded decisions"
+                )
+            out.append(self._analyze_window(w, recs))
+        orphans = set(by_key) - seen
+        if orphans:
+            raise ReproError(
+                f"decision records without a window summary: "
+                f"{sorted(orphans)}"
+            )
+        return out
+
+    def analyze_log(self, path) -> list[WindowRegret]:
+        decisions, windows = read_decision_log(path)
+        return self.analyze(decisions, windows)
+
+    def analyze_recorder(self, recorder: DecisionRecorder) -> list[WindowRegret]:
+        return self.analyze(recorder.decisions, recorder.windows)
+
+    # ------------------------------------------------------------------
+    def _job_class(self, name: str) -> str:
+        cls = self._class_cache.get(name)
+        if cls is None:
+            job = Job.submit(name)
+            if not self.repository.has(job):
+                raise ReproError(
+                    f"no profile for {name!r} — analyzer repository "
+                    f"must cover every benchmark in the log"
+                )
+            cls = classify(self.repository.lookup(job))
+            self._class_cache[name] = cls
+        return cls
+
+    def _oracle_total(
+        self, window: tuple[str, ...], c_max: int, window_size: int
+    ) -> tuple[float, tuple[str, ...]]:
+        key = (window, c_max, window_size)
+        cached = self._oracle_cache.get(key)
+        if cached is not None:
+            return cached
+        jobs = [Job.submit(name) for name in window]
+        for job in jobs:
+            if not self.repository.has(job):
+                raise ReproError(
+                    f"no profile for {job.benchmark_name!r} — analyzer "
+                    f"repository must cover every benchmark in the log"
+                )
+        oracle = OracleScheduler(
+            self.repository,
+            ActionCatalog(c_max=c_max),
+            window_size=max(window_size, len(jobs)),
+        )
+        sched, choices = oracle.schedule_explained(jobs)
+        labels = tuple(
+            f"{c['label']} [{', '.join(c['jobs'])}]"
+            + ("" if c["kept"] else " (split)")
+            for c in choices
+        )
+        result = (sched.total_time, labels)
+        self._oracle_cache[key] = result
+        return result
+
+    def _analyze_window(
+        self, w: WindowRecord, recs: list[DecisionRecord]
+    ) -> WindowRegret:
+        oracle_time, oracle_choices = self._oracle_total(
+            w.window, w.c_max, w.window_size
+        )
+        regret = w.total_time - oracle_time
+        oracle_gain = w.solo_time / oracle_time if oracle_time > 0 else 0.0
+
+        decision_regrets: list[DecisionRegret] = []
+        per_class: dict[str, float] = {}
+        covered: Counter = Counter()
+        attributed_sum = 0.0
+        for d in recs:
+            share = (
+                d.realized_corun_time / w.total_time
+                if w.total_time > 0 else 0.0
+            )
+            attributed = share * regret
+            attributed_sum += attributed
+            covered.update(d.jobs)
+            for name in d.jobs:
+                cls = self._job_class(name)
+                per_class[cls] = (
+                    per_class.get(cls, 0.0) + attributed / len(d.jobs)
+                )
+            decision_regrets.append(DecisionRegret(
+                source=d.source,
+                seq=d.seq,
+                step=d.step,
+                action=d.action,
+                partition=d.partition,
+                jobs=d.jobs,
+                corun_time=d.realized_corun_time,
+                time_share=share,
+                attributed_regret=attributed,
+                q_gap_to_greedy=d.q_gap_to_greedy,
+                prediction_error=d.prediction_error,
+                explored=d.explored,
+            ))
+        # jobs never co-scheduled (solo drains / online profiling runs)
+        # absorb whatever regret the groups do not account for
+        leftover = regret - attributed_sum
+        remaining = Counter(w.window) - covered
+        n_remaining = sum(remaining.values())
+        if n_remaining > 0:
+            for name, count in remaining.items():
+                cls = self._job_class(name)
+                per_class[cls] = (
+                    per_class.get(cls, 0.0) + leftover * count / n_remaining
+                )
+        elif recs:
+            # fully co-scheduled window: spread the float residue evenly
+            for d in recs:
+                for name in d.jobs:
+                    cls = self._job_class(name)
+                    per_class[cls] += leftover / (len(recs) * len(d.jobs))
+
+        return WindowRegret(
+            source=w.source,
+            seq=w.seq,
+            window=w.window,
+            method=w.method,
+            total_time=w.total_time,
+            solo_time=w.solo_time,
+            oracle_time=oracle_time,
+            throughput_gain=w.throughput_gain,
+            oracle_gain=oracle_gain,
+            regret_vs_oracle=regret,
+            regret_vs_timesharing=w.total_time - w.solo_time,
+            relative_regret=regret / oracle_time if oracle_time > 0 else 0.0,
+            per_class=per_class,
+            oracle_choices=oracle_choices,
+            decisions=tuple(decision_regrets),
+        )
+
+
+# ----------------------------------------------------------------------
+def worst_decisions(
+    analyses: list[WindowRegret], n: int = 10
+) -> list[DecisionRegret]:
+    """The ``n`` decisions with the largest attributed regret."""
+    ranked = sorted(
+        (d for w in analyses for d in w.decisions),
+        key=lambda d: (-d.attributed_regret, d.source, d.seq, d.step),
+    )
+    return ranked[:n]
+
+
+def write_regret_jsonl(analyses: list[WindowRegret], path) -> int:
+    """One ``window_regret`` JSON line per analyzed window."""
+    n = 0
+    with open(path, "w") as fh:
+        for w in analyses:
+            fh.write(json.dumps(w.to_dict(), sort_keys=True))
+            fh.write("\n")
+            n += 1
+    return n

@@ -115,6 +115,18 @@ class DuelingDoubleDQNAgent:
         """Online-network Q-values for a single state, shape ``(A,)``."""
         return self.online.infer(np.atleast_2d(state))[0]
 
+    def q_decomposition(
+        self, state: np.ndarray
+    ) -> tuple[np.ndarray, float, np.ndarray]:
+        """``(Q, V, A)`` of the online network for a single state.
+
+        Q is bitwise-identical to :meth:`q_values`; V is the dueling
+        state value (0.0 for a plain head) and A the raw per-action
+        advantages. Pure inference — consumes no RNG, mutates nothing.
+        """
+        q, v, a = self.online.infer_decomposed(np.atleast_2d(state))
+        return q[0], float(v[0, 0]), a[0]
+
     def act(self, state: np.ndarray, mask: np.ndarray | None = None) -> int:
         """Epsilon-greedy action among the valid set."""
         n = self.config.n_actions

@@ -226,6 +226,30 @@ class DuelingQNetwork(Module):
         v = h @ self.value_head.weight.value + self.value_head.bias.value
         return v + a - a.mean(axis=1, keepdims=True)
 
+    def infer_decomposed(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(Q, V, A)`` without backprop bookkeeping.
+
+        The Q output performs exactly :meth:`infer`'s arithmetic (same
+        operations, same order — bitwise-identical), additionally
+        exposing the dueling decomposition for explainability tooling.
+        With ``dueling=False`` the value head does not contribute to Q,
+        so ``V`` is reported as zero and ``A`` equals ``Q``.
+        """
+        h = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for m in self.trunk.modules:
+            if isinstance(m, Linear):
+                h = h @ m.weight.value + m.bias.value
+            else:  # ReLU
+                h = np.where(h > 0, h, 0.0)
+        a = h @ self.advantage_head.weight.value + self.advantage_head.bias.value
+        if not self.dueling:
+            return a, np.zeros((a.shape[0], 1)), a
+        v = h @ self.value_head.weight.value + self.value_head.bias.value
+        q = v + a - a.mean(axis=1, keepdims=True)
+        return q, v, a
+
     def backward(self, grad_q: np.ndarray) -> np.ndarray:
         """Backprop through the dueling combination.
 

@@ -110,11 +110,27 @@ def _format_value(v: float) -> str:
     return repr(float(v))
 
 
+def _escape_label_value(v) -> str:
+    """Label-value escaping per the exposition format: backslash,
+    double quote, and line feed must be backslash-escaped."""
+    return (
+        str(v)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _escape_help(text: str) -> str:
+    """HELP text escaping: backslash and line feed only."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _format_labels(key, extra: dict | None = None) -> str:
     pairs = list(key) + sorted((extra or {}).items())
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in pairs)
     return "{" + inner + "}"
 
 
@@ -123,7 +139,7 @@ def prometheus_text(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for metric in registry.collect():
         if metric.help:
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
         lines.append(f"# TYPE {metric.name} {metric.kind}")
         if isinstance(metric, (Counter, Gauge)):
             for key, value in metric.series().items():

@@ -54,6 +54,9 @@ METRIC_HELP = {
     "corun_cache_hit_rate": "CoRunCache hit rate over the training run",
     "decision_cache_hit_rate": "step-decision memo hit rate over the training run",
     "optimizer_decision_seconds": "online decision latency per window (injected clock)",
+    "queue_wait_seconds": "per-job queue wait at dispatch (start minus submit)",
+    "train_q_max": "max online-network Q at each episode's final observation",
+    "alerts_raised_total": "alerts raised by the insight detectors, by kind",
 }
 
 

@@ -485,3 +485,62 @@ class TestOptimizerClock:
         snap = tel.registry.histogram("optimizer_decision_seconds").snapshot()
         assert snap.count == 1
         assert snap.total == pytest.approx(decision.decision_seconds)
+
+
+# ----------------------------------------------------------------------
+# exposition-format escaping and histogram quantile edge cases (PR 4)
+# ----------------------------------------------------------------------
+class TestExpositionEscaping:
+    def test_label_values_are_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(1, path='a\\b', note='say "hi"\nbye')
+        text = prometheus_text(reg)
+        line = next(l for l in text.splitlines() if l.startswith("c{"))
+        assert '\\\\b' in line          # backslash doubled
+        assert '\\"hi\\"' in line       # quotes escaped
+        assert "\\n" in line            # newline escaped...
+        assert "\n" not in line         # ...not literal
+
+    def test_help_text_is_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("c", help="line one\nline \\ two").inc(1)
+        help_line = next(
+            l for l in prometheus_text(reg).splitlines()
+            if l.startswith("# HELP")
+        )
+        assert help_line == "# HELP c line one\\nline \\\\ two"
+
+    def test_escaped_exposition_still_parses_line_per_sample(self):
+        reg = MetricsRegistry()
+        reg.gauge("g").set(1.0, k='tricky="\n\\')
+        lines = prometheus_text(reg).splitlines()
+        samples = [l for l in lines if not l.startswith("#")]
+        assert len(samples) == 1 and samples[0].endswith(" 1")
+
+
+class TestHistogramQuantileEdges:
+    def test_empty_histogram_quantile_is_zero(self):
+        snap = MetricsRegistry().histogram("h").snapshot()
+        assert snap.count == 0
+        assert snap.quantile(0.5) == 0.0
+        assert snap.quantile(0.0) == 0.0
+        assert snap.quantile(1.0) == 0.0
+
+    def test_extreme_quantiles_hit_min_and_max(self):
+        h = MetricsRegistry().histogram("h")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap.quantile(0.0) == snap.minimum == 1.0
+        assert snap.quantile(1.0) == snap.maximum == 3.0
+
+    def test_quantile_after_reservoir_eviction_stays_in_range(self):
+        h = MetricsRegistry().histogram("h", reservoir_size=32)
+        for i in range(5000):
+            h.observe(float(i))
+        snap = h.snapshot()
+        assert snap.count == 5000 > len(snap.samples) == 32
+        for q in (0.0, 0.5, 0.95, 1.0):
+            assert snap.minimum <= snap.quantile(q) <= snap.maximum
+        # min/max track the full stream, not just the reservoir
+        assert snap.minimum == 0.0 and snap.maximum == 4999.0

@@ -23,7 +23,10 @@ Subcommands cover the pipeline stages:
   detectors over its telemetry and print the raised alerts;
 * ``benchgate`` — diff a fresh training benchmark against the
   committed ``BENCH_training.json`` with tolerance bands; exits
-  non-zero on regression (the CI perf gate).
+  non-zero on regression (the CI perf gate);
+* ``statcheck`` — run the repo's determinism-invariant linter
+  (DESIGN.md §11) over the configured paths; exits non-zero on any
+  finding not grandfathered in the baseline (the CI static gate).
 
 ``--insight DIR`` (on ``train``/``schedule``/``cluster``/``trace``/
 ``alerts``) attaches the decision flight recorder and writes
@@ -566,6 +569,40 @@ def _cmd_benchgate(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_statcheck(args: argparse.Namespace) -> int:
+    from repro.statcheck import (
+        StatcheckError,
+        check_paths,
+        load_config,
+        update_baseline,
+    )
+
+    try:
+        config = load_config(args.root)
+        report = check_paths(
+            paths=args.paths or None,
+            config=config,
+            use_baseline=not args.no_baseline,
+        )
+        if args.write_baseline:
+            path = update_baseline(report, config)
+            print(
+                f"wrote {len(report.new) + len(report.grandfathered)} "
+                f"finding(s) to {path}",
+                file=sys.stderr,
+            )
+            return 0
+    except StatcheckError as exc:
+        print(f"statcheck: error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        json.dump(report.to_dict(), sys.stdout, indent=1, sort_keys=True)
+        sys.stdout.write("\n")
+    else:
+        print(report.render(verbose=args.verbose))
+    return 0 if report.clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-gpu",
@@ -706,6 +743,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", metavar="PATH",
                    help="write the measured candidate JSON here")
     p.set_defaults(fn=_cmd_benchgate)
+
+    p = sub.add_parser(
+        "statcheck",
+        help="run the determinism-invariant linter (DET/OBS/HYG rules); "
+             "exits 1 on any finding not in the baseline",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files/directories to check "
+                        "(default: [tool.statcheck] paths)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report on stdout")
+    p.add_argument("--root", metavar="DIR",
+                   help="repo root holding pyproject.toml "
+                        "(default: discovered from cwd)")
+    p.add_argument("--no-baseline", action="store_true",
+                   help="report every finding, ignoring the baseline file")
+    p.add_argument("--write-baseline", action="store_true",
+                   help="accept the current findings as the new baseline "
+                        "(the ratchet step; the file may only shrink)")
+    p.add_argument("--verbose", action="store_true",
+                   help="append each rule's fix-it guidance to the report")
+    p.set_defaults(fn=_cmd_statcheck)
 
     return parser
 

@@ -1,0 +1,52 @@
+"""The sanctioned home of wall-clock access.
+
+Everything in the library that needs a notion of *real* elapsed time
+(decision-latency accounting, benchmark timing) takes an injectable
+``Clock`` — a zero-argument callable returning seconds as ``float`` —
+and defaults to :func:`perf_clock` from this module. Simulated runs
+inject :class:`CountingClock` (or any deterministic counter) so their
+outputs stay bit-reproducible; production code keeps observing real
+wall time.
+
+This module is the **only** library code allowed to touch
+``time.time`` / ``time.perf_counter`` and friends — the DET001
+statcheck rule enforces that mechanically (the CLI entrypoints are the
+other exemption). Simulated *event* time is a different thing
+entirely: that comes from the tracer/scheduler clocks, never from
+here.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Clock", "perf_clock", "wall_clock", "CountingClock"]
+
+#: a zero-argument source of seconds; inject a deterministic one in tests
+Clock = Callable[[], float]
+
+
+def perf_clock() -> float:
+    """Monotonic high-resolution seconds (the default latency clock)."""
+    return time.perf_counter()
+
+
+def wall_clock() -> float:
+    """Seconds since the epoch — for timestamps on exported artifacts
+    only; never feed this into anything a seeded run serializes."""
+    return time.time()
+
+
+class CountingClock:
+    """A deterministic clock: starts at ``start``, advances ``step``
+    per call. The standard injection for bit-reproducible runs."""
+
+    def __init__(self, start: float = 0.0, step: float = 1.0) -> None:
+        self.now = float(start)
+        self.step = float(step)
+
+    def __call__(self) -> float:
+        current = self.now
+        self.now += self.step
+        return current

@@ -28,7 +28,7 @@ optimizer) falls back to FCFS instead of aborting the drain.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ReproError, SchedulingError
 from repro.faults import FaultInjector, RetryPolicy

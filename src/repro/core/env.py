@@ -45,7 +45,7 @@ from repro.core.assignment import (
     assign_optimal,
 )
 from repro.core.predictor import AnalyticPredictor
-from repro.core.features import FeatureExtractor, WindowEncoding
+from repro.core.features import FeatureExtractor
 from repro.core.problem import Schedule, ScheduledGroup, SchedulingProblem
 from repro.core.rewards import (
     RewardConfig,

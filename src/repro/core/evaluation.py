@@ -18,7 +18,6 @@ metrics) pay for the computation once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import lru_cache
 
 import numpy as np
 

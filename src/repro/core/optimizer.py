@@ -17,7 +17,7 @@ The :class:`OnlineOptimizer` wraps a trained (frozen) agent:
 * the decision-making overhead (pure agent/assignment compute time) is
   tracked against the simulated execution time to substantiate the
   "< 0.5% online overhead" claim of Section V-B. Latency is read from
-  an *injectable* clock (``time.perf_counter`` by default): simulated
+  an *injectable* clock (``repro.clock.perf_clock`` by default): simulated
   runs can pass a deterministic counter so their outputs stay
   bit-reproducible, while production keeps observing real wall time —
   every per-window latency also lands in the
@@ -26,12 +26,11 @@ The :class:`OnlineOptimizer` wraps a trained (frozen) agent:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 
+from repro.clock import Clock, perf_clock
 from repro.errors import SchedulingError
 from repro.core.actions import ActionCatalog
 from repro.core.env import CoSchedulingEnv
@@ -84,7 +83,7 @@ class OnlineOptimizer:
         reward_config: RewardConfig | None = None,
         profiler: NsightProfiler | None = None,
         rerank_top_k: int = 5,
-        clock: Callable[[], float] | None = None,
+        clock: Clock | None = None,
         telemetry: Telemetry = NULL_TELEMETRY,
         recorder: "DecisionRecorder | None" = None,
     ):
@@ -97,7 +96,7 @@ class OnlineOptimizer:
         self.reward_config = reward_config or RewardConfig()
         self.profiler = profiler or NsightProfiler(SimulatedGpu(), noise=0.01)
         self.rerank_top_k = rerank_top_k
-        self.clock = clock if clock is not None else time.perf_counter
+        self.clock = clock if clock is not None else perf_clock
         self.telemetry = telemetry
         self.recorder = recorder
         self.agent.freeze()

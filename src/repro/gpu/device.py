@@ -34,7 +34,6 @@ from repro.gpu.mps import MpsControl
 from repro.gpu.partition import (
     CiNode,
     GiNode,
-    MpsShare,
     PartitionTree,
     format_partition,
 )
@@ -86,7 +85,7 @@ class SimulatedGpu:
         spec: GpuSpec = A100_40GB,
         faults: FaultInjector | None = None,
         telemetry: Telemetry = NULL_TELEMETRY,
-    ):
+    ) -> None:
         self.spec = spec
         self.mig = MigManager(spec)
         self.clock = 0.0

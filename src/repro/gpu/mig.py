@@ -19,7 +19,6 @@ Section III-A:
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, field
 
 from repro.errors import MigError
@@ -117,7 +116,7 @@ class MigManager:
     return an error.
     """
 
-    def __init__(self, spec: GpuSpec):
+    def __init__(self, spec: GpuSpec) -> None:
         self.spec = spec
         self.enabled = False
         self._next_gi = 0
@@ -272,7 +271,9 @@ class MigManager:
         return gis
 
 
-def enumerate_gi_combinations(spec: GpuSpec, maximal_only: bool = True):
+def enumerate_gi_combinations(
+    spec: GpuSpec, maximal_only: bool = True
+) -> list[tuple[tuple[int, int], ...]]:
     """Enumerate legal GI configurations under the placement rules.
 
     A configuration is a set of non-overlapping GI placements that also

@@ -69,7 +69,9 @@ def decile_compositions(n_parts: int, total: int = 10) -> tuple[tuple[int, ...],
     """
     out = []
 
-    def rec(remaining: int, parts_left: int, minimum: int, acc: tuple[int, ...]):
+    def rec(
+        remaining: int, parts_left: int, minimum: int, acc: tuple[int, ...]
+    ) -> None:
         if parts_left == 1:
             if remaining >= minimum:
                 out.append(acc + (remaining,))

@@ -27,9 +27,9 @@ hard speedup assertion).
 from __future__ import annotations
 
 import json
-import time
 from dataclasses import dataclass
 
+from repro.clock import Clock, perf_clock
 from repro.errors import ReproError
 
 __all__ = [
@@ -142,7 +142,7 @@ def format_checks(checks: list[GateCheck]) -> str:
 def measure_training_bench(
     episodes: int = 30,
     timed_runs: int = 2,
-    clock=time.perf_counter,
+    clock: Clock = perf_clock,
 ) -> dict:
     """A fresh benchmark document with the committed baseline's schema.
 

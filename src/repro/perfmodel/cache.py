@@ -37,7 +37,7 @@ import os
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Hashable
+from typing import Any, Callable, Hashable, Iterator
 
 from repro.errors import ConfigurationError
 from repro.gpu.partition import PartitionTree
@@ -115,7 +115,7 @@ class CoRunCache:
     (a hit refreshes recency).
     """
 
-    def __init__(self, maxsize: int = DEFAULT_CORUN_CACHE_SIZE):
+    def __init__(self, maxsize: int = DEFAULT_CORUN_CACHE_SIZE) -> None:
         if maxsize <= 0:
             raise ConfigurationError("cache maxsize must be positive")
         self.maxsize = maxsize
@@ -299,7 +299,7 @@ def set_corun_caching(enabled: bool) -> None:
 
 
 @contextmanager
-def corun_cache_disabled():
+def corun_cache_disabled() -> Iterator[None]:
     """Scope with memoization off — every evaluation recomputes."""
     global _ENABLED
     previous = _ENABLED

@@ -17,6 +17,8 @@ same phenomenology:
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.gpu.arch import A100_40GB, GpuSpec
@@ -129,7 +131,9 @@ def partition_option_comparison(
 
     import itertools
 
-    def best_pairing(pair_time) -> float:
+    def best_pairing(
+        pair_time: Callable[[list[KernelModel]], float]
+    ) -> float:
         """Min total time over the 3 ways to split 4 jobs into 2 pairs."""
         best = np.inf
         idx = range(4)

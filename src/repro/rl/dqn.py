@@ -20,7 +20,7 @@ clipping; the target network is hard-synchronized every
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -72,7 +72,7 @@ class DQNConfig:
 class DuelingDoubleDQNAgent:
     """The paper's co-scheduling agent (environment-agnostic core)."""
 
-    def __init__(self, config: DQNConfig):
+    def __init__(self, config: DQNConfig) -> None:
         self.config = config
         self.online = DuelingQNetwork(
             config.n_inputs,

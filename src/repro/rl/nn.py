@@ -29,7 +29,7 @@ class Parameter:
 
     __slots__ = ("value", "_grad")
 
-    def __init__(self, value: np.ndarray):
+    def __init__(self, value: np.ndarray) -> None:
         self.value = np.asarray(value, dtype=np.float64)
         self._grad: np.ndarray | None = None
 
@@ -81,7 +81,7 @@ class Linear(Module):
         in_features: int,
         out_features: int,
         rng: np.random.Generator | None,
-    ):
+    ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ConfigurationError("layer sizes must be positive")
         if rng is None:
@@ -129,7 +129,7 @@ class ReLU(Module):
 class Sequential(Module):
     """A chain of modules applied in order."""
 
-    def __init__(self, *modules: Module):
+    def __init__(self, *modules: Module) -> None:
         self.modules = list(modules)
 
     def parameters(self) -> list[Parameter]:
@@ -165,7 +165,7 @@ class DuelingQNetwork(Module):
         hidden: tuple[int, ...] = (512, 256, 128),
         seed: int | None = 0,
         dueling: bool = True,
-    ):
+    ) -> None:
         if n_inputs <= 0 or n_actions <= 0:
             raise ConfigurationError("network sizes must be positive")
         # seed=None zero-initializes all weights: the cheap construction

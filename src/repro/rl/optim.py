@@ -28,7 +28,7 @@ def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
 class SGD:
     """Stochastic gradient descent with optional momentum."""
 
-    def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.0):
+    def __init__(self, params: list[Parameter], lr: float, momentum: float = 0.0) -> None:
         if lr <= 0:
             raise ConfigurationError("learning rate must be positive")
         if not 0.0 <= momentum < 1.0:
@@ -65,7 +65,7 @@ class Adam:
         lr: float = 1e-3,
         betas: tuple[float, float] = (0.9, 0.999),
         eps: float = 1e-8,
-    ):
+    ) -> None:
         if lr <= 0:
             raise ConfigurationError("learning rate must be positive")
         b1, b2 = betas

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+from numpy.typing import DTypeLike
 
 from repro.errors import ConfigurationError
 
@@ -65,7 +66,7 @@ class Batch:
 class ReplayBuffer:
     """Fixed-capacity FIFO transition store with uniform sampling."""
 
-    def __init__(self, capacity: int, seed: int = 0):
+    def __init__(self, capacity: int, seed: int = 0) -> None:
         if capacity <= 0:
             raise ConfigurationError("replay capacity must be positive")
         self.capacity = capacity
@@ -127,7 +128,10 @@ class ReplayBuffer:
             max(needed, 2 * allocated, min(self.capacity, _INITIAL_ALLOC)),
         )
 
-        def grow(old: np.ndarray | None, shape: tuple, dtype) -> np.ndarray:
+        def grow(
+            old: np.ndarray | None, shape: tuple[int, ...],
+            dtype: DTypeLike,
+        ) -> np.ndarray:
             new = np.zeros(shape, dtype=dtype)
             if old is not None and self._size:
                 new[: self._size] = old[: self._size]

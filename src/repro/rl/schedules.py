@@ -15,7 +15,7 @@ __all__ = ["LinearDecay", "ExponentialDecay"]
 class LinearDecay:
     """Linear interpolation from ``start`` to ``end`` over ``steps``."""
 
-    def __init__(self, start: float, end: float, steps: int):
+    def __init__(self, start: float, end: float, steps: int) -> None:
         if steps <= 0:
             raise ConfigurationError("steps must be positive")
         self.start = float(start)
@@ -34,7 +34,7 @@ class LinearDecay:
 class ExponentialDecay:
     """Multiplicative decay ``start * rate**step`` floored at ``end``."""
 
-    def __init__(self, start: float, end: float, rate: float):
+    def __init__(self, start: float, end: float, rate: float) -> None:
         if not 0.0 < rate < 1.0:
             raise ConfigurationError("decay rate must be in (0, 1)")
         self.start = float(start)

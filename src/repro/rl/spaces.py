@@ -18,7 +18,7 @@ __all__ = ["Discrete", "Box"]
 class Discrete:
     """A finite set of actions ``{0, 1, ..., n-1}``."""
 
-    def __init__(self, n: int, seed: int | None = None):
+    def __init__(self, n: int, seed: int | None = None) -> None:
         if n <= 0:
             raise ConfigurationError("Discrete space requires n > 0")
         self.n = int(n)
@@ -58,7 +58,7 @@ class Box:
         high: float | np.ndarray,
         shape: tuple[int, ...] | None = None,
         seed: int | None = None,
-    ):
+    ) -> None:
         if shape is None:
             low_arr = np.asarray(low, dtype=float)
             shape = low_arr.shape

@@ -1,0 +1,68 @@
+"""repro.statcheck — determinism-invariant linter for this repository.
+
+An AST-based static-analysis pass with repo-specific rules guarding
+the invariants the reproduction's bit-reproducibility rests on:
+
+========  ============================================================
+DET001    no wall-clock reads outside ``repro.clock`` / the CLI
+DET002    no global or unseeded RNG — inject a seeded ``Generator``
+DET003    no unordered set/``dict.keys()`` iteration feeding
+          serialization or reductions in artifact-writing paths
+OBS001    core/rl/cluster/gpu touch telemetry only via the facade
+HYG001    no mutable default arguments
+HYG002    no ``print()`` in library code
+========  ============================================================
+
+Run it as ``repro-gpu statcheck [--json] [PATHS]`` or import
+:func:`check_paths` from tests. Per-line escape hatch::
+
+    ...  # statcheck: ignore[DET001] <justification>
+
+Configuration lives in ``[tool.statcheck]`` in pyproject.toml;
+grandfathered findings live in the baseline file (see
+:mod:`repro.statcheck.baseline`). DESIGN.md §11 documents every rule's
+rationale and how to add one.
+"""
+
+from repro.statcheck.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.statcheck.config import (
+    RuleScope,
+    StatcheckConfig,
+    StatcheckError,
+    find_root,
+    load_config,
+)
+from repro.statcheck.engine import (
+    Report,
+    check_paths,
+    check_source,
+    iter_python_files,
+    update_baseline,
+)
+from repro.statcheck.findings import Finding
+from repro.statcheck.rules import RULES, RuleInfo, RuleVisitor, all_codes
+
+__all__ = [
+    "Finding",
+    "Report",
+    "RULES",
+    "RuleInfo",
+    "RuleScope",
+    "RuleVisitor",
+    "StatcheckConfig",
+    "StatcheckError",
+    "all_codes",
+    "apply_baseline",
+    "check_paths",
+    "check_source",
+    "find_root",
+    "iter_python_files",
+    "load_baseline",
+    "load_config",
+    "update_baseline",
+    "write_baseline",
+]

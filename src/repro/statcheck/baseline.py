@@ -1,0 +1,109 @@
+"""The baseline file: grandfathered findings and the ratchet.
+
+A baseline is a JSON document listing finding fingerprints that are
+*accepted for now*. The gate then enforces a ratchet:
+
+* a finding whose fingerprint appears in the baseline is suppressed
+  (reported in the summary, never a failure);
+* a finding **not** in the baseline fails the gate — new debt cannot
+  land;
+* baseline entries that no longer match anything are *stale*: the
+  offending line was fixed or changed, and ``--write-baseline``
+  shrinks the file. The baseline can only shrink over time — that is
+  the ratchet.
+
+Matching is by fingerprint multiset: two identical bad lines in one
+file need two baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.statcheck.findings import Finding
+
+__all__ = [
+    "BASELINE_VERSION",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> list[dict[str, object]]:
+    """Baseline entries from ``path`` ([] when the file is absent)."""
+    if not path.is_file():
+        return []
+    from repro.statcheck.config import StatcheckError
+
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StatcheckError(f"baseline {path} is not valid JSON: {exc}")
+    if not isinstance(doc, dict) or doc.get("version") != BASELINE_VERSION:
+        raise StatcheckError(
+            f"baseline {path} has unsupported version "
+            f"{doc.get('version') if isinstance(doc, dict) else doc!r}"
+        )
+    findings = doc.get("findings", [])
+    if not isinstance(findings, list):
+        raise StatcheckError(f"baseline {path}: 'findings' must be a list")
+    return findings
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Persist ``findings`` as the new baseline (sorted, stable)."""
+    entries = [
+        {
+            "fingerprint": f.fingerprint,
+            "rule": f.rule,
+            "path": f.path,
+            "line": f.line,
+            "text": f.text,
+        }
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    ]
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "repro.statcheck",
+        "comment": (
+            "Grandfathered findings; the gate fails only on findings "
+            "absent from this list. Regenerate (it may only shrink) "
+            "with: repro-gpu statcheck --write-baseline"
+        ),
+        "findings": entries,
+    }
+    path.write_text(json.dumps(doc, indent=1, sort_keys=True) + "\n")
+
+
+def apply_baseline(
+    findings: list[Finding], entries: list[dict[str, object]]
+) -> tuple[list[Finding], list[Finding], list[dict[str, object]]]:
+    """Split findings into (new, grandfathered) and report stale entries.
+
+    ``entries`` is what :func:`load_baseline` returned; an entry is
+    consumed by at most one matching finding (multiset semantics).
+    """
+    budget = Counter(
+        str(e.get("fingerprint", "")) for e in entries
+    )
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        if budget.get(f.fingerprint, 0) > 0:
+            budget[f.fingerprint] -= 1
+            old.append(f)
+        else:
+            new.append(f)
+    stale = []
+    leftovers = Counter(budget)
+    for e in entries:
+        fp = str(e.get("fingerprint", ""))
+        if leftovers.get(fp, 0) > 0:
+            leftovers[fp] -= 1
+            stale.append(e)
+    return new, old, stale

@@ -1,0 +1,227 @@
+"""The statcheck engine: file walking, pragmas, baseline, reports.
+
+Entry points:
+
+* :func:`check_paths` — the pytest-importable API. Returns a
+  :class:`Report`; ``report.new`` is what gates (empty == green).
+* :func:`check_source` — one in-memory module, used by the unit tests
+  and by tools embedding statcheck.
+
+Per-line escape hatch::
+
+    t0 = time.perf_counter()   # statcheck: ignore[DET001] CLI boundary
+
+``ignore`` with no bracket suppresses every rule on that line; the
+bracket form lists codes, comma-separated. The suppression must sit on
+the line the finding points at (the statement's first line).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from repro.statcheck.baseline import (
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.statcheck.config import (
+    StatcheckConfig,
+    StatcheckError,
+    load_config,
+)
+from repro.statcheck.findings import Finding
+from repro.statcheck.rules import RULES, RuleVisitor
+
+__all__ = ["Report", "check_source", "check_paths", "iter_python_files"]
+
+_PRAGMA = re.compile(
+    r"#\s*statcheck:\s*ignore(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?"
+)
+
+
+@dataclass
+class Report:
+    """Everything one statcheck run determined."""
+
+    root: str
+    files_checked: int = 0
+    new: list[Finding] = field(default_factory=list)
+    grandfathered: list[Finding] = field(default_factory=list)
+    pragma_suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict[str, object]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.new
+
+    def to_dict(self) -> dict[str, object]:
+        """The ``--json`` document (schema pinned by the test suite)."""
+        return {
+            "version": 1,
+            "tool": "repro.statcheck",
+            "root": self.root,
+            "files_checked": self.files_checked,
+            "clean": self.clean,
+            "findings": [f.to_dict() for f in self.new],
+            "suppressed": {
+                "baseline": len(self.grandfathered),
+                "pragma": len(self.pragma_suppressed),
+            },
+            "stale_baseline": self.stale_baseline,
+            "rules": {
+                code: info.summary for code, info in sorted(RULES.items())
+            },
+        }
+
+    def render(self, verbose: bool = False) -> str:
+        """The human-readable report the CLI prints."""
+        lines = [f.render() for f in sorted(
+            self.new, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )]
+        if verbose:
+            for f in sorted(self.new,
+                            key=lambda f: (f.path, f.line, f.col, f.rule)):
+                lines.append(f"    fix: {f.fixit}")
+        summary = (
+            f"statcheck: {self.files_checked} files, "
+            f"{len(self.new)} new finding(s), "
+            f"{len(self.grandfathered)} grandfathered, "
+            f"{len(self.pragma_suppressed)} pragma-suppressed"
+        )
+        if self.stale_baseline:
+            summary += (
+                f", {len(self.stale_baseline)} stale baseline entrie(s) "
+                "— rerun with --write-baseline to ratchet"
+            )
+        lines.append(summary)
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+def _pragma_lines(lines: Sequence[str]) -> dict[int, frozenset[str] | None]:
+    """``lineno -> codes`` for every ignore pragma (None = all rules)."""
+    out: dict[int, frozenset[str] | None] = {}
+    for i, line in enumerate(lines, start=1):
+        m = _PRAGMA.search(line)
+        if not m:
+            continue
+        raw = m.group("codes")
+        if raw is None:
+            out[i] = None
+        else:
+            out[i] = frozenset(
+                c.strip() for c in raw.split(",") if c.strip()
+            )
+    return out
+
+
+def check_source(
+    source: str,
+    relpath: str,
+    config: StatcheckConfig,
+) -> tuple[list[Finding], list[Finding]]:
+    """(kept, pragma-suppressed) findings for one module's source."""
+    enabled = config.enabled_rules(relpath)
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        f = Finding(
+            rule="PARSE001",
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+            fixit=RULES["PARSE001"].fixit,
+            text=(exc.text or "").strip(),
+        )
+        return [f], []
+    visitor = RuleVisitor(path=relpath, lines=lines, enabled=enabled)
+    visitor.visit(tree)
+    pragmas = _pragma_lines(lines)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f in visitor.findings:
+        codes = pragmas.get(f.line, frozenset())
+        if codes is None or (codes and f.rule in codes):
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+def iter_python_files(
+    paths: Iterable[Path], config: StatcheckConfig
+) -> Iterator[tuple[Path, str]]:
+    """(absolute path, repo-relative posix path) pairs, sorted, deduped."""
+    seen: set[str] = set()
+    collected: list[tuple[str, Path]] = []
+    for p in paths:
+        p = Path(p)
+        if not p.is_absolute():
+            p = config.root / p
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        elif p.is_file():
+            candidates = [p]
+        else:
+            raise StatcheckError(f"no such file or directory: {p}")
+        for c in candidates:
+            try:
+                rel = c.resolve().relative_to(config.root).as_posix()
+            except ValueError:
+                rel = c.as_posix()
+            if rel in seen or config.excluded(rel):
+                continue
+            seen.add(rel)
+            collected.append((rel, c))
+    for rel, c in sorted(collected):
+        yield c, rel
+
+
+def check_paths(
+    paths: Sequence[str | Path] | None = None,
+    root: str | Path | None = None,
+    config: StatcheckConfig | None = None,
+    use_baseline: bool = True,
+) -> Report:
+    """Run statcheck over ``paths`` (config defaults when None)."""
+    cfg = config if config is not None else load_config(root)
+    targets = [Path(p) for p in paths] if paths else [
+        Path(p) for p in cfg.paths
+    ]
+    report = Report(root=str(cfg.root))
+    all_kept: list[Finding] = []
+    for abspath, rel in iter_python_files(targets, cfg):
+        report.files_checked += 1
+        try:
+            source = abspath.read_text()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise StatcheckError(f"cannot read {abspath}: {exc}")
+        kept, suppressed = check_source(source, rel, cfg)
+        all_kept.extend(kept)
+        report.pragma_suppressed.extend(suppressed)
+
+    entries: list[dict[str, object]] = []
+    if use_baseline and cfg.baseline_path is not None:
+        entries = load_baseline(cfg.baseline_path)
+    report.new, report.grandfathered, report.stale_baseline = (
+        apply_baseline(all_kept, entries)
+    )
+    return report
+
+
+def update_baseline(report: Report, config: StatcheckConfig) -> Path:
+    """Write the current findings as the new baseline (the ratchet step)."""
+    path = config.baseline_path
+    if path is None:
+        raise StatcheckError(
+            "no baseline configured ([tool.statcheck] baseline)"
+        )
+    write_baseline(path, report.new + report.grandfathered)
+    return path

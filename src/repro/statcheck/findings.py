@@ -1,0 +1,63 @@
+"""Finding records produced by the statcheck engine.
+
+A finding pins one rule violation to a ``path:line`` location. Its
+*fingerprint* — a SHA-256 over ``path``, rule code, and the stripped
+source line text — is what the baseline file stores: it survives
+unrelated line-number churn (code moving up or down a file) while
+still going stale when the offending line itself changes, which is
+exactly the ratchet behavior we want.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+__all__ = ["Finding"]
+
+
+def _fingerprint(path: str, rule: str, text: str) -> str:
+    payload = f"{path}::{rule}::{text.strip()}".encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str        #: repo-root-relative posix path
+    line: int        #: 1-based line of the offending node
+    col: int         #: 0-based column of the offending node
+    message: str     #: what is wrong, specific to this site
+    fixit: str       #: how to fix it (rule-level guidance)
+    text: str = ""   #: the stripped source line, for reports/baseline
+    fingerprint: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.fingerprint:
+            object.__setattr__(
+                self,
+                "fingerprint",
+                _fingerprint(self.path, self.rule, self.text),
+            )
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def render(self) -> str:
+        """``file:line:col CODE message`` — the CLI's report line."""
+        return f"{self.location}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fixit": self.fixit,
+            "text": self.text,
+            "fingerprint": self.fingerprint,
+        }

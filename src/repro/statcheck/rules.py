@@ -1,0 +1,433 @@
+"""The statcheck rule registry and the shared single-pass AST visitor.
+
+Every rule is declared once in :data:`RULES` (code, summary, fix-it
+guidance, default path scope) and implemented as one or more *checker*
+functions registered against the AST node types they care about via
+:func:`checker`. :class:`RuleVisitor` walks a module exactly once and
+dispatches each node to the checkers of every rule that is enabled for
+the file being checked — adding a rule never adds a second pass.
+
+The determinism rules (DET*) encode the invariants the reproduction's
+bit-reproducibility claim rests on; OBS001 keeps the observer layers
+observer-only; the HYG* rules are plain hygiene. See DESIGN.md §11 for
+each rule's rationale and the workflow for adding one.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.statcheck.findings import Finding
+
+__all__ = ["RuleInfo", "RULES", "RuleVisitor", "checker", "all_codes"]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry: what a rule means and where it applies by default.
+
+    ``only`` restricts the rule to paths under the listed prefixes
+    (empty means everywhere); ``allow`` exempts paths. Both are
+    repo-root-relative posix prefixes (or ``fnmatch`` globs) and can be
+    overridden per-rule from ``[tool.statcheck.rules.<CODE>]`` in
+    pyproject.toml.
+    """
+
+    code: str
+    summary: str
+    fixit: str
+    only: tuple[str, ...] = ()
+    allow: tuple[str, ...] = ()
+
+
+RULES: dict[str, RuleInfo] = {}
+
+
+def _register(info: RuleInfo) -> RuleInfo:
+    RULES[info.code] = info
+    return info
+
+
+def all_codes() -> tuple[str, ...]:
+    return tuple(RULES)
+
+
+_register(RuleInfo(
+    code="PARSE001",
+    summary="file does not parse",
+    fixit="fix the syntax error; statcheck cannot analyze this file",
+))
+_register(RuleInfo(
+    code="DET001",
+    summary="wall-clock access outside the clock module",
+    fixit="inject a clock (repro.clock.perf_clock or a deterministic "
+          "counter) instead of reading wall time in place",
+    allow=("src/repro/clock.py", "src/repro/cli.py", "src/repro/__main__.py"),
+))
+_register(RuleInfo(
+    code="DET002",
+    summary="global or unseeded RNG",
+    fixit="thread an explicitly seeded np.random.Generator (or seeded "
+          "random.Random) through the call path instead",
+))
+_register(RuleInfo(
+    code="DET003",
+    summary="unordered set/dict.keys() iteration feeding a "
+            "serialization or reduction path",
+    fixit="wrap the iterable in sorted(...) so artifacts and "
+          "checkpoints are byte-stable",
+    only=(
+        "src/repro/insight",
+        "src/repro/telemetry/export.py",
+        "src/repro/rl/checkpoint.py",
+    ),
+))
+_register(RuleInfo(
+    code="OBS001",
+    summary="core module bypasses the Telemetry facade",
+    fixit="take a repro.telemetry.Telemetry (default NULL_TELEMETRY) "
+          "parameter; only the facade may touch the metrics registry",
+    only=("src/repro/core", "src/repro/rl",
+          "src/repro/cluster", "src/repro/gpu"),
+))
+_register(RuleInfo(
+    code="HYG001",
+    summary="mutable default argument",
+    fixit="default to None and create the mutable value inside the "
+          "function body",
+))
+_register(RuleInfo(
+    code="HYG002",
+    summary="print() in library code",
+    fixit="return/format the text for the caller, or route it through "
+          "telemetry; only the CLI prints",
+    allow=("src/repro/cli.py", "src/repro/__main__.py"),
+))
+
+
+# ----------------------------------------------------------------------
+# checker registration
+# ----------------------------------------------------------------------
+class _Context(Protocol):
+    """What checkers may read off the engine while visiting."""
+
+    path: str
+
+    def resolve(self, node: ast.AST) -> str | None: ...
+    def line_text(self, lineno: int) -> str: ...
+
+
+Checker = Callable[[ast.AST, "_Context"], Iterator[Finding]]
+
+#: node type -> [(rule code, checker fn)]
+_CHECKERS: dict[type, list[tuple[str, Checker]]] = {}
+
+
+def checker(code: str, *node_types: type) -> Callable[[Checker], Checker]:
+    """Register ``fn`` as a checker for ``code`` on the given node types."""
+    if code not in RULES:
+        raise KeyError(f"unknown rule code {code!r}")
+
+    def deco(fn: Checker) -> Checker:
+        for nt in node_types:
+            _CHECKERS.setdefault(nt, []).append((code, fn))
+        return fn
+
+    return deco
+
+
+def _finding(
+    code: str, node: ast.AST, ctx: _Context, message: str
+) -> Finding:
+    line = getattr(node, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    return Finding(
+        rule=code,
+        path=ctx.path,
+        line=line,
+        col=col,
+        message=message,
+        fixit=RULES[code].fixit,
+        text=ctx.line_text(line),
+    )
+
+
+# ----------------------------------------------------------------------
+# DET001 — wall-clock access
+# ----------------------------------------------------------------------
+#: any reference (call or not — a wall clock stored as a default
+#: callable is just a deferred wall-clock read) to these qualnames
+_WALL_CLOCKS = frozenset({
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+})
+
+
+@checker("DET001", ast.Attribute, ast.Name)
+def _det001(node: ast.AST, ctx: _Context) -> Iterator[Finding]:
+    if not isinstance(getattr(node, "ctx", None), ast.Load):
+        return
+    qual = ctx.resolve(node)
+    if qual in _WALL_CLOCKS:
+        yield _finding("DET001", node, ctx, f"wall-clock access {qual}")
+
+
+# ----------------------------------------------------------------------
+# DET002 — global / unseeded RNG
+# ----------------------------------------------------------------------
+#: numpy.random constructors that are fine *when given a seed argument*
+_SEEDABLE_NP = frozenset({
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "numpy.random.PCG64",
+    "numpy.random.PCG64DXSM",
+    "numpy.random.MT19937",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.BitGenerator",
+})
+
+
+@checker("DET002", ast.Call)
+def _det002(node: ast.AST, ctx: _Context) -> Iterator[Finding]:
+    assert isinstance(node, ast.Call)
+    qual = ctx.resolve(node.func)
+    if qual is None:
+        return
+    has_args = bool(node.args or node.keywords)
+    if qual.startswith("random."):
+        name = qual[len("random."):]
+        if "." in name:  # e.g. random.Random(...).random — not resolvable
+            return
+        if name in ("Random", "SystemRandom") and has_args:
+            return  # explicitly seeded instance
+        yield _finding(
+            "DET002", node, ctx,
+            f"global random-module RNG {qual}()"
+            if name not in ("Random",)
+            else "unseeded random.Random()",
+        )
+    elif qual.startswith("numpy.random."):
+        if qual in _SEEDABLE_NP:
+            if has_args:
+                return
+            yield _finding(
+                "DET002", node, ctx,
+                f"unseeded {qual}() — pass an explicit seed",
+            )
+        else:
+            yield _finding(
+                "DET002", node, ctx,
+                f"legacy global-state RNG {qual}()",
+            )
+
+
+# ----------------------------------------------------------------------
+# DET003 — unordered iteration feeding serialization/reduction
+# ----------------------------------------------------------------------
+def _is_unordered(expr: ast.AST) -> str | None:
+    """A label when ``expr`` iterates in set/keys order, else None."""
+    if isinstance(expr, ast.Set) or isinstance(expr, ast.SetComp):
+        return "set literal"
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        if isinstance(func, ast.Name) and func.id == "set":
+            return "set(...)"
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "keys"
+            and not expr.args
+            and not expr.keywords
+        ):
+            return ".keys()"
+    return None
+
+
+#: builtins whose result depends on iteration order (sum is here
+#: because float addition is not associative)
+_ORDER_SENSITIVE_BUILTINS = frozenset({"list", "tuple", "sum"})
+
+
+@checker("DET003", ast.For, ast.ListComp, ast.SetComp,
+         ast.DictComp, ast.GeneratorExp, ast.Call)
+def _det003(node: ast.AST, ctx: _Context) -> Iterator[Finding]:
+    iters: list[ast.AST] = []
+    if isinstance(node, ast.For):
+        iters.append(node.iter)
+    elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                           ast.GeneratorExp)):
+        iters.extend(gen.iter for gen in node.generators)
+    elif isinstance(node, ast.Call):
+        func = node.func
+        sensitive = (
+            isinstance(func, ast.Attribute) and func.attr == "join"
+        ) or (
+            isinstance(func, ast.Name)
+            and func.id in _ORDER_SENSITIVE_BUILTINS
+        )
+        if sensitive and node.args:
+            iters.append(node.args[0])
+    for it in iters:
+        label = _is_unordered(it)
+        if label is not None:
+            yield _finding(
+                "DET003", it, ctx,
+                f"iteration over {label} without sorted(...)",
+            )
+
+
+# ----------------------------------------------------------------------
+# OBS001 — registry access outside the Telemetry facade
+# ----------------------------------------------------------------------
+_REGISTRY_NAMES = frozenset({
+    "registry", "MetricsRegistry", "default_registry",
+    "set_default_registry",
+})
+
+
+@checker("OBS001", ast.Import, ast.ImportFrom)
+def _obs001(node: ast.AST, ctx: _Context) -> Iterator[Finding]:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name.startswith("repro.telemetry.registry"):
+                yield _finding(
+                    "OBS001", node, ctx,
+                    f"direct import of {alias.name}",
+                )
+    elif isinstance(node, ast.ImportFrom):
+        mod = node.module or ""
+        if mod.startswith("repro.telemetry.registry"):
+            yield _finding(
+                "OBS001", node, ctx,
+                f"direct import from {mod}",
+            )
+        elif mod == "repro.telemetry":
+            for alias in node.names:
+                if alias.name in _REGISTRY_NAMES:
+                    yield _finding(
+                        "OBS001", node, ctx,
+                        f"registry-level name {alias.name!r} imported "
+                        "from repro.telemetry",
+                    )
+
+
+# ----------------------------------------------------------------------
+# HYG001 — mutable default arguments
+# ----------------------------------------------------------------------
+_MUTABLE_CALLS = frozenset({
+    "list", "dict", "set", "bytearray",
+    "collections.defaultdict", "collections.deque",
+    "collections.OrderedDict", "collections.Counter",
+})
+
+
+def _is_mutable_default(expr: ast.AST, ctx: _Context) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set,
+                         ast.ListComp, ast.SetComp, ast.DictComp)):
+        return True
+    if isinstance(expr, ast.Call):
+        qual = ctx.resolve(expr.func)
+        if qual in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+@checker("HYG001", ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+def _hyg001(node: ast.AST, ctx: _Context) -> Iterator[Finding]:
+    args = node.args  # type: ignore[attr-defined]
+    defaults = list(args.defaults) + [
+        d for d in args.kw_defaults if d is not None
+    ]
+    for default in defaults:
+        if _is_mutable_default(default, ctx):
+            yield _finding(
+                "HYG001", default, ctx,
+                "mutable default argument value",
+            )
+
+
+# ----------------------------------------------------------------------
+# HYG002 — print() in library code
+# ----------------------------------------------------------------------
+@checker("HYG002", ast.Call)
+def _hyg002(node: ast.AST, ctx: _Context) -> Iterator[Finding]:
+    assert isinstance(node, ast.Call)
+    func = node.func
+    if isinstance(func, ast.Name) and func.id == "print":
+        yield _finding("HYG002", node, ctx, "print() in library code")
+
+
+# ----------------------------------------------------------------------
+# the shared single-pass visitor
+# ----------------------------------------------------------------------
+@dataclass
+class RuleVisitor(ast.NodeVisitor):
+    """Walks one module once, dispatching nodes to enabled checkers.
+
+    ``enabled`` is the set of rule codes active for this file after
+    path scoping; ``path`` is the repo-relative posix path used in
+    findings. Import tracking (for qualname resolution) is built up
+    during the same walk, which is safe because imports dominate their
+    uses in well-formed modules — and a use before its import is
+    broken code anyway.
+    """
+
+    path: str
+    lines: list[str]
+    enabled: frozenset[str]
+    findings: list[Finding] = field(default_factory=list)
+    _imports: dict[str, str] = field(default_factory=dict)
+
+    # -- context protocol ------------------------------------------------
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """The imported qualname a Name/Attribute chain refers to."""
+        if isinstance(node, ast.Name):
+            return self._imports.get(node.id)
+        if isinstance(node, ast.Attribute):
+            base = self.resolve(node.value)
+            if base is None:
+                return None
+            return f"{base}.{node.attr}"
+        return None
+
+    # -- import tracking -------------------------------------------------
+    def _track_import(self, node: ast.Import | ast.ImportFrom) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                self._imports[bound] = target
+        else:
+            if node.level:  # relative import — never stdlib/numpy
+                return
+            mod = node.module or ""
+            for alias in node.names:
+                bound = alias.asname or alias.name
+                self._imports[bound] = f"{mod}.{alias.name}" if mod else alias.name
+
+    # -- dispatch --------------------------------------------------------
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            self._track_import(node)
+        for code, fn in _CHECKERS.get(type(node), ()):
+            if code in self.enabled:
+                self.findings.extend(fn(node, self))
+        self.generic_visit(node)

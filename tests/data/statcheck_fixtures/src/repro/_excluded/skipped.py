@@ -1,0 +1,6 @@
+"""Excluded by [tool.statcheck] exclude — never checked."""
+import time
+
+
+def ignored():
+    print(time.time())

@@ -1,0 +1,12 @@
+"""HYG fixture: mutable defaults and library prints."""
+
+
+def accumulate(item, into=[]):      # line 4: HYG001
+    into.append(item)
+    print("appended", item)         # line 6: HYG002
+    return into
+
+
+def tally(key, counts={}):          # line 10: HYG001
+    counts[key] = counts.get(key, 0) + 1
+    return counts

@@ -1,0 +1,28 @@
+"""DET002 fixture: global / unseeded RNG."""
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def roll():
+    return random.random()      # line 9: DET002
+
+
+def unseeded():
+    return np.random.default_rng()   # line 13: DET002 (argless)
+
+
+def legacy():
+    np.random.seed(0)           # line 17: DET002 (legacy global state)
+    return np.random.rand(3)    # line 18: DET002
+
+
+def bare_unseeded():
+    return default_rng()        # line 22: DET002 (argless, from-import)
+
+
+def seeded_ok(seed):
+    rng = np.random.default_rng(seed)       # clean: explicit seed
+    stream = random.Random(f"key:{seed}")   # clean: seeded instance
+    return rng, stream

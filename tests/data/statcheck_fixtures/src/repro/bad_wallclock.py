@@ -1,0 +1,15 @@
+"""DET001 fixture: wall-clock reads in library code."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    return time.time()          # line 7: DET001 (call)
+
+
+def latency_default(clock=time.perf_counter):   # line 10: DET001 (reference)
+    return clock()
+
+
+def when():
+    return datetime.now()       # line 15: DET001

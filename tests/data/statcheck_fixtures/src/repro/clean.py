@@ -1,0 +1,10 @@
+"""A clean library module: nothing here may ever be flagged."""
+import numpy as np
+
+
+def draw(rng: np.random.Generator, n: int):
+    return rng.normal(size=n)
+
+
+def stable_join(d: dict) -> str:
+    return ",".join(sorted(d.keys()))

@@ -1,0 +1,6 @@
+"""The sanctioned clock module: DET001 is exempt here by default scope."""
+import time
+
+
+def perf_clock():
+    return time.perf_counter()      # clean: inside the clock module

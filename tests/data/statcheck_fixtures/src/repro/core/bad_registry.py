@@ -1,0 +1,10 @@
+"""OBS001 fixture: a core module bypassing the Telemetry facade."""
+from repro.telemetry.registry import MetricsRegistry    # line 2: OBS001
+from repro.telemetry import default_registry            # line 3: OBS001
+from repro.telemetry import Telemetry                   # clean: facade
+
+
+def record(value):
+    registry = MetricsRegistry()
+    default_registry().counter("x", "").inc()
+    return registry, Telemetry, value

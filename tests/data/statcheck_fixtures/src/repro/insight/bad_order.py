@@ -1,0 +1,13 @@
+"""DET003 fixture: unordered iteration in an artifact-writing path."""
+
+
+def serialize(counters, names):
+    lines = []
+    for key in counters.keys():         # line 6: DET003
+        lines.append(key)
+    lines.extend(n for n in set(names))     # line 8: DET003
+    blob = ",".join({"a", "b"})         # line 9: DET003
+    total = sum(set(counters.values()))     # line 10: DET003
+    for key in sorted(counters.keys()):     # clean: sorted
+        lines.append(key)
+    return lines, blob, total

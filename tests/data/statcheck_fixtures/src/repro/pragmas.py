@@ -1,0 +1,12 @@
+"""Pragma fixture: per-line ignores, scoped and blanket."""
+import time
+
+
+def boundary():
+    t0 = time.time()  # statcheck: ignore[DET001] CLI-boundary timing
+    print("t0", t0)  # statcheck: ignore
+    return time.time()  # statcheck: ignore[HYG002] wrong code -> still fires
+
+
+def scoped(x=[]):  # statcheck: ignore[HYG001, DET001] multi-code form
+    return x

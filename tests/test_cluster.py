@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SchedulingError
-from repro.cluster.node import ClusterState, GpuNode
+from repro.cluster.node import ClusterState
 from repro.cluster.policy import CoSchedulingPolicy, FcfsPolicy, PolicySelector
 from repro.cluster.scheduler import ClusterScheduler
 from repro.core.actions import ActionCatalog

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import SchedulingError
-from repro.core.actions import ActionCatalog
 from repro.core.env import CoSchedulingEnv
 from repro.profiling.repository import ProfileRepository
 from repro.workloads.jobs import Job

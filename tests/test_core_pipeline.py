@@ -12,7 +12,6 @@ from repro.core.metrics import evaluate_schedule
 from repro.core.optimizer import OnlineOptimizer
 from repro.core.problem import SchedulingProblem
 from repro.core.trainer import OfflineTrainer
-from repro.profiling.repository import ProfileRepository
 from repro.workloads.generator import QueueGenerator, MixCategory
 from repro.workloads.jobs import Job
 from repro.workloads.suite import TRAINING_SET, UNSEEN_SET

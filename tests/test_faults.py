@@ -19,7 +19,6 @@ from repro.cluster import (
     BatchSystem,
     ClusterScheduler,
     ClusterState,
-    CoSchedulingPolicy,
     FcfsPolicy,
     JobState,
     PolicySelector,

@@ -31,7 +31,6 @@ from repro.errors import ReproError, TrainingError
 from repro.insight import (
     AlertConfig,
     AlertEngine,
-    DecisionRecord,
     DecisionRecorder,
     RegretAnalyzer,
     compare_bench,

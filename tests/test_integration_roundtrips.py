@@ -6,7 +6,6 @@ must schedule identically to the original, and exported evaluation
 results must survive persistence.
 """
 
-import numpy as np
 import pytest
 
 from repro.core.actions import ActionCatalog

@@ -1,10 +1,9 @@
 """Property-based tests for partitions, notation, and MIG invariants."""
 
 import hypothesis.strategies as st
-import pytest
 from hypothesis import given, settings
 
-from repro.errors import MigError, PartitionError
+from repro.errors import MigError
 from repro.gpu.arch import A100_40GB
 from repro.gpu.mig import MigManager
 from repro.gpu.partition import (

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.rl.nn import DuelingQNetwork, Linear, ReLU, Sequential
+from repro.rl.nn import DuelingQNetwork, Linear, ReLU
 from repro.rl.optim import SGD, Adam, clip_grad_norm
 
 

@@ -562,7 +562,26 @@ def _cmd_benchgate(args: argparse.Namespace) -> int:
 
     checks = bg.compare_bench(baseline, candidate, tolerance=args.tolerance)
     print(bg.format_checks(checks))
-    if bg.gate_passes(checks):
+
+    serving_checks = []
+    if args.serving_baseline:
+        serving_baseline = bg.load_bench(args.serving_baseline)
+        if args.serving_candidate:
+            serving_candidate = bg.load_bench(args.serving_candidate)
+        else:
+            print("measuring a fresh serving benchmark ...")
+            serving_candidate = bg.measure_serving_bench()
+            if args.serving_out:
+                with open(args.serving_out, "w") as fh:
+                    json.dump(serving_candidate, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"wrote measured serving candidate to {args.serving_out}")
+        serving_checks = bg.compare_serving_bench(
+            serving_baseline, serving_candidate, tolerance=args.tolerance
+        )
+        print(bg.format_checks(serving_checks))
+
+    if bg.gate_passes(checks) and bg.gate_passes(serving_checks):
         print("bench gate: PASS")
         return 0
     print("bench gate: REGRESSED")
@@ -742,6 +761,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 0.15)")
     p.add_argument("--out", metavar="PATH",
                    help="write the measured candidate JSON here")
+    p.add_argument("--serving-baseline", metavar="PATH",
+                   help="also gate the serving benchmark against this "
+                        "baseline (e.g. BENCH_serving.json)")
+    p.add_argument("--serving-candidate", metavar="PATH",
+                   help="serving candidate JSON to compare (default: "
+                        "measure a fresh one in-process)")
+    p.add_argument("--serving-out", metavar="PATH",
+                   help="write the measured serving candidate JSON here")
     p.set_defaults(fn=_cmd_benchgate)
 
     p = sub.add_parser(

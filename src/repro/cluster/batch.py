@@ -30,7 +30,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
-from repro.errors import ReproError, SchedulingError
+from repro.errors import SchedulingError
 from repro.faults import FaultInjector, RetryPolicy
 from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
 from repro.cluster.node import ClusterState
@@ -44,6 +44,8 @@ __all__ = ["JobState", "BatchJob", "BatchSystem"]
 _WAIT_BUCKETS = (
     1.0, 5.0, 15.0, 60.0, 300.0, 900.0, 1800.0, 3600.0, 7200.0, 14400.0,
 )
+#: windows per dispatch round (batched-serving batch size)
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
 
 
 class JobState(enum.Enum):
@@ -185,7 +187,15 @@ class BatchSystem:
     def tick(self, until: float) -> int:
         """Advance the clock to ``until``, dispatching whenever a GPU is
         free and at least ``min_batch`` jobs are pending. Returns how
-        many dispatches happened."""
+        many dispatches happened.
+
+        Each iteration cuts one window per currently-free GPU and
+        schedules the whole round as a batch: co-scheduling windows
+        share one batched serving pass (lockstep inference plus the
+        decision cache) instead of one optimizer call each. Execution
+        and accounting stay per-window; jobs re-queued by a crash join
+        a later round.
+        """
         if until < self.now:
             raise SchedulingError("time cannot run backwards")
         dispatched = 0
@@ -199,13 +209,43 @@ class BatchSystem:
                     and r.end_time <= self.now + 1e-9
                 ):
                     self._complete(r)
-            node = self.cluster.least_loaded()
-            if node.available_at > self.now + 1e-9:
-                break  # every GPU busy beyond the horizon
-            if len(self._pending) < self.min_batch:
+            free_nodes = sorted(
+                (
+                    n for n in self.cluster.nodes
+                    if n.available_at <= self.now + 1e-9
+                ),
+                key=lambda n: n.available_at,
+            )  # stable sort: ties keep cluster order, like least_loaded()
+            if not free_nodes or len(self._pending) < self.min_batch:
                 break
-            self._dispatch(node)
-            dispatched += 1
+            # cut one window per free GPU, earliest-available first
+            cuts: list[tuple] = []
+            for k, node in enumerate(free_nodes):
+                if len(self._pending) < self.min_batch:
+                    break
+                take = min(self.window_size, len(self._pending))
+                ids = self._pending[:take]
+                self._pending = self._pending[take:]
+                window = [self._records[i].job for i in ids]
+                policy = self.selector.select(
+                    queue_depth=len(self._pending) + take,
+                    free_gpus=max(len(free_nodes) - k, 1),
+                )
+                cuts.append((node, ids, window, policy))
+            scheduled = self.selector.schedule_batch(
+                [(window, policy) for _, _, window, policy in cuts]
+            )
+            if self.telemetry.enabled:
+                self.telemetry.observe(
+                    "dispatch_batch_windows",
+                    float(len(cuts)),
+                    buckets=_BATCH_BUCKETS,
+                )
+            for (node, ids, window, policy), (schedule, fell_back) in zip(
+                cuts, scheduled
+            ):
+                self._dispatch(node, ids, policy, schedule, fell_back)
+                dispatched += 1
         return dispatched
 
     def drain(self) -> float:
@@ -236,24 +276,19 @@ class BatchSystem:
         if self.telemetry.enabled:
             self.telemetry.count("jobs_completed_total", 1)
 
-    def _dispatch(self, node) -> None:
-        take = min(self.window_size, len(self._pending))
-        ids = self._pending[:take]
-        self._pending = self._pending[take:]
-        window = [self._records[i].job for i in ids]
-        free = sum(1 for info in self.sinfo() if info["free"])
-        policy = self.selector.select(
-            queue_depth=len(self._pending) + take, free_gpus=max(free, 1)
-        )
-        fell_back = False
-        try:
-            schedule = policy.schedule(window)
-        except ReproError:
-            # graceful degradation: an optimizer failure costs this
-            # window its co-scheduling gain, never the whole drain
+    def _dispatch(
+        self, node, ids: list[str], policy, schedule, fell_back: bool
+    ) -> None:
+        """Execute one already-scheduled window and do its accounting.
+
+        The window was cut and scheduled by :meth:`tick`'s dispatch
+        round (``fell_back`` marks a policy failure that degraded the
+        window to FCFS — graceful degradation costs this window its
+        co-scheduling gain, never the whole drain).
+        """
+        take = len(ids)
+        if fell_back:
             self.fallback_windows += 1
-            fell_back = True
-            schedule = self.selector.fcfs.schedule(window)
         start = max(self.now, node.available_at)
         node.device.clock = start
         if self.telemetry.enabled:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.errors import SchedulingError
+from repro.errors import ReproError, SchedulingError
 from repro.core.optimizer import OnlineOptimizer
 from repro.core.problem import Schedule, ScheduledGroup
 from repro.workloads.jobs import Job
@@ -32,6 +32,10 @@ class FcfsPolicy:
             sched.append(ScheduledGroup.run_solo(job))
         return sched
 
+    def schedule_many(self, windows: list[list[Job]]) -> list[Schedule]:
+        """Batch form; FCFS has no cross-window work to share."""
+        return [self.schedule(w) for w in windows]
+
 
 class CoSchedulingPolicy:
     """The node-local RL optimizer wrapped as a policy."""
@@ -43,6 +47,12 @@ class CoSchedulingPolicy:
 
     def schedule(self, window: list[Job]) -> Schedule:
         return self.optimizer.optimize(window).schedule
+
+    def schedule_many(self, windows: list[list[Job]]) -> list[Schedule]:
+        """Batch form: one serving pass (batched inference + decision
+        cache) covers every window; schedules are bitwise-identical to
+        per-window :meth:`schedule` calls."""
+        return [d.schedule for d in self.optimizer.optimize_many(windows)]
 
 
 @dataclass
@@ -64,3 +74,39 @@ class PolicySelector:
         if queue_depth / free_gpus >= self.crowding_threshold:
             return self.co_scheduling
         return self.fcfs
+
+    def schedule_batch(
+        self, cuts: list[tuple[list[Job], object]]
+    ) -> list[tuple[Schedule, bool]]:
+        """Schedule one dispatch round of ``(window, policy)`` cuts.
+
+        All co-scheduling windows of the round go through the optimizer's
+        batched serving path together (one lockstep inference pass plus
+        the shared decision cache). Failure isolation matches the
+        per-window dispatch loops: if the batched pass raises, each of
+        its windows retries individually, and any window whose policy
+        still raises falls back to FCFS. Returns ``(schedule,
+        fell_back)`` per cut, in cut order.
+        """
+        results: list[tuple[Schedule, bool] | None] = [None] * len(cuts)
+        batched = getattr(self.co_scheduling, "schedule_many", None)
+        co = [
+            i for i, (_, policy) in enumerate(cuts)
+            if policy is self.co_scheduling
+        ]
+        if co and batched is not None:
+            try:
+                schedules = batched([cuts[i][0] for i in co])
+            except ReproError:
+                schedules = None
+            if schedules is not None:
+                for i, schedule in zip(co, schedules):
+                    results[i] = (schedule, False)
+        for i, (window, policy) in enumerate(cuts):
+            if results[i] is not None:
+                continue
+            try:
+                results[i] = (policy.schedule(window), False)
+            except ReproError:
+                results[i] = (self.fcfs.schedule(window), True)
+        return [r for r in results if r is not None]

@@ -26,8 +26,14 @@ corun_cache_disabled`) and serves as the ground truth the fast path is
 * the **fast path** — per-window precomputation (encodings, reward
   tables, profile-derived arrays), a lean local search over those
   tables, predictor memoization, the process-wide co-run cache, and a
-  per-environment step-decision memo. It produces bitwise-identical
-  transitions; one global switch selects between the two.
+  content-keyed step-decision memo (shareable across environments via
+  ``decision_memo``). It produces bitwise-identical transitions; one
+  global switch selects between the two.
+
+Windows are drained in **serving-canonical order** (sorted by profile
+signature; see :mod:`repro.core.serving`) on both paths, which makes
+every decision a pure function of window *content* — the invariant the
+decision memo and the fleet-level ``DecisionCache`` key on.
 """
 
 from __future__ import annotations
@@ -53,6 +59,7 @@ from repro.core.rewards import (
     group_reward,
     intermediate_reward,
 )
+from repro.core.serving import canonical_order, profile_signature
 from repro.perfmodel.cache import CoRunCache, corun_caching_enabled
 from repro.profiling.profiler import JobProfile
 from repro.profiling.repository import ProfileRepository
@@ -279,7 +286,8 @@ class CoSchedulingEnv(Env):
         binding: str = "auto",
         memoize_decisions: bool = True,
         decision_cache_size: int = 32768,
-        window_context_cache: dict[int, "_WindowContext"] | None = None,
+        window_context_cache: dict[tuple, "_WindowContext"] | None = None,
+        decision_memo: CoRunCache | None = None,
     ):
         if binding not in ("auto", "optimal", "conflict"):
             raise SchedulingError(
@@ -309,22 +317,35 @@ class CoSchedulingEnv(Env):
         self._episode = -1
 
         # Fast-path state. Everything the step computation derives from
-        # (window index, availability set, action) is deterministic, so
-        # repeated decisions over the fixed window set are memoized:
-        # a cached entry replays the exact (binding, rewards, group)
-        # triple the reference computation would produce. The whole fast
-        # path — decision memo, window contexts, reward tables — is
-        # bypassed whenever global co-run caching is disabled, so one
+        # (window content, availability set, action) is deterministic,
+        # so repeated decisions over equivalent windows are memoized: a
+        # cached entry replays the exact (binding, rewards, group)
+        # triple the reference computation would produce. Keys are the
+        # window's canonical profile signatures — content, not index —
+        # so two windows holding profile-identical jobs (in any
+        # submission order, in any environment sharing the memo via
+        # ``decision_memo``) reuse each other's decisions. The whole
+        # fast path — decision memo, window contexts, reward tables —
+        # is bypassed whenever global co-run caching is disabled, so one
         # switch selects reference vs. fast semantics for a whole
         # episode (the mode is latched at reset()).
         self.memoize_decisions = memoize_decisions
-        self._decisions = CoRunCache(maxsize=decision_cache_size)
-        # An externally-owned cache (keyed by window index) lets a
-        # trainer share the per-window precomputation across the many
-        # short-lived environments it builds over one fixed window set.
-        self._window_cache: dict[int, _WindowContext] = (
+        self._decisions = (
+            decision_memo
+            if decision_memo is not None
+            else CoRunCache(maxsize=decision_cache_size)
+        )
+        # An externally-owned cache (keyed by window content signature)
+        # lets a trainer share the per-window precomputation across the
+        # many short-lived environments it builds over one window set.
+        self._window_cache: dict[tuple, _WindowContext] = (
             {} if window_context_cache is None else window_context_cache
         )
+        # Canonical per-window ordering (see repro.core.serving): jobs,
+        # profiles, and content signatures, memoized per window index.
+        self._canonical: dict[
+            int, tuple[list[Job], list[JobProfile], tuple]
+        ] = {}
         self._action_infos: list[_ActionInfo | None] = [None] * catalog.n_actions
         self._window_idx = -1
         self._fast = False
@@ -332,6 +353,7 @@ class CoSchedulingEnv(Env):
         # per-episode state
         self._jobs: list[Job] = []
         self._profiles: list[JobProfile] = []
+        self._sigs: tuple = ()
         self._available: list[bool] = []
         self._stats: WindowStats | None = None
         self._ctx: _WindowContext | None = None
@@ -339,7 +361,8 @@ class CoSchedulingEnv(Env):
 
     @property
     def decision_cache(self) -> CoRunCache:
-        """The per-environment step-decision memo (for diagnostics)."""
+        """The step-decision memo (per-environment unless an external
+        ``decision_memo`` was injected; for diagnostics)."""
         return self._decisions
 
     # ------------------------------------------------------------------
@@ -365,24 +388,49 @@ class CoSchedulingEnv(Env):
         else:
             idx = self._episode % len(self.windows)
         self._window_idx = idx
-        self._jobs = list(self.windows[idx])
+        jobs, profiles, sigs = self._canonical_window(idx)
+        self._jobs = list(jobs)
+        self._profiles = profiles
+        self._sigs = sigs
         self._fast = self.memoize_decisions and corun_caching_enabled()
         if self._fast:
-            ctx = self._window_cache.get(idx)
+            ctx = self._window_cache.get(sigs)
             if ctx is None:
-                profiles = [self.repository.lookup(j) for j in self._jobs]
                 ctx = _WindowContext(profiles, self.extractor)
-                self._window_cache[idx] = ctx
+                self._window_cache[sigs] = ctx
             self._ctx = ctx
-            self._profiles = ctx.profiles
             self._stats = ctx.stats
         else:
             self._ctx = None
-            self._profiles = [self.repository.lookup(j) for j in self._jobs]
             self._stats = WindowStats.from_profiles(self._profiles)
         self._available = [True] * len(self._jobs)
         self._schedule = Schedule(method="MIG+MPS w/ RL")
         return self._observe(), self._info()
+
+    def _canonical_window(
+        self, idx: int
+    ) -> tuple[list[Job], list[JobProfile], tuple]:
+        """The window in serving-canonical order, with content signatures.
+
+        Both step implementations drain windows in this order (sorted by
+        profile signature, queue index breaking ties), so every
+        order-dependent computation — assignment tie-breaks, local-search
+        trajectories, float summation in the window statistics — runs
+        identically for any submission permutation of the same job set.
+        That is the property the content-keyed decision memo and the
+        fleet-level :class:`~repro.core.serving.DecisionCache` rely on.
+        """
+        entry = self._canonical.get(idx)
+        if entry is None:
+            raw = self.windows[idx]
+            profiles = [self.repository.lookup(j) for j in raw]
+            order = canonical_order(profiles)
+            jobs = [raw[i] for i in order]
+            profiles = [profiles[i] for i in order]
+            sigs = tuple(profile_signature(p) for p in profiles)
+            entry = (jobs, profiles, sigs)
+            self._canonical[idx] = entry
+        return entry
 
     def _observe(self) -> np.ndarray:
         if self._ctx is not None:
@@ -560,7 +608,14 @@ class CoSchedulingEnv(Env):
                 f"invalid with {self._n_remaining()} jobs remaining"
             )
         if self._fast:
-            memo_key = (self._window_idx, tuple(self._available), action)
+            # Content-addressed and job-order-invariant: the window's
+            # canonical profile signatures (not its index) plus the
+            # availability set, the action, and the binding mode — only
+            # state the decision actually depends on, shareable across
+            # environments and window permutations.
+            memo_key = (
+                self._sigs, tuple(self._available), action, self.binding
+            )
             decision = self._decisions.get(memo_key)
             if decision is None:
                 decision = self._decide_fast(action)
@@ -568,6 +623,18 @@ class CoSchedulingEnv(Env):
                 # shared by every schedule that replays this decision.
                 self._decisions.put(memo_key, decision)
             chosen, r_is, group = decision
+            if any(
+                a is not b
+                for a, b in zip(group.jobs, (self._jobs[i] for i in chosen))
+            ):
+                # The entry came from a profile-identical window holding
+                # different job objects: rebuild the group around this
+                # window's jobs. The co-run evaluation replays through
+                # the process-wide cache, so every float is identical.
+                group = ScheduledGroup.run(
+                    [self._jobs[i] for i in chosen], group.partition
+                )
+                self._decisions.put(memo_key, (chosen, r_is, group))
         else:
             variant = self.catalog.variant(action)
             candidates = [i for i, a in enumerate(self._available) if a]

@@ -1,0 +1,189 @@
+"""Fleet-level serving fast path: canonical window signatures and the
+whole-window decision cache.
+
+The online optimizer's decision for a window is a pure function of
+
+* the *content* of the window's job profiles (not their queue order —
+  the encoder sorts the window canonically, and the binders/predictor
+  see profiles, never queue positions), and
+* the serving policy (frozen agent weights, catalog, rerank depth).
+
+That makes whole decisions memoizable one level above the co-run cache:
+two windows holding profile-identical jobs — anywhere in the fleet, in
+any submission order — resolve to the same schedule, so the second one
+can replay the first one's plan without touching the Q-network.
+
+Three pieces implement this:
+
+* :func:`profile_signature` / :func:`window_signature` — canonical,
+  order-invariant keys over profile content. Profiles are frozen and
+  long-lived (the repository owns them), so signatures are memoized by
+  object identity like the kernel/partition signatures in
+  :mod:`repro.perfmodel.cache`.
+* :func:`canonical_order` — the single job ordering both the reference
+  and the fast serving path drain a window in (sorted by profile
+  signature, queue index as the tie-break). Ordering at one shared
+  point is what makes the memoization *bitwise* safe: assignment
+  tie-breaks and float summation order are position-dependent, so
+  permuted duplicates must be re-ordered identically before any
+  arithmetic runs.
+* :class:`SchedulePlan` / :class:`DecisionCache` — a plan stores the
+  decision as (canonical positions, partition tree) per group; replaying
+  it re-runs each group through the process-wide co-run cache, so the
+  materialized schedule carries the identical floats the full decision
+  loop would have produced, bound to the *new* window's job objects.
+
+``DecisionCache`` rides on the bounded-LRU :class:`CoRunCache`
+machinery (same eviction policy, same hit/miss accounting), so fleets
+with unbounded window diversity cannot grow memory forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchedulingError
+from repro.gpu.partition import PartitionTree
+from repro.perfmodel.cache import CoRunCache, partition_signature
+from repro.profiling.profiler import JobProfile
+from repro.core.problem import Schedule, ScheduledGroup
+from repro.workloads.jobs import Job
+
+__all__ = [
+    "profile_signature",
+    "window_signature",
+    "canonical_order",
+    "SchedulePlan",
+    "DecisionCache",
+    "schedule_fingerprint",
+    "DEFAULT_DECISION_CACHE_SIZE",
+]
+
+#: Default bound of a fleet-level decision cache (entries). One entry
+#: per distinct window signature; plans are a few tuples each.
+DEFAULT_DECISION_CACHE_SIZE = 16384
+
+#: Signature memo keyed by profile object identity (profiles are frozen
+#: dataclasses held by the repository, so the id stays valid for the
+#: value's lifetime; the value keeps a strong reference to the profile).
+_PROFILE_SIG_MEMO: dict[int, tuple] = {}
+_SIG_MEMO_LIMIT = 65536
+
+
+def profile_signature(profile: JobProfile) -> tuple:
+    """Canonical key for one job's schedulable content.
+
+    Covers everything the serving path may consult about a job: the
+    benchmark name (which also keys the kernel model the simulator
+    executes), both solo timings, and the full Table III counter vector.
+    Two jobs with equal signatures are value-interchangeable in every
+    decision computation.
+    """
+    key = id(profile)
+    hit = _PROFILE_SIG_MEMO.get(key)
+    if hit is not None and hit[0] is profile:
+        return hit[1]
+    sig = (
+        profile.benchmark_name,
+        profile.solo_time,
+        profile.one_gpc_time,
+        tuple(profile.counters.as_vector().tolist()),
+    )
+    if len(_PROFILE_SIG_MEMO) >= _SIG_MEMO_LIMIT:
+        _PROFILE_SIG_MEMO.clear()
+    _PROFILE_SIG_MEMO[key] = (profile, sig)
+    return sig
+
+
+def canonical_order(profiles: list[JobProfile]) -> list[int]:
+    """The serving-canonical permutation of a window.
+
+    Jobs sort by profile signature; ties (profile-identical jobs) keep
+    queue order. Every path that drains a window — reference and fast,
+    memoized or not — reorders through this one function, so permuted
+    submissions of the same job set run the identical float program.
+    """
+    sigs = [profile_signature(p) for p in profiles]
+    return sorted(range(len(profiles)), key=lambda i: (sigs[i], i))
+
+
+def window_signature(profiles: list[JobProfile]) -> tuple:
+    """Order-invariant key of a window's content: sorted job signatures."""
+    return tuple(sorted(profile_signature(p) for p in profiles))
+
+
+@dataclass(frozen=True)
+class SchedulePlan:
+    """A window decision in replayable form.
+
+    ``groups`` holds one ``(positions, partition)`` entry per scheduled
+    group, in emission order, where positions index into the window's
+    *canonically ordered* job list. The plan deliberately stores no
+    :class:`~repro.core.problem.ScheduledGroup` instances — those carry
+    job objects, which differ between profile-identical windows.
+    """
+
+    groups: tuple[tuple[tuple[int, ...], PartitionTree], ...]
+
+    @classmethod
+    def from_groups(
+        cls, groups: list[ScheduledGroup], jobs_canonical: list[Job]
+    ) -> "SchedulePlan":
+        """Capture a finished decision over a canonically ordered window."""
+        pos_of = {job.job_id: i for i, job in enumerate(jobs_canonical)}
+        try:
+            entries = tuple(
+                (tuple(pos_of[j.job_id] for j in g.jobs), g.partition)
+                for g in groups
+            )
+        except KeyError as exc:  # a group references a foreign job
+            raise SchedulingError(
+                f"schedule references job {exc} outside the window"
+            ) from exc
+        return cls(groups=entries)
+
+    def materialize(self, jobs_canonical: list[Job]) -> list[ScheduledGroup]:
+        """Replay the plan onto a (possibly different) window's jobs.
+
+        Each group re-runs through :meth:`ScheduledGroup.run`, i.e. the
+        process-wide co-run cache — profile-identical jobs share kernel
+        models, so the returned groups carry bitwise-identical timings.
+        """
+        return [
+            ScheduledGroup.run([jobs_canonical[p] for p in positions], tree)
+            for positions, tree in self.groups
+        ]
+
+
+class DecisionCache(CoRunCache):
+    """Bounded LRU over whole-window :class:`SchedulePlan` entries.
+
+    Key entries on ``(window_signature, policy_signature)`` — the
+    optimizer supplies both — and share one instance across every
+    optimizer serving the *same frozen policy* (node-local or
+    fleet-wide). Optimizers with different agents/catalogs must not
+    share an instance: a plan replays the policy that produced it.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_DECISION_CACHE_SIZE) -> None:
+        super().__init__(maxsize=maxsize)
+
+
+def schedule_fingerprint(schedule: Schedule) -> tuple:
+    """A comparable digest of a schedule's observable outcome.
+
+    Per group: the member job ids, the partition layout, and the exact
+    co-run/solo floats. Two schedules with equal fingerprints are
+    bitwise-identical in every quantity the evaluation reads — this is
+    what the serving identity tests compare across paths.
+    """
+    return tuple(
+        (
+            tuple(j.job_id for j in g.jobs),
+            tuple(j.benchmark_name for j in g.jobs),
+            partition_signature(g.partition),
+            g.corun_time,
+            g.solo_run_time,
+        )
+        for g in schedule.groups
+    )

@@ -29,7 +29,7 @@ from repro.core.rewards import RewardConfig
 from repro.core.vector_env import VectorCoSchedulingEnv
 from repro.gpu.arch import A100_40GB, GpuSpec
 from repro.gpu.device import SimulatedGpu
-from repro.perfmodel.cache import CacheStats, corun_cache
+from repro.perfmodel.cache import CacheStats, CoRunCache, corun_cache
 from repro.profiling.profiler import NsightProfiler
 from repro.profiling.repository import ProfileRepository
 from repro.rl.dqn import DQNConfig, DuelingDoubleDQNAgent
@@ -48,8 +48,9 @@ class TrainingResult:
     ``cache_stats`` reports the fast path's effectiveness over this
     training run: ``"corun"`` is the process-wide
     :class:`~repro.perfmodel.cache.CoRunCache` delta (hits / misses /
-    evictions attributable to the run), ``"decisions"`` the
-    environment-level step-decision memo.
+    evictions attributable to the run), ``"decisions"`` the delta of the
+    trainer-owned step-decision memo shared by every environment the
+    trainer builds.
     """
 
     agent: DuelingDoubleDQNAgent
@@ -110,6 +111,11 @@ class OfflineTrainer:
         # lifetime avoids rebuilding the per-window tables every call.
         self._ctx_repo: ProfileRepository | None = None
         self._ctx_cache: dict = {}
+        # One step-decision memo shared by every environment the trainer
+        # builds: keys are content signatures (not queue positions), so
+        # later train() calls and vectorized sub-envs all reuse earlier
+        # decisions instead of each warming a private memo from zero.
+        self._decision_memo = CoRunCache(maxsize=32768)
 
     # ------------------------------------------------------------------
     def build_repository(self) -> ProfileRepository:
@@ -154,6 +160,7 @@ class OfflineTrainer:
             seed=self.seed if env_seed is None else env_seed,
             binding=self.binding,
             window_context_cache=self._ctx_cache,
+            decision_memo=self._decision_memo,
         )
 
     # ------------------------------------------------------------------
@@ -170,6 +177,7 @@ class OfflineTrainer:
         agent = DuelingDoubleDQNAgent(self.dqn_config)
         result = TrainingResult(agent=agent, repository=repo)
         corun_before = corun_cache().stats
+        decisions_before = self._decision_memo.stats
         self._losses_recorded = 0
 
         for ep_idx in range(episodes):
@@ -218,7 +226,7 @@ class OfflineTrainer:
                 )
         result.cache_stats = {
             "corun": corun_cache().stats.delta(corun_before),
-            "decisions": env.decision_cache.stats,
+            "decisions": self._decision_memo.stats.delta(decisions_before),
         }
         if self.telemetry.enabled:
             self._record_cache_stats(result.cache_stats)
@@ -307,6 +315,7 @@ class OfflineTrainer:
         agent = DuelingDoubleDQNAgent(self.dqn_config)
         result = TrainingResult(agent=agent, repository=repo)
         corun_before = corun_cache().stats
+        decisions_before = self._decision_memo.stats
         self._losses_recorded = 0
 
         obs, infos = venv.reset()
@@ -347,16 +356,9 @@ class OfflineTrainer:
                 ep_returns[i] = 0.0
             obs = next_obs
             masks = venv.action_masks(infos)
-        per_env = [env.decision_cache.stats for env in venv.envs]
         result.cache_stats = {
             "corun": corun_cache().stats.delta(corun_before),
-            "decisions": CacheStats(
-                hits=sum(s.hits for s in per_env),
-                misses=sum(s.misses for s in per_env),
-                evictions=sum(s.evictions for s in per_env),
-                size=sum(s.size for s in per_env),
-                maxsize=per_env[0].maxsize,
-            ),
+            "decisions": self._decision_memo.stats.delta(decisions_before),
         }
         if self.telemetry.enabled:
             self._record_cache_stats(result.cache_stats)

@@ -1,12 +1,14 @@
 """Bench-regression gate: diff a fresh benchmark against the baseline.
 
-The perf suite (``benchmarks/test_perf_training.py``) writes its
-measurements to ``BENCH_training.json``; this module compares such a
-document against the committed baseline with per-metric tolerance
-bands and reports which checks regressed — the ``repro-gpu benchgate``
-CLI exits non-zero on any regression, which is what CI gates on.
+The perf suites write their measurements to committed baselines
+(``benchmarks/test_perf_training.py`` -> ``BENCH_training.json``,
+``benchmarks/test_perf_serving.py`` -> ``BENCH_serving.json``); this
+module compares such a document against the committed baseline with
+per-metric tolerance bands and reports which checks regressed — the
+``repro-gpu benchgate`` CLI exits non-zero on any regression, which is
+what CI gates on.
 
-Checked metrics (all "higher is better"):
+Training metrics (all "higher is better"):
 
 * ``speedup.episodes_per_sec_fastpath`` — fast-path training throughput
 * ``speedup.speedup``                   — fast-path / reference ratio
@@ -14,14 +16,24 @@ Checked metrics (all "higher is better"):
 * ``speedup.identical_returns``          — must stay ``true`` (the
   fast path's bitwise-identity contract; no tolerance band)
 
-A candidate value ``c`` regresses against baseline ``b`` when
-``c < b * (1 - tolerance)``. Default tolerance is 0.15 per metric; CI
+Serving metrics:
+
+* ``serving.decisions_per_sec_batched`` / ``serving.speedup`` —
+  higher-is-better throughput of the batched serving path
+* ``serving.p99_decision_latency_s``    — *lower is better*: a
+  candidate regresses when it exceeds the baseline's band
+* ``serving.identical_schedules``       — must stay ``true`` (batched
+  serving's bitwise-identity contract)
+
+A higher-is-better value ``c`` regresses against baseline ``b`` when
+``c < b * (1 - tolerance)``; a lower-is-better value when
+``c > b * (1 + tolerance)``. Default tolerance is 0.15 per metric; CI
 uses a much looser band (shared runners are noisy) via ``--tolerance``.
 
-:func:`measure_training_bench` regenerates a candidate document with
-the same schema without going through pytest — a cheap smoke
-measurement for CI (smaller episode budget, fewer timed runs, no
-hard speedup assertion).
+:func:`measure_training_bench` / :func:`measure_serving_bench`
+regenerate candidate documents with the committed schemas without going
+through pytest — cheap smoke measurements for CI (smaller budgets, no
+hard threshold assertions; the tolerance band does the judging).
 """
 
 from __future__ import annotations
@@ -37,11 +49,16 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "RATIO_CHECKS",
     "BOOL_CHECKS",
+    "SERVING_RATIO_CHECKS",
+    "SERVING_LOWER_CHECKS",
+    "SERVING_BOOL_CHECKS",
     "load_bench",
     "compare_bench",
+    "compare_serving_bench",
     "gate_passes",
     "format_checks",
     "measure_training_bench",
+    "measure_serving_bench",
 ]
 
 DEFAULT_TOLERANCE = 0.15
@@ -55,6 +72,18 @@ RATIO_CHECKS = (
 
 #: dotted keys that must be exactly true in the candidate
 BOOL_CHECKS = ("speedup.identical_returns",)
+
+#: serving-document keys, higher-is-better
+SERVING_RATIO_CHECKS = (
+    "serving.decisions_per_sec_batched",
+    "serving.speedup",
+)
+
+#: serving-document keys, lower-is-better (latency)
+SERVING_LOWER_CHECKS = ("serving.p99_decision_latency_s",)
+
+#: serving-document keys that must be exactly true in the candidate
+SERVING_BOOL_CHECKS = ("serving.identical_schedules",)
 
 
 @dataclass(frozen=True)
@@ -84,14 +113,24 @@ def load_bench(path) -> dict:
 
 
 def compare_bench(
-    baseline: dict, candidate: dict, tolerance: float | None = None
+    baseline: dict,
+    candidate: dict,
+    tolerance: float | None = None,
+    *,
+    ratio_checks: tuple[str, ...] = RATIO_CHECKS,
+    bool_checks: tuple[str, ...] = BOOL_CHECKS,
+    lower_checks: tuple[str, ...] = (),
 ) -> list[GateCheck]:
-    """Every gate check, in declaration order."""
+    """Every gate check, in declaration order.
+
+    ``ratio_checks`` are higher-is-better, ``lower_checks`` (e.g. tail
+    latencies) lower-is-better, ``bool_checks`` must be exactly true.
+    """
     tol = DEFAULT_TOLERANCE if tolerance is None else tolerance
     if tol < 0:
         raise ReproError("tolerance must be non-negative")
     checks: list[GateCheck] = []
-    for key in RATIO_CHECKS:
+    for key in ratio_checks:
         b = float(_lookup(baseline, key))
         c = float(_lookup(candidate, key))
         ratio = c / b if b > 0 else float("inf")
@@ -103,7 +142,19 @@ def compare_bench(
             tolerance=tol,
             regressed=c < b * (1.0 - tol),
         ))
-    for key in BOOL_CHECKS:
+    for key in lower_checks:
+        b = float(_lookup(baseline, key))
+        c = float(_lookup(candidate, key))
+        ratio = c / b if b > 0 else float("inf")
+        checks.append(GateCheck(
+            key=key,
+            baseline=b,
+            candidate=c,
+            ratio=ratio,
+            tolerance=tol,
+            regressed=c > b * (1.0 + tol),
+        ))
+    for key in bool_checks:
         b = bool(_lookup(baseline, key))
         c = bool(_lookup(candidate, key))
         checks.append(GateCheck(
@@ -115,6 +166,20 @@ def compare_bench(
             regressed=not c,
         ))
     return checks
+
+
+def compare_serving_bench(
+    baseline: dict, candidate: dict, tolerance: float | None = None
+) -> list[GateCheck]:
+    """The serving-document gate (``BENCH_serving.json`` schema)."""
+    return compare_bench(
+        baseline,
+        candidate,
+        tolerance,
+        ratio_checks=SERVING_RATIO_CHECKS,
+        bool_checks=SERVING_BOOL_CHECKS,
+        lower_checks=SERVING_LOWER_CHECKS,
+    )
 
 
 def gate_passes(checks: list[GateCheck]) -> bool:
@@ -237,5 +302,143 @@ def measure_training_bench(
             "measured_after_episode": warmup,
             "policy": "greedy",
             "corun_cache_tail": tail.to_dict(),
+        },
+    }
+
+
+def measure_serving_bench(
+    episodes: int = 20,
+    n_windows: int = 64,
+    distinct_windows: int = 8,
+    batch_size: int = 16,
+    timed_runs: int = 3,
+    seed: int = 7,
+    clock: Clock = perf_clock,
+) -> dict:
+    """A fresh serving benchmark document (``BENCH_serving.json`` schema).
+
+    Trains a small agent, then serves a stream of ``n_windows`` windows
+    drawn from ``distinct_windows`` distinct contents (fresh job
+    submissions in permuted order — the fleet-serving shape: many
+    nodes, few distinct workloads) through both paths: the per-window
+    reference loop (:meth:`~repro.core.optimizer.OnlineOptimizer.optimize`
+    per window, no decision cache) and the batched path
+    (:meth:`~repro.core.optimizer.OnlineOptimizer.optimize_many` in
+    chunks of ``batch_size`` with a
+    :class:`~repro.core.serving.DecisionCache`). Reports best-of
+    throughputs, the batched path's p50/p99 per-window decision
+    latency, decision-cache statistics, and whether every schedule came
+    out bitwise-identical across the two paths. Makes no threshold
+    assertion itself — the gate's tolerance band does the judging.
+    """
+    import numpy as np
+
+    from repro.core.optimizer import OnlineOptimizer
+    from repro.core.serving import DecisionCache, schedule_fingerprint
+    from repro.core.trainer import OfflineTrainer
+    from repro.workloads.generator import QueueGenerator
+    from repro.workloads.jobs import Job
+
+    if episodes <= 0 or timed_runs <= 0:
+        raise ReproError("episodes and timed_runs must be positive")
+    if min(n_windows, distinct_windows, batch_size) <= 0:
+        raise ReproError("serving bench sizes must be positive")
+
+    trainer = OfflineTrainer(
+        window_size=6,
+        c_max=3,
+        n_training_queues=4,
+        seed=seed,
+        dqn_overrides={
+            "hidden": (64, 32),
+            "warmup_transitions": 32,
+            "batch_size": 16,
+            "epsilon_decay_rate": 0.98,
+        },
+    )
+    result = trainer.train(episodes=episodes)
+    repository = result.repository
+
+    gen = QueueGenerator(seed=seed + 1, training_only=True)
+    pool = [
+        q.window(trainer.window_size)
+        for q in gen.training_queues(
+            n=distinct_windows, w=trainer.window_size
+        )
+    ]
+    rng = np.random.default_rng(seed)
+    stream: list[list[Job]] = []
+    for i in range(n_windows):
+        base = pool[i % distinct_windows]
+        stream.append([
+            Job.submit(base[j].benchmark_name)
+            for j in rng.permutation(len(base))
+        ])
+
+    def make_optimizer(cache):
+        return OnlineOptimizer(
+            result.agent,
+            repository,
+            trainer.catalog,
+            trainer.window_size,
+            reward_config=trainer.reward_config,
+            clock=clock,
+            decision_cache=cache,
+        )
+
+    opt_ref = make_optimizer(None)
+    cache = DecisionCache()
+    opt_fast = make_optimizer(cache)
+    chunks = [
+        stream[i:i + batch_size]
+        for i in range(0, n_windows, batch_size)
+    ]
+
+    # warm-up pass doubling as the identity check: the same stream
+    # through both paths, compared group by group, float by float
+    # (this pass exercises the cold-miss and intra-batch-duplicate
+    # serving branches; the timed passes below run cache-warm)
+    ref_decisions = [opt_ref.optimize(w) for w in stream]
+    fast_decisions = [
+        d for chunk in chunks for d in opt_fast.optimize_many(chunk)
+    ]
+    identical = all(
+        schedule_fingerprint(r.schedule) == schedule_fingerprint(f.schedule)
+        for r, f in zip(ref_decisions, fast_decisions)
+    )
+
+    ref_times: list[float] = []
+    fast_times: list[float] = []
+    latencies: list[float] = []
+    for _ in range(timed_runs):
+        t0 = clock()
+        for w in stream:
+            opt_ref.optimize(w)
+        ref_times.append(clock() - t0)
+        t0 = clock()
+        run_decisions = [
+            d for chunk in chunks for d in opt_fast.optimize_many(chunk)
+        ]
+        fast_times.append(clock() - t0)
+        latencies = [d.decision_seconds for d in run_decisions]
+
+    best_ref = max(min(ref_times), 1e-12)
+    best_fast = max(min(fast_times), 1e-12)
+    lat = np.asarray(latencies, dtype=np.float64)
+    return {
+        "serving": {
+            "n_windows": n_windows,
+            "distinct_windows": distinct_windows,
+            "batch_size": batch_size,
+            "timed_runs": timed_runs,
+            "reference_times_s": ref_times,
+            "batched_times_s": fast_times,
+            "decisions_per_sec_reference": n_windows / best_ref,
+            "decisions_per_sec_batched": n_windows / best_fast,
+            "speedup": best_ref / best_fast,
+            "p50_decision_latency_s": float(np.quantile(lat, 0.50)),
+            "p99_decision_latency_s": float(np.quantile(lat, 0.99)),
+            "decision_cache": cache.stats.to_dict(),
+            "identical_schedules": bool(identical),
         },
     }

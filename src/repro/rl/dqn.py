@@ -115,6 +115,21 @@ class DuelingDoubleDQNAgent:
         """Online-network Q-values for a single state, shape ``(A,)``."""
         return self.online.infer(np.atleast_2d(state))[0]
 
+    def q_values_many(self, states: np.ndarray) -> np.ndarray:
+        """Online-network Q-values for stacked states, shape ``(B, A)``.
+
+        One forward call serves every row — this is the serving-path
+        analogue of :meth:`act_many`: ``B`` concurrent windows share one
+        call's Python/dispatch overhead. Row ``i`` is bitwise-identical
+        to ``q_values(states[i])``, which the serving identity tests
+        pin; that guarantee comes from :meth:`DuelingQNetwork.infer_rows`
+        (batch-size-invariant matmul shapes), not from BLAS. Pure
+        inference — consumes no RNG, advances no counters.
+        """
+        return self.online.infer_rows(
+            np.atleast_2d(np.asarray(states, dtype=np.float64))
+        )
+
     def q_decomposition(
         self, state: np.ndarray
     ) -> tuple[np.ndarray, float, np.ndarray]:
@@ -154,9 +169,13 @@ class DuelingDoubleDQNAgent:
 
         One network forward serves the whole batch — this is what makes
         vectorized rollouts pay: with ``B`` synchronous environments the
-        per-step NN cost is amortized ``B``-fold. All ``B`` states share
-        the current epsilon (they are concurrent, not sequential,
-        decisions); ``env_steps`` advances by ``B``.
+        per-step Python/dispatch overhead is amortized ``B``-fold. The
+        forward goes through the batch-size-invariant
+        :meth:`DuelingQNetwork.infer_rows`, so the greedy action for row
+        ``i`` is bit-for-bit the one :meth:`act` would pick for
+        ``states[i]``. All ``B`` states share the current epsilon (they
+        are concurrent, not sequential, decisions); ``env_steps``
+        advances by ``B``.
         """
         states = np.atleast_2d(np.asarray(states, dtype=np.float64))
         b = states.shape[0]
@@ -170,7 +189,7 @@ class DuelingDoubleDQNAgent:
             raise TrainingError("no valid action available")
         eps = self.epsilon
         self.env_steps += b
-        q = self.online.infer(states)
+        q = self.online.infer_rows(states)
         actions = np.argmax(np.where(masks, q, _NEG_INF), axis=1)
         explore = self._rng.random(b) < eps
         for i in np.flatnonzero(explore):

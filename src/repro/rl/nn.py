@@ -213,6 +213,14 @@ class DuelingQNetwork(Module):
         per-layer input caching and module dispatch, which dominate the
         cost of single-row act-time forwards. Safe wherever no
         ``backward`` will follow (action selection, target evaluation).
+
+        ``x`` may be a single row or a ``(B, n_inputs)`` stack: every
+        operation is a 2-D batched matmul / elementwise map, so one call
+        serves ``B`` concurrent decisions. Rows never mix semantically
+        (the dueling mean reduces over the action axis only), but BLAS
+        GEMM rounding depends on the matrix shape, so row ``i`` of a
+        batched call can drift from the single-row result in the last
+        ulp. Use :meth:`infer_rows` where bitwise row identity matters.
         """
         h = np.atleast_2d(np.asarray(x, dtype=np.float64))
         for m in self.trunk.modules:
@@ -224,6 +232,38 @@ class DuelingQNetwork(Module):
         if not self.dueling:
             return a
         v = h @ self.value_head.weight.value + self.value_head.bias.value
+        return v + a - a.mean(axis=1, keepdims=True)
+
+    def infer_rows(self, x: np.ndarray) -> np.ndarray:
+        """Batch-size-invariant inference: the serving-path forward.
+
+        Row ``i`` of the result is bitwise-identical to
+        ``infer(x[i])`` for *every* batch size — the replay guarantee
+        the serving decision cache is keyed on. A plain ``(B, K)``
+        matmul cannot provide it: BLAS picks different GEMM blockings
+        for different row counts, so batched rows drift from the
+        single-row result in the last ulp. Here every matmul runs in
+        the exact ``(1, K)`` shape of a single-row call while the
+        elementwise stages (bias, ReLU, dueling combine) stay batched,
+        trading peak GEMM throughput for bitwise replay.
+        """
+        h = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        b = h.shape[0]
+        if b == 1:
+            return self.infer(h)
+
+        def rows(m: np.ndarray, w: np.ndarray) -> np.ndarray:
+            return np.concatenate([m[i : i + 1] @ w for i in range(b)])
+
+        for mod in self.trunk.modules:
+            if isinstance(mod, Linear):
+                h = rows(h, mod.weight.value) + mod.bias.value
+            else:  # ReLU
+                h = np.where(h > 0, h, 0.0)
+        a = rows(h, self.advantage_head.weight.value) + self.advantage_head.bias.value
+        if not self.dueling:
+            return a
+        v = rows(h, self.value_head.weight.value) + self.value_head.bias.value
         return v + a - a.mean(axis=1, keepdims=True)
 
     def infer_decomposed(

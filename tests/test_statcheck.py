@@ -254,9 +254,12 @@ def test_live_tree_checks_the_whole_library():
 # determinism pins: the lint-driven refactors changed no seeded output
 # ----------------------------------------------------------------------
 def test_seeded_training_document_pinned():
-    """The clock/hygiene refactors must not move a single bit of the
-    seeded training run (same parameters as the session fixture, but a
-    fresh run: the shared fixture's agent is mutated by other tests)."""
+    """A seeded training run is bit-stable (same parameters as the
+    session fixture, but a fresh run: the shared fixture's agent is
+    mutated by other tests). Re-pin only for *intentional* trajectory
+    changes — last moved when the serving fast path made the env
+    canonicalize window order at reset (the basis of its order-invariant
+    decision cache), which reorders observation rows."""
     from repro.core.trainer import OfflineTrainer
 
     trainer = OfflineTrainer(
@@ -279,7 +282,7 @@ def test_seeded_training_document_pinned():
     }
     blob = json.dumps(doc, sort_keys=True)
     assert hashlib.sha256(blob.encode()).hexdigest() == (
-        "c79bf60955b2ba56bfc967dce3f90d87efefd14954c50b603ebab2473c3df5dd"
+        "2a3cbb7fd94463b11d70e4805a868d5f35d5c26a265a52badf6b6110bc3a4645"
     )
 
 

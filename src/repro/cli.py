@@ -581,7 +581,29 @@ def _cmd_benchgate(args: argparse.Namespace) -> int:
         )
         print(bg.format_checks(serving_checks))
 
-    if bg.gate_passes(checks) and bg.gate_passes(serving_checks):
+    fleet_checks = []
+    if args.fleet_baseline:
+        fleet_baseline = bg.load_bench(args.fleet_baseline)
+        if args.fleet_candidate:
+            fleet_candidate = bg.load_bench(args.fleet_candidate)
+        else:
+            print("measuring a fresh fleet benchmark ...")
+            fleet_candidate = bg.measure_fleet_bench()
+            if args.fleet_out:
+                with open(args.fleet_out, "w") as fh:
+                    json.dump(fleet_candidate, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(f"wrote measured fleet candidate to {args.fleet_out}")
+        fleet_checks = bg.compare_fleet_bench(
+            fleet_baseline, fleet_candidate, tolerance=args.tolerance
+        )
+        print(bg.format_checks(fleet_checks))
+
+    if (
+        bg.gate_passes(checks)
+        and bg.gate_passes(serving_checks)
+        and bg.gate_passes(fleet_checks)
+    ):
         print("bench gate: PASS")
         return 0
     print("bench gate: REGRESSED")
@@ -769,6 +791,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "measure a fresh one in-process)")
     p.add_argument("--serving-out", metavar="PATH",
                    help="write the measured serving candidate JSON here")
+    p.add_argument("--fleet-baseline", metavar="PATH",
+                   help="also gate the fleet benchmark against this "
+                        "baseline (e.g. BENCH_fleet.json)")
+    p.add_argument("--fleet-candidate", metavar="PATH",
+                   help="fleet candidate JSON to compare (default: "
+                        "measure a fresh one in-process)")
+    p.add_argument("--fleet-out", metavar="PATH",
+                   help="write the measured fleet candidate JSON here")
     p.set_defaults(fn=_cmd_benchgate)
 
     p = sub.add_parser(

@@ -18,10 +18,21 @@ here.
 
 from __future__ import annotations
 
+import math
 import time
 from typing import Callable
 
-__all__ = ["Clock", "perf_clock", "wall_clock", "CountingClock"]
+__all__ = [
+    "Clock",
+    "perf_clock",
+    "wall_clock",
+    "CountingClock",
+    "TIME_REL_TOL",
+    "TIME_ABS_TOL",
+    "time_close",
+    "time_le",
+    "time_lt",
+]
 
 #: a zero-argument source of seconds; inject a deterministic one in tests
 Clock = Callable[[], float]
@@ -36,6 +47,54 @@ def wall_clock() -> float:
     """Seconds since the epoch — for timestamps on exported artifacts
     only; never feed this into anything a seeded run serializes."""
     return time.time()
+
+
+# ----------------------------------------------------------------------
+# simulated-time comparison (the sanctioned tolerance)
+# ----------------------------------------------------------------------
+# Simulated event times are sums of float64 group makespans, so two
+# expressions for "the same instant" can differ by a few ulps. A *bare
+# absolute* epsilon (`a <= b + 1e-9`) handles that only near t=0: at
+# t = 1e12 the ulp is ~1.2e-4, the addition is absorbed by rounding,
+# and the comparison silently degrades to exact equality — ties stop
+# being recognized and epsilon-stepping loops stop advancing. The
+# sanctioned comparison is *relative*: `TIME_REL_TOL` scales with the
+# clock (a few thousand ulps of slack at any magnitude) and
+# `TIME_ABS_TOL` covers the neighbourhood of zero. The DET004 statcheck
+# rule bans bare epsilon time comparisons in the scheduler layers in
+# favour of these helpers.
+TIME_REL_TOL = 1e-12
+TIME_ABS_TOL = 1e-9
+
+
+def time_close(
+    a: float,
+    b: float,
+    rel_tol: float = TIME_REL_TOL,
+    abs_tol: float = TIME_ABS_TOL,
+) -> bool:
+    """Do two simulated timestamps denote the same instant?"""
+    return math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def time_le(
+    a: float,
+    b: float,
+    rel_tol: float = TIME_REL_TOL,
+    abs_tol: float = TIME_ABS_TOL,
+) -> bool:
+    """Is ``a`` at or before ``b``, treating near-ties as equal?"""
+    return a <= b or math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
+
+
+def time_lt(
+    a: float,
+    b: float,
+    rel_tol: float = TIME_REL_TOL,
+    abs_tol: float = TIME_ABS_TOL,
+) -> bool:
+    """Is ``a`` strictly before ``b`` (beyond tie tolerance)?"""
+    return a < b and not math.isclose(a, b, rel_tol=rel_tol, abs_tol=abs_tol)
 
 
 class CountingClock:

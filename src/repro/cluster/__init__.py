@@ -15,7 +15,12 @@ extension:
   when the system is lightly loaded;
 * :mod:`repro.cluster.batch` — a Slurm-shaped batch-system facade
   (sbatch/squeue/sinfo/sacct) over the two-level scheduler, the
-  integration surface the paper names as future work.
+  integration surface the paper names as future work;
+* :mod:`repro.cluster.fleet` — the discrete-event fleet engine: an
+  event heap on the simulated clock (arrivals, window completions,
+  reconfigurations, faults, checkpoints) with open-loop arrival
+  processes and admission control, scaling the same dispatch semantics
+  to thousands of nodes and millions of jobs.
 
 Both schedulers are failure-aware: attach a
 :class:`repro.faults.FaultInjector` and they retry transient device /
@@ -29,6 +34,18 @@ from repro.cluster.node import ExecutionOutcome, GpuNode, ClusterState
 from repro.cluster.scheduler import ClusterScheduler, DispatchRecord
 from repro.cluster.policy import PolicySelector, FcfsPolicy, CoSchedulingPolicy
 from repro.cluster.batch import BatchSystem, BatchJob, JobState
+from repro.cluster.fleet import (
+    AdmissionPolicy,
+    AdmitAll,
+    BoundedQueue,
+    EventHeap,
+    EventKind,
+    FleetEngine,
+    FleetResult,
+    FleetSnapshot,
+    FleetStats,
+    TokenBucket,
+)
 
 __all__ = [
     "FaultConfig",
@@ -46,4 +63,14 @@ __all__ = [
     "BatchSystem",
     "BatchJob",
     "JobState",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "BoundedQueue",
+    "EventHeap",
+    "EventKind",
+    "FleetEngine",
+    "FleetResult",
+    "FleetSnapshot",
+    "FleetStats",
+    "TokenBucket",
 ]

@@ -28,8 +28,10 @@ optimizer) falls back to FCFS instead of aborting the drain.
 from __future__ import annotations
 
 import enum
+import heapq
 from dataclasses import dataclass
 
+from repro.clock import time_le, time_lt
 from repro.errors import SchedulingError
 from repro.faults import FaultInjector, RetryPolicy
 from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
@@ -116,6 +118,10 @@ class BatchSystem:
         self.history: list[DispatchRecord] = []  # one entry per dispatch
         self._records: dict[str, BatchJob] = {}
         self._pending: list[str] = []
+        # RUNNING jobs keyed on end time, so each completion is
+        # processed exactly once (tick used to rescan every record ever
+        # submitted per loop iteration — quadratic over long drains)
+        self._running: list[tuple[float, str]] = []
         if faults is not None:
             for node in cluster.nodes:
                 node.device.faults = faults
@@ -157,7 +163,7 @@ class BatchSystem:
             {
                 "node": n.name,
                 "busy_until": n.available_at,
-                "free": n.available_at <= self.now + 1e-9,
+                "free": time_le(n.available_at, self.now),
             }
             for n in self.cluster.nodes
         ]
@@ -201,18 +207,16 @@ class BatchSystem:
         dispatched = 0
         self.now = until
         while True:
-            # mark completions up to the current time
-            for r in self._records.values():
-                if (
-                    r.state is JobState.RUNNING
-                    and r.end_time is not None
-                    and r.end_time <= self.now + 1e-9
-                ):
-                    self._complete(r)
+            # pop completions up to the current time off the running heap
+            while self._running and time_le(self._running[0][0], self.now):
+                _, jid = heapq.heappop(self._running)
+                record = self._records[jid]
+                if record.state is JobState.RUNNING:
+                    self._complete(record)
             free_nodes = sorted(
                 (
                     n for n in self.cluster.nodes
-                    if n.available_at <= self.now + 1e-9
+                    if time_le(n.available_at, self.now)
                 ),
                 key=lambda n: n.available_at,
             )  # stable sort: ties keep cluster order, like least_loaded()
@@ -255,6 +259,12 @@ class BatchSystem:
         Terminates even under heavy fault injection: a job can only
         re-queue ``max_retries`` times before it is ``FAILED``, so the
         pending list strictly shrinks in job-attempts.
+
+        Time advances by jumping to the next event (a node freeing up or
+        a completion), never by a fixed epsilon nudge: the old
+        ``horizon + 1e-6`` step is absorbed by float64 rounding once the
+        clock is large (at ``t = 1e12`` the ulp is ``~1.2e-4``), which
+        froze the clock and turned the drain into a spin loop.
         """
         while self._pending:
             horizon = max(self.now, self.cluster.least_loaded().available_at)
@@ -262,14 +272,29 @@ class BatchSystem:
             self.min_batch = 1  # allow the final partial window
             try:
                 if self.tick(horizon) == 0:
-                    self.now = horizon + 1e-6
+                    next_event = self._next_event_time()
+                    if next_event is None:  # pragma: no cover - defensive
+                        raise SchedulingError(
+                            "drain stalled: jobs pending but no future events"
+                        )
+                    self.now = next_event
             finally:
                 self.min_batch = saved_min
         self.now = max(self.now, self.cluster.makespan)
-        for r in self._records.values():
-            if r.state is JobState.RUNNING:
-                self._complete(r)
+        while self._running:
+            _, jid = heapq.heappop(self._running)
+            record = self._records[jid]
+            if record.state is JobState.RUNNING:
+                self._complete(record)
         return self.cluster.makespan
+
+    def _next_event_time(self) -> float | None:
+        """Earliest strictly-future completion or node-availability
+        time — the drain's jump target when nothing dispatched."""
+        candidates = [t for t, _ in self._running[:1]]
+        candidates.extend(n.available_at for n in self.cluster.nodes)
+        future = [c for c in candidates if time_lt(self.now, c)]
+        return min(future) if future else None
 
     def _complete(self, record: BatchJob) -> None:
         record.state = JobState.COMPLETED
@@ -351,6 +376,7 @@ class BatchSystem:
                     self.telemetry.count("jobs_failed_total", 1)
             else:
                 r.state = JobState.RUNNING
+                heapq.heappush(self._running, (r.end_time, jid))
         effective_policy = self.selector.fcfs.name if fell_back else policy.name
         self.history.append(
             DispatchRecord(

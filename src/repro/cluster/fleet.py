@@ -1,0 +1,668 @@
+"""Discrete-event fleet simulation core (datacenter-scale dispatch).
+
+The per-window loops in :mod:`repro.cluster.scheduler` and
+:mod:`repro.cluster.batch` are faithful to the paper's two-level
+scheduler but advance time by scanning every node and nudging a float
+clock — fine for a handful of GPUs, hopeless for the
+reconfigurable-machine-scheduling setting of Tan et al. (serving on
+partitionable MIG accelerators) at thousands of nodes and millions of
+arrivals. This module is the scalable core: a priority-queue **event
+heap** on the simulated clock carrying
+
+* **job arrivals** (closed submissions or open-loop
+  :mod:`repro.workloads.arrivals` processes),
+* **window completions** (a node's occupancy drains; the node rejoins
+  the idle pool),
+* **requeues** (a crashed job re-enters the queue *at its failure
+  time*, not at dispatch time — the event heap fixes the old loops'
+  time-travelling requeue),
+* **reconfigurations and faults** (planned repartition pauses and node
+  outages that push a node's availability horizon),
+* **checkpoints** (periodic statistics snapshots).
+
+Time always jumps to the next event — there is no epsilon stepping, so
+the engine keeps making progress at arbitrarily large simulated clocks
+(see :func:`repro.clock.time_le` for the tolerance story).
+
+Dispatch semantics are the batch system's: each round cuts one window
+per idle GPU, selects the per-window policy by crowding, and schedules
+the whole round through :meth:`PolicySelector.schedule_batch` — one
+batched serving pass (lockstep inference plus the fleet-wide decision
+cache) per round. Execution replays the already-simulated schedule via
+:meth:`GpuNode.execute_schedule_fast` (bitwise-identical outcomes to
+the exact path, minus device state-machine overhead); pass
+``exact_execution=True`` to drive the full MIG/MPS state machines
+instead. On small clusters the engine's dispatch log is
+bitwise-identical to :class:`ClusterScheduler`/:class:`BatchSystem`
+(the fingerprint tests pin this), which is what makes the old loops'
+semantics the correctness oracle for the new core.
+
+Open-loop operation adds **admission control**: an
+:class:`AdmissionPolicy` sees every arrival and may shed it
+(backpressure), so a saturated fleet degrades by rejecting work instead
+of growing an unbounded queue.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.clock import time_le, time_lt
+from repro.errors import SchedulingError
+from repro.faults import FaultInjector, RetryPolicy
+from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
+from repro.cluster.node import ClusterState
+from repro.cluster.policy import PolicySelector
+from repro.cluster.scheduler import DispatchRecord
+from repro.workloads.jobs import Job
+
+__all__ = [
+    "EventKind",
+    "EventHeap",
+    "AdmissionPolicy",
+    "AdmitAll",
+    "BoundedQueue",
+    "TokenBucket",
+    "FleetStats",
+    "FleetSnapshot",
+    "FleetResult",
+    "FleetEngine",
+]
+
+#: windows per dispatch round (batched-serving batch size)
+_BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class EventKind(enum.IntEnum):
+    """What a heap entry means. Values are tie-break ranks within one
+    timestamp batch (arrivals land before completions land before
+    bookkeeping), though rounds pop whole same-time batches anyway."""
+
+    ARRIVAL = 0
+    COMPLETION = 1
+    REQUEUE = 2
+    RECONFIG = 3
+    FAULT = 4
+    CHECKPOINT = 5
+
+
+class EventHeap:
+    """A deterministic min-heap of ``(time, kind, seq, payload)``.
+
+    Ordering is total and reproducible: by time, then kind rank, then
+    insertion sequence — payloads are never compared.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = 0
+
+    def push(self, time: float, kind: EventKind, payload: object = None) -> None:
+        heapq.heappush(self._heap, (time, int(kind), self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[float, EventKind, object]:
+        time, kind, _, payload = heapq.heappop(self._heap)
+        return time, EventKind(kind), payload
+
+    def peek_time(self) -> float:
+        return self._heap[0][0]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+# ----------------------------------------------------------------------
+# admission / backpressure
+# ----------------------------------------------------------------------
+class AdmissionPolicy:
+    """Decides, per arrival, whether the fleet accepts the job."""
+
+    def admit(self, queue_depth: int, now: float) -> bool:  # pragma: no cover
+        raise NotImplementedError
+
+
+class AdmitAll(AdmissionPolicy):
+    """No backpressure: every arrival joins the queue."""
+
+    def admit(self, queue_depth: int, now: float) -> bool:
+        return True
+
+
+class BoundedQueue(AdmissionPolicy):
+    """Shed arrivals once the pending queue reaches ``max_pending``.
+
+    The classic head-of-line backpressure: a saturated fleet rejects
+    work (callers see it in ``FleetStats.rejected``) instead of letting
+    queue waits — and memory — grow without bound.
+    """
+
+    def __init__(self, max_pending: int):
+        if max_pending < 1:
+            raise SchedulingError("max_pending must be positive")
+        self.max_pending = max_pending
+
+    def admit(self, queue_depth: int, now: float) -> bool:
+        return queue_depth < self.max_pending
+
+
+class TokenBucket(AdmissionPolicy):
+    """Rate-limit admissions to ``rate`` jobs per simulated second with
+    bursts up to ``burst`` — smooths diurnal peaks into the queue."""
+
+    def __init__(self, rate: float, burst: float = 1.0):
+        if rate <= 0 or burst < 1.0:
+            raise SchedulingError("token bucket needs rate > 0, burst >= 1")
+        self.rate = rate
+        self.burst = burst
+        self._tokens = burst
+        self._last = None  # type: float | None
+
+    def admit(self, queue_depth: int, now: float) -> bool:
+        if self._last is not None and now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# accounting
+# ----------------------------------------------------------------------
+@dataclass
+class FleetStats:
+    """Aggregate accounting — O(1) memory regardless of arrival count.
+
+    Job outcomes are accounted when their window is dispatched (the
+    simulation then knows every finish time exactly); the heap's
+    completion events drive node reuse, not the counters.
+    """
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    requeues: int = 0
+    completed: int = 0
+    failed: int = 0
+    windows: int = 0
+    fallback_windows: int = 0
+    dispatch_retries: int = 0
+    degraded_groups: int = 0
+    outages: int = 0
+    reconfigs: int = 0
+    checkpoints: int = 0
+    wait_sum: float = 0.0
+    wait_max: float = 0.0
+    turnaround_sum: float = 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        return self.wait_sum / self.completed if self.completed else 0.0
+
+    @property
+    def mean_turnaround(self) -> float:
+        return self.turnaround_sum / self.completed if self.completed else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "requeues": self.requeues,
+            "completed": self.completed,
+            "failed": self.failed,
+            "windows": self.windows,
+            "fallback_windows": self.fallback_windows,
+            "dispatch_retries": self.dispatch_retries,
+            "degraded_groups": self.degraded_groups,
+            "outages": self.outages,
+            "reconfigs": self.reconfigs,
+            "checkpoints": self.checkpoints,
+            "mean_wait": self.mean_wait,
+            "max_wait": self.wait_max,
+            "mean_turnaround": self.mean_turnaround,
+        }
+
+
+@dataclass(frozen=True)
+class FleetSnapshot:
+    """One checkpoint event's view of the fleet."""
+
+    time: float
+    submitted: int
+    completed: int
+    failed: int
+    rejected: int
+    pending: int
+    busy_nodes: int
+
+
+@dataclass
+class FleetResult:
+    """What :meth:`FleetEngine.run` hands back."""
+
+    stats: FleetStats
+    makespan: float
+    utilization: float
+    history: list[DispatchRecord] = field(default_factory=list)
+    schedules: list = field(default_factory=list)  # Schedule, keep_history only
+    snapshots: list[FleetSnapshot] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class FleetEngine:
+    """Event-driven dispatch of a GPU fleet.
+
+    Feed it closed submissions (:meth:`submit` / :meth:`submit_queue`),
+    open-loop arrival processes (:meth:`attach_arrivals`), planned
+    reconfigurations and outages, then :meth:`run` the heap dry.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterState,
+        selector: PolicySelector,
+        window_size: int = 12,
+        min_batch: int = 1,
+        admission: AdmissionPolicy | None = None,
+        faults: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        max_retries: int = 3,
+        start: float = 0.0,
+        telemetry: Telemetry = NULL_TELEMETRY,
+        exact_execution: bool = False,
+        keep_history: bool = False,
+    ):
+        if window_size < 1:
+            raise SchedulingError("window size must be positive")
+        if min_batch < 1:
+            raise SchedulingError("min batch must be positive")
+        if max_retries < 0:
+            raise SchedulingError("max_retries cannot be negative")
+        self.cluster = cluster
+        self.selector = selector
+        self.window_size = window_size
+        self.min_batch = min_batch
+        self.admission = admission or AdmitAll()
+        self.faults = faults
+        self.retry = retry or RetryPolicy()
+        self.max_retries = max_retries
+        self.telemetry = telemetry
+        self.exact_execution = exact_execution
+        self.keep_history = keep_history
+        self.now = float(start)
+        self.stats = FleetStats()
+        self.history: list[DispatchRecord] = []
+        self.schedules: list = []
+        self.snapshots: list[FleetSnapshot] = []
+        self.events = EventHeap()
+        self._pending: deque = deque()  # (Job, submit_time)
+        self._attempts: dict[str, int] = {}  # crash re-queues per job id
+        self._sources: list = []  # open-loop arrival iterators
+        self._live_arrivals = 0  # ARRIVAL events currently in the heap
+        self._live_requeues = 0  # REQUEUE events currently in the heap
+        self._checkpoint_interval: float | None = None
+        n = len(cluster.nodes)
+        self._gen = [0] * n  # availability generation (outage bumps)
+        self._is_idle = [True] * n
+        self._idle_count = n
+        self._idle: list[tuple[float, int, int]] = [
+            (node.available_at, i, 0) for i, node in enumerate(cluster.nodes)
+        ]
+        heapq.heapify(self._idle)
+        if faults is not None:
+            for node in cluster.nodes:
+                node.device.faults = faults
+            faults.telemetry = telemetry
+        for node in cluster.nodes:
+            node.device.telemetry = telemetry
+
+    # ------------------------------------------------------------------
+    # feeding the heap
+    # ------------------------------------------------------------------
+    def submit(self, job: Job, at: float | None = None) -> None:
+        """One closed submission at time ``at`` (default: now)."""
+        t = self.now if at is None else float(at)
+        if time_lt(t, self.now):
+            raise SchedulingError("cannot submit in the past")
+        self.events.push(t, EventKind.ARRIVAL, (None, job))
+        self._live_arrivals += 1
+
+    def submit_queue(self, queue, at: float | None = None) -> None:
+        """Submit a whole :class:`JobQueue` at one instant (FIFO order)."""
+        for job in queue:
+            self.submit(job, at=at)
+
+    def attach_arrivals(self, arrivals) -> None:
+        """Attach an open-loop arrival process.
+
+        ``arrivals`` is any iterable of ``(time, item)`` pairs in
+        non-decreasing time order, where ``item`` is a benchmark name or
+        a :class:`Job` — e.g. the generators in
+        :mod:`repro.workloads.arrivals`. The engine pulls it lazily, one
+        event in the heap per source, so a million-arrival process never
+        materializes.
+        """
+        source = iter(arrivals)
+        index = len(self._sources)
+        self._sources.append(source)
+        self._pull_arrival(index)
+
+    def schedule_reconfig(self, node_name: str, at: float, duration: float) -> None:
+        """A planned repartition pause: the node is unavailable for
+        ``duration`` simulated seconds starting at ``at``."""
+        self._push_node_event(EventKind.RECONFIG, node_name, at, duration)
+
+    def schedule_fault(self, node_name: str, at: float, duration: float) -> None:
+        """An injected node outage (crash + repair time)."""
+        self._push_node_event(EventKind.FAULT, node_name, at, duration)
+
+    def schedule_checkpoints(self, interval: float, first: float | None = None) -> None:
+        """Snapshot fleet statistics every ``interval`` simulated
+        seconds while the simulation still has work in flight."""
+        if interval <= 0:
+            raise SchedulingError("checkpoint interval must be positive")
+        self._checkpoint_interval = float(interval)
+        self.events.push(
+            self.now + interval if first is None else float(first),
+            EventKind.CHECKPOINT,
+            None,
+        )
+
+    def _push_node_event(
+        self, kind: EventKind, node_name: str, at: float, duration: float
+    ) -> None:
+        if duration < 0:
+            raise SchedulingError("duration cannot be negative")
+        for i, node in enumerate(self.cluster.nodes):
+            if node.name == node_name:
+                self.events.push(float(at), kind, (i, float(duration)))
+                return
+        raise SchedulingError(f"unknown node {node_name!r}")
+
+    def _pull_arrival(self, index: int) -> None:
+        source = self._sources[index]
+        if source is None:
+            return
+        try:
+            t, item = next(source)
+        except StopIteration:
+            self._sources[index] = None
+            return
+        self.events.push(float(t), EventKind.ARRIVAL, (index, item))
+        self._live_arrivals += 1
+
+    # ------------------------------------------------------------------
+    # the event loop
+    # ------------------------------------------------------------------
+    def run(self, until: float | None = None) -> FleetResult:
+        """Pump the heap dry (or up to ``until``) and report.
+
+        Every iteration pops the *batch* of events sharing the next
+        timestamp, applies them, and runs one dispatch round — so nodes
+        freed at the same instant share one batched serving pass,
+        exactly like the old loops' rounds.
+        """
+        events = self.events
+        while events:
+            t = events.peek_time()
+            if until is not None and time_lt(until, t):
+                break
+            if t > self.now:
+                self.now = t
+            batch = [events.pop()]
+            while events and time_le(events.peek_time(), t):
+                batch.append(events.pop())
+            for event_time, kind, payload in batch:
+                self._handle(event_time, kind, payload)
+            self._dispatch_round()
+        return FleetResult(
+            stats=self.stats,
+            makespan=self.cluster.makespan,
+            utilization=self.cluster.utilization(),
+            history=self.history,
+            schedules=self.schedules,
+            snapshots=self.snapshots,
+        )
+
+    def _handle(self, t: float, kind: EventKind, payload) -> None:
+        if kind is EventKind.ARRIVAL:
+            self._live_arrivals -= 1
+            source_index, item = payload
+            job = item if isinstance(item, Job) else Job.submit(item)
+            self.stats.submitted += 1
+            if self.admission.admit(len(self._pending), self.now):
+                self.stats.admitted += 1
+                self._pending.append((job, t))
+            else:
+                self.stats.rejected += 1
+                if self.telemetry.enabled:
+                    self.telemetry.count("fleet_rejected_total", 1)
+            if source_index is not None:
+                self._pull_arrival(source_index)
+        elif kind is EventKind.COMPLETION:
+            index, gen = payload
+            if gen != self._gen[index]:
+                return  # superseded by an outage/reconfig
+            self._is_idle[index] = True
+            self._idle_count += 1
+            heapq.heappush(
+                self._idle,
+                (self.cluster.nodes[index].available_at, index, gen),
+            )
+        elif kind is EventKind.REQUEUE:
+            self._live_requeues -= 1
+            job, submit_time = payload
+            self._pending.append((job, submit_time))
+        elif kind in (EventKind.RECONFIG, EventKind.FAULT):
+            index, duration = payload
+            node = self.cluster.nodes[index]
+            if kind is EventKind.RECONFIG:
+                self.stats.reconfigs += 1
+            else:
+                self.stats.outages += 1
+            if self._is_idle[index]:
+                self._is_idle[index] = False
+                self._idle_count -= 1  # its idle-heap entry is now stale
+            self._gen[index] += 1
+            horizon = max(self.now, node.available_at) + duration
+            node.device.clock = horizon  # unavailable until repaired
+            self.events.push(
+                horizon, EventKind.COMPLETION, (index, self._gen[index])
+            )
+            if self.telemetry.enabled:
+                self.telemetry.event(
+                    "outage" if kind is EventKind.FAULT else "reconfig",
+                    node.name,
+                    self.now,
+                    category="fleet",
+                    duration=duration,
+                )
+        elif kind is EventKind.CHECKPOINT:
+            self.stats.checkpoints += 1
+            busy = len(self.cluster.nodes) - self._idle_count
+            self.snapshots.append(
+                FleetSnapshot(
+                    time=self.now,
+                    submitted=self.stats.submitted,
+                    completed=self.stats.completed,
+                    failed=self.stats.failed,
+                    rejected=self.stats.rejected,
+                    pending=len(self._pending),
+                    busy_nodes=busy,
+                )
+            )
+            if self._checkpoint_interval is not None and (
+                busy > 0 or self._pending or self._work_incoming()
+            ):
+                self.events.push(
+                    self.now + self._checkpoint_interval,
+                    EventKind.CHECKPOINT,
+                    None,
+                )
+
+    def _work_incoming(self) -> bool:
+        return (
+            self._live_arrivals > 0
+            or self._live_requeues > 0
+            or any(s is not None for s in self._sources)
+        )
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_round(self) -> int:
+        """Cut one window per ready idle GPU and run the round.
+
+        Mirrors the batch system's round semantics (same policy
+        selection arguments, same window cuts) so small-fleet dispatch
+        logs are bitwise-comparable to the old loops. Once all arrival
+        sources are dry, the last partial window dispatches regardless
+        of ``min_batch`` — the drain semantics.
+        """
+        pending = self._pending
+        min_batch = self.min_batch if self._work_incoming() else 1
+        if self._idle_count == 0 or len(pending) < min_batch:
+            return 0
+        # how many windows this round can cut
+        n_free = self._idle_count
+        remaining = len(pending)
+        cuts_possible = 0
+        while remaining >= min_batch and cuts_possible < n_free:
+            remaining -= min(self.window_size, remaining)
+            cuts_possible += 1
+        # pop that many live idle nodes, earliest-available first, then
+        # cut in node order (the old loops' round order)
+        entries: list[tuple[float, int, int]] = []
+        while self._idle and len(entries) < cuts_possible:
+            avail, index, gen = heapq.heappop(self._idle)
+            if gen == self._gen[index]:
+                entries.append((avail, index, gen))
+        entries.sort(key=lambda e: e[1])
+        cuts: list[tuple] = []
+        for k, (avail, index, gen) in enumerate(entries):
+            take = min(self.window_size, len(pending))
+            window = [pending.popleft() for _ in range(take)]
+            policy = self.selector.select(
+                queue_depth=len(pending) + take,
+                free_gpus=max(n_free - k, 1),
+            )
+            cuts.append((index, window, policy))
+        scheduled = self.selector.schedule_batch(
+            [([job for job, _ in window], policy) for _, window, policy in cuts]
+        )
+        if self.telemetry.enabled:
+            self.telemetry.observe(
+                "dispatch_batch_windows",
+                float(len(cuts)),
+                buckets=_BATCH_BUCKETS,
+            )
+        for (index, window, policy), (schedule, fell_back) in zip(cuts, scheduled):
+            self._execute(index, window, policy, schedule, fell_back)
+        return len(cuts)
+
+    def _execute(self, index, window, policy, schedule, fell_back) -> None:
+        node = self.cluster.nodes[index]
+        stats = self.stats
+        if fell_back:
+            stats.fallback_windows += 1
+        start = max(self.now, node.available_at)
+        node.device.clock = start
+        if self.exact_execution:
+            outcome = node.execute_schedule_ft(schedule, self.retry)
+        else:
+            outcome = node.execute_schedule_fast(schedule, self.retry)
+        stats.windows += 1
+        stats.dispatch_retries += outcome.retries
+        stats.degraded_groups += outcome.degraded_groups
+        failed = set(outcome.failed_job_ids)
+        for job, submit_time in window:
+            jid = job.job_id
+            if jid in failed:
+                attempts = self._attempts.get(jid, 0)
+                if attempts < self.max_retries:
+                    self._attempts[jid] = attempts + 1
+                    stats.requeues += 1
+                    self._live_requeues += 1
+                    # the crash happens at the job's failure time; the
+                    # job re-enters the queue *then*, not retroactively
+                    self.events.push(
+                        outcome.finish_of[jid],
+                        EventKind.REQUEUE,
+                        (job, submit_time),
+                    )
+                else:
+                    self._attempts.pop(jid, None)
+                    stats.failed += 1
+            else:
+                self._attempts.pop(jid, None)
+                stats.completed += 1
+                wait = start - submit_time
+                stats.wait_sum += wait
+                if wait > stats.wait_max:
+                    stats.wait_max = wait
+                stats.turnaround_sum += outcome.finish_of[jid] - submit_time
+        self._is_idle[index] = False
+        self._idle_count -= 1
+        self.events.push(
+            outcome.end_time, EventKind.COMPLETION, (index, self._gen[index])
+        )
+        effective_policy = self.selector.fcfs.name if fell_back else policy.name
+        if self.keep_history:
+            self.history.append(
+                DispatchRecord(
+                    node_name=node.name,
+                    policy_name=effective_policy,
+                    window_size=len(window),
+                    start_time=start,
+                    end_time=outcome.end_time,
+                    throughput_gain=schedule.throughput_gain,
+                    retries=outcome.retries,
+                    fell_back=fell_back,
+                    n_failed=len(failed),
+                )
+            )
+            self.schedules.append(schedule)
+        if self.telemetry.enabled:
+            self.telemetry.gauge("queue_depth", len(self._pending))
+            self.telemetry.span(
+                "window",
+                node.name,
+                start,
+                outcome.end_time,
+                category="fleet",
+                policy=effective_policy,
+                window_size=len(window),
+                fell_back=fell_back,
+            )
+            self.telemetry.count(
+                "windows_dispatched_total",
+                1,
+                node=node.name,
+                policy=effective_policy,
+            )
+            self.telemetry.count("jobs_completed_total", len(window) - len(failed))
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_depth(self) -> int:
+        return len(self._pending)
+
+    def summary(self) -> dict:
+        """The stats dict plus fleet-level derived quantities."""
+        doc = self.stats.to_dict()
+        doc["nodes"] = len(self.cluster.nodes)
+        doc["makespan"] = self.cluster.makespan
+        doc["utilization"] = self.cluster.utilization()
+        doc["pending"] = len(self._pending)
+        return doc

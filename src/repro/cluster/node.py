@@ -15,10 +15,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import FaultError, SchedulingError
-from repro.faults import RetryPolicy
-from repro.core.problem import Schedule
+from repro.faults import FaultKind, RetryPolicy
+from repro.core.problem import Schedule, solo_partition
 from repro.gpu.arch import A100_40GB, GpuSpec
 from repro.gpu.device import LaunchResult, SimulatedGpu
+from repro.gpu.partition import format_partition
 
 __all__ = ["ExecutionOutcome", "GpuNode", "ClusterState"]
 
@@ -169,6 +170,209 @@ class GpuNode:
                     failed.append(launch.job_id)
         return ExecutionOutcome(
             end_time=self.device.clock,
+            finish_of=finish_of,
+            failed_job_ids=tuple(failed),
+            retries=retries,
+            degraded_groups=degraded,
+        )
+
+    # ------------------------------------------------------------------
+    # fast replay (the fleet engine's execution path)
+    # ------------------------------------------------------------------
+    def execute_schedule_fast(
+        self, schedule: Schedule, retry: RetryPolicy
+    ) -> ExecutionOutcome:
+        """Replay an already-simulated schedule without re-driving the
+        MIG/MPS state machines.
+
+        Every :class:`~repro.core.problem.ScheduledGroup` carries the
+        :class:`~repro.perfmodel.corun.CoRunResult` the policy computed
+        for it, and :meth:`execute_schedule_ft` would recover the very
+        same object from the co-run cache — so the replay reuses it and
+        skips the configuration state machine entirely. Outcomes
+        (finish times, failed ids, retries, clock/busy-time arithmetic,
+        and the fault injector's draw sequence) are bitwise-identical
+        to :meth:`execute_schedule_ft`; what the fast path drops is the
+        per-group device bookkeeping (``device.history``) and the
+        device-level telemetry spans. The fleet engine dispatches
+        through this path; the exact path remains the trace/debug mode.
+        """
+        if not schedule.groups:
+            raise SchedulingError("cannot execute an empty schedule")
+        device = self.device
+        injector = device.faults
+        if injector is None or not injector.enabled:
+            finish_of: dict[str, float] = {}
+            clock = device.clock
+            busy = device.busy_time
+            for group in schedule.groups:
+                result = group.result
+                for job, t in zip(group.jobs, result.finish_times):
+                    finish_of[job.job_id] = clock + t
+                clock += result.makespan
+                busy += result.makespan  # per-group, like the exact path
+            device.clock = clock
+            device.busy_time = busy
+            return ExecutionOutcome(
+                end_time=clock,
+                finish_of=finish_of,
+                failed_job_ids=(),
+                retries=0,
+                degraded_groups=0,
+            )
+        return self._replay_with_faults(schedule, retry, injector)
+
+    def _replay_with_faults(
+        self, schedule: Schedule, retry: RetryPolicy, injector
+    ) -> ExecutionOutcome:
+        """The fault-aware half of :meth:`execute_schedule_fast`.
+
+        Reproduces :meth:`execute_schedule_ft`'s decision sequence —
+        per attempt: one transient draw, then (MIG groups only) one
+        reconfiguration draw; per launched job: one fault-kind draw plus
+        a straggler-factor draw when stretched — so the injector's
+        per-key streams and counters advance exactly as on the exact
+        path.
+        """
+        device = self.device
+        tel = device.telemetry
+        config = injector.config
+        finish_of: dict[str, float] = {}
+        failed: list[str] = []
+        retries = 0
+        degraded = 0
+
+        def replay_group(jobs, result):
+            """One launched group: per-job faults + clock arithmetic."""
+            start = device.clock
+            makespan = 0.0
+            for job, t in zip(jobs, result.finish_times):
+                kind = injector.job_fault(job.benchmark_name)
+                if kind is FaultKind.JOB_FAILURE:
+                    elapsed = t * config.crash_fraction
+                    if tel.enabled:
+                        tel.event(
+                            "fault:job_failure",
+                            self.name,
+                            start + elapsed,
+                            category="fault",
+                            job=job.benchmark_name,
+                        )
+                    failed.append(job.job_id)
+                elif kind is FaultKind.STRAGGLER:
+                    elapsed = t * injector.straggler_factor(job.benchmark_name)
+                    if tel.enabled:
+                        tel.event(
+                            "fault:straggler",
+                            self.name,
+                            start,
+                            category="fault",
+                            job=job.benchmark_name,
+                            slowdown=elapsed / t if t > 0 else 1.0,
+                        )
+                else:
+                    elapsed = t
+                finish_of[job.job_id] = start + elapsed
+                if elapsed > makespan:
+                    makespan = elapsed
+            device.clock = start + makespan
+            device.busy_time += makespan
+
+        def attempt_launch(signature, mig_label):
+            """One launch attempt's device-level draws; True = launched."""
+            if injector.launch_hits_transient(signature):
+                if tel.enabled:
+                    tel.event(
+                        "fault:transient",
+                        self.name,
+                        device.clock,
+                        category="fault",
+                    )
+                return False
+            if mig_label is not None and injector.reconfig_fails(mig_label):
+                if tel.enabled:
+                    tel.event(
+                        "fault:reconfig",
+                        self.name,
+                        device.clock,
+                        category="fault",
+                        partition=mig_label,
+                    )
+                return False
+            return True
+
+        def launch_with_retry(signature, mig_label):
+            """The ft retry loop; returns (launched, retries_spent)."""
+            attempt = 0
+            spent = 0
+            while True:
+                if attempt_launch(signature, mig_label):
+                    return True, spent
+                attempt += 1
+                spent += 1
+                if tel.enabled:
+                    tel.event(
+                        "retry",
+                        self.name,
+                        device.clock,
+                        category="fault",
+                        attempt=attempt,
+                    )
+                    tel.count("dispatch_retries_total", 1, node=self.name)
+                if attempt > retry.max_retries:
+                    return False, spent
+                wait = retry.backoff(attempt)
+                if tel.enabled:
+                    tel.span(
+                        "backoff",
+                        self.name,
+                        device.clock,
+                        device.clock + wait,
+                        category="fault",
+                        attempt=attempt,
+                    )
+                device.clock += wait
+
+        from repro.perfmodel.cache import cached_simulate_corun
+
+        solo_tree = solo_partition()
+        for group in schedule.groups:
+            jobs = group.jobs
+            signature = "+".join(sorted(j.benchmark_name for j in jobs))
+            mig_label = (
+                format_partition(group.partition)
+                if group.partition.mig_enabled
+                else None
+            )
+            launched, spent = launch_with_retry(signature, mig_label)
+            retries += spent
+            if launched:
+                replay_group(jobs, group.result)
+                continue
+            # Degraded path: run each member solo (time sharing needs no
+            # MIG reconfiguration), with its own bounded retry.
+            degraded += 1
+            if tel.enabled:
+                tel.event(
+                    "degraded",
+                    self.name,
+                    device.clock,
+                    category="fault",
+                    jobs=[j.benchmark_name for j in jobs],
+                )
+                tel.count("degraded_groups_total", 1, node=self.name)
+            for job in jobs:
+                launched, spent = launch_with_retry(job.benchmark_name, None)
+                retries += spent
+                if launched:
+                    solo = cached_simulate_corun([job.model], solo_tree)
+                    replay_group((job,), solo)
+                else:
+                    # even solo launches kept faulting: failed in place
+                    finish_of[job.job_id] = device.clock
+                    failed.append(job.job_id)
+        return ExecutionOutcome(
+            end_time=device.clock,
             finish_of=finish_of,
             failed_job_ids=tuple(failed),
             retries=retries,

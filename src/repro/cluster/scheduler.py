@@ -14,8 +14,10 @@ jobs re-enter the global queue until their retry budget is spent.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 
+from repro.clock import time_le
 from repro.errors import SchedulingError
 from repro.faults import FaultInjector, RetryPolicy
 from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
@@ -84,12 +86,18 @@ class ClusterScheduler:
             raise SchedulingError("window size must be positive")
         records: list[DispatchRecord] = []
         attempts: dict[str, int] = {}
+        nodes = self.cluster.nodes
+        # node-free events on a min-heap: each round jumps straight to
+        # the earliest availability instead of rescanning every node
+        avail_heap = [(node.available_at, i) for i, node in enumerate(nodes)]
+        heapq.heapify(avail_heap)
         while len(queue) > 0:
-            t_min = self.cluster.least_loaded().available_at
-            ready = [
-                n for n in self.cluster.nodes
-                if n.available_at <= t_min + 1e-9
-            ]
+            t_min = avail_heap[0][0]
+            popped = [heapq.heappop(avail_heap)]
+            while avail_heap and time_le(avail_heap[0][0], t_min):
+                popped.append(heapq.heappop(avail_heap))
+            popped.sort(key=lambda entry: entry[1])
+            ready = [nodes[i] for _, i in popped]
             # one window per ready GPU, in node order — exactly the
             # windows the one-at-a-time loop would have cut, since every
             # executed window pushes its node beyond t_min
@@ -184,6 +192,8 @@ class ClusterScheduler:
                         outcome.end_time - start,
                         node=node.name,
                     )
+            for _, i in popped:
+                heapq.heappush(avail_heap, (nodes[i].available_at, i))
         self.history.extend(records)
         return records
 

@@ -52,13 +52,17 @@ __all__ = [
     "SERVING_RATIO_CHECKS",
     "SERVING_LOWER_CHECKS",
     "SERVING_BOOL_CHECKS",
+    "FLEET_RATIO_CHECKS",
+    "FLEET_BOOL_CHECKS",
     "load_bench",
     "compare_bench",
     "compare_serving_bench",
+    "compare_fleet_bench",
     "gate_passes",
     "format_checks",
     "measure_training_bench",
     "measure_serving_bench",
+    "measure_fleet_bench",
 ]
 
 DEFAULT_TOLERANCE = 0.15
@@ -84,6 +88,14 @@ SERVING_LOWER_CHECKS = ("serving.p99_decision_latency_s",)
 
 #: serving-document keys that must be exactly true in the candidate
 SERVING_BOOL_CHECKS = ("serving.identical_schedules",)
+
+#: fleet-document keys, higher-is-better (simulated completions per
+#: wall-clock minute on the event engine)
+FLEET_RATIO_CHECKS = ("fleet.completions_per_min",)
+
+#: fleet-document keys that must be exactly true in the candidate
+#: (the event engine's bitwise-identity contract with the old loop)
+FLEET_BOOL_CHECKS = ("fleet.identical_schedules",)
 
 
 @dataclass(frozen=True)
@@ -179,6 +191,19 @@ def compare_serving_bench(
         ratio_checks=SERVING_RATIO_CHECKS,
         bool_checks=SERVING_BOOL_CHECKS,
         lower_checks=SERVING_LOWER_CHECKS,
+    )
+
+
+def compare_fleet_bench(
+    baseline: dict, candidate: dict, tolerance: float | None = None
+) -> list[GateCheck]:
+    """The fleet-document gate (``BENCH_fleet.json`` schema)."""
+    return compare_bench(
+        baseline,
+        candidate,
+        tolerance,
+        ratio_checks=FLEET_RATIO_CHECKS,
+        bool_checks=FLEET_BOOL_CHECKS,
     )
 
 
@@ -439,6 +464,173 @@ def measure_serving_bench(
             "p50_decision_latency_s": float(np.quantile(lat, 0.50)),
             "p99_decision_latency_s": float(np.quantile(lat, 0.99)),
             "decision_cache": cache.stats.to_dict(),
+            "identical_schedules": bool(identical),
+        },
+    }
+
+
+def measure_fleet_bench(
+    n_nodes: int = 1000,
+    n_jobs: int = 120_000,
+    warmup_jobs: int = 20_000,
+    pool_size: int = 6,
+    arrival_rate: float = 5000.0,
+    episodes: int = 20,
+    seed: int = 7,
+    clock: Clock = perf_clock,
+) -> dict:
+    """A fresh fleet benchmark document (``BENCH_fleet.json`` schema).
+
+    Trains a small agent, then drains an open-loop Poisson workload of
+    ``n_jobs`` arrivals over ``n_nodes`` GPUs through the
+    discrete-event :class:`~repro.cluster.fleet.FleetEngine` and
+    reports simulated job completions per wall-clock minute. A warm-up
+    drain first populates the decision cache (the fleet-serving
+    steady state: many nodes, few distinct workloads); the timed drain
+    then measures the engine itself rather than cold scheduling misses.
+
+    The document also carries the engine's bitwise-identity contract:
+    on a small cluster, the event engine's dispatch records and
+    schedule fingerprints must equal the pre-existing
+    :class:`~repro.cluster.scheduler.ClusterScheduler` loop's, window
+    for window. Makes no threshold assertion itself — the perf suite
+    asserts the 1M-completions/min floor and the gate's tolerance band
+    does the ratcheting.
+    """
+    from repro.cluster.fleet import FleetEngine
+    from repro.cluster.node import ClusterState
+    from repro.cluster.policy import (
+        CoSchedulingPolicy,
+        FcfsPolicy,
+        PolicySelector,
+    )
+    from repro.cluster.scheduler import ClusterScheduler
+    from repro.core.actions import ActionCatalog
+    from repro.core.evaluation import profile_all_benchmarks
+    from repro.core.optimizer import OnlineOptimizer
+    from repro.core.serving import DecisionCache, schedule_fingerprint
+    from repro.core.trainer import OfflineTrainer
+    from repro.workloads.arrivals import PoissonArrivals
+    from repro.workloads.generator import MixCategory, QueueGenerator
+    from repro.workloads.jobs import Job, JobQueue
+    from repro.workloads.suite import TRAINING_SET
+
+    if min(n_nodes, n_jobs, warmup_jobs, pool_size, episodes) <= 0:
+        raise ReproError("fleet bench sizes must be positive")
+    if arrival_rate <= 0:
+        raise ReproError("arrival rate must be positive")
+
+    trainer = OfflineTrainer(
+        window_size=6,
+        c_max=3,
+        n_training_queues=4,
+        seed=seed,
+        dqn_overrides={
+            "hidden": (64, 32),
+            "warmup_transitions": 32,
+            "batch_size": 16,
+            "epsilon_decay_rate": 0.98,
+        },
+    )
+    result = trainer.train(episodes=episodes)
+    repository = result.repository.copy()
+    profile_all_benchmarks(repository)
+
+    def make_selector() -> PolicySelector:
+        optimizer = OnlineOptimizer(
+            result.agent,
+            repository,
+            ActionCatalog(c_max=trainer.c_max),
+            trainer.window_size,
+            decision_cache=DecisionCache(),
+        )
+        return PolicySelector(
+            co_scheduling=CoSchedulingPolicy(optimizer),
+            fcfs=FcfsPolicy(),
+            crowding_threshold=1,
+        )
+
+    pool = sorted(TRAINING_SET)[:pool_size]
+    selector = make_selector()
+
+    def drain(jobs: int, arrival_seed: int):
+        engine = FleetEngine(
+            ClusterState.homogeneous(n_nodes),
+            selector,
+            window_size=trainer.window_size,
+        )
+        engine.attach_arrivals(PoissonArrivals(
+            rate=arrival_rate, pool=pool, n_jobs=jobs, seed=arrival_seed,
+        ))
+        t0 = clock()
+        fleet_result = engine.run()
+        return fleet_result, clock() - t0
+
+    drain(warmup_jobs, arrival_seed=seed + 1)  # decision-cache warm-up
+    fleet_result, wall = drain(n_jobs, arrival_seed=seed + 2)
+    wall = max(wall, 1e-12)
+
+    # small-cluster identity: the event engine vs the old dispatch loop
+    class _RecordingSelector:
+        def __init__(self, inner: PolicySelector):
+            self.inner = inner
+            self.fcfs = inner.fcfs
+            self.co_scheduling = inner.co_scheduling
+            self.schedules: list = []
+
+        def select(self, queue_depth: int, free_gpus: int):
+            return self.inner.select(queue_depth, free_gpus)
+
+        def schedule_batch(self, cuts):
+            out = self.inner.schedule_batch(cuts)
+            self.schedules.extend(s for s, _ in out)
+            return out
+
+    gen = QueueGenerator(seed=seed + 3, training_only=True)
+    names: list[str] = []
+    for _ in range(8):
+        names.extend(
+            gen.queue(MixCategory.BALANCED, w=trainer.window_size)
+            .benchmark_names
+        )
+    jobs = [Job.submit(name) for name in names]
+    recording = _RecordingSelector(make_selector())
+    oracle = ClusterScheduler(
+        cluster=ClusterState.homogeneous(3),
+        selector=recording,  # type: ignore[arg-type]
+        window_size=trainer.window_size,
+    )
+    oracle_records = oracle.run(JobQueue(jobs=list(jobs)))
+    engine = FleetEngine(
+        ClusterState.homogeneous(3),
+        make_selector(),
+        window_size=trainer.window_size,
+        keep_history=True,
+    )
+    for job in jobs:
+        engine.submit(job, at=0.0)
+    engine_result = engine.run()
+    identical = (
+        oracle_records == engine_result.history
+        and [schedule_fingerprint(s) for s in recording.schedules]
+        == [schedule_fingerprint(s) for s in engine_result.schedules]
+    )
+
+    return {
+        "fleet": {
+            "n_nodes": n_nodes,
+            "n_jobs": n_jobs,
+            "warmup_jobs": warmup_jobs,
+            "pool_size": pool_size,
+            "arrival_rate": arrival_rate,
+            "window_size": trainer.window_size,
+            "wall_seconds": wall,
+            "completions_per_min": fleet_result.stats.completed / wall * 60.0,
+            "completed": fleet_result.stats.completed,
+            "windows": fleet_result.stats.windows,
+            "simulated_makespan": fleet_result.makespan,
+            "utilization": fleet_result.utilization,
+            "mean_wait": fleet_result.stats.mean_wait,
             "identical_schedules": bool(identical),
         },
     }

@@ -86,6 +86,14 @@ _register(RuleInfo(
     ),
 ))
 _register(RuleInfo(
+    code="DET004",
+    summary="bare absolute-epsilon time comparison",
+    fixit="compare simulated timestamps with repro.clock.time_le / "
+          "time_lt / time_close — an absolute epsilon is absorbed by "
+          "float64 rounding once the clock is large",
+    only=("src/repro/cluster",),
+))
+_register(RuleInfo(
     code="OBS001",
     summary="core module bypasses the Telemetry facade",
     fixit="take a repro.telemetry.Telemetry (default NULL_TELEMETRY) "
@@ -287,6 +295,44 @@ def _det003(node: ast.AST, ctx: _Context) -> Iterator[Finding]:
                 "DET003", it, ctx,
                 f"iteration over {label} without sorted(...)",
             )
+
+
+# ----------------------------------------------------------------------
+# DET004 — bare absolute-epsilon time comparison
+# ----------------------------------------------------------------------
+#: epsilons people reach for in time comparisons sit well below this;
+#: genuine scheduling quantities (shares, rates) are larger
+_EPSILON_CEILING = 1e-3
+
+
+def _epsilon_operand(expr: ast.AST) -> float | None:
+    """The literal epsilon when ``expr`` is ``something ± tiny``."""
+    if not isinstance(expr, ast.BinOp):
+        return None
+    if not isinstance(expr.op, (ast.Add, ast.Sub)):
+        return None
+    for side in (expr.left, expr.right):
+        if isinstance(side, ast.Constant) and isinstance(side.value, float):
+            if 0.0 < side.value < _EPSILON_CEILING:
+                return side.value
+    return None
+
+
+@checker("DET004", ast.Compare)
+def _det004(node: ast.AST, ctx: _Context) -> Iterator[Finding]:
+    assert isinstance(node, ast.Compare)
+    if not all(isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+               for op in node.ops):
+        return
+    for expr in (node.left, *node.comparators):
+        eps = _epsilon_operand(expr)
+        if eps is not None:
+            yield _finding(
+                "DET004", node, ctx,
+                f"comparison against a bare epsilon ({eps!r}) — "
+                "absorbed by rounding at large simulated times",
+            )
+            return
 
 
 # ----------------------------------------------------------------------

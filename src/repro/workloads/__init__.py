@@ -28,6 +28,11 @@ from repro.workloads.generator import (
     QueueGenerator,
     paper_queues,
 )
+from repro.workloads.arrivals import (
+    DiurnalBurstArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+)
 
 __all__ = [
     "KernelModel",
@@ -42,4 +47,7 @@ __all__ = [
     "MixCategory",
     "QueueGenerator",
     "paper_queues",
+    "DiurnalBurstArrivals",
+    "PoissonArrivals",
+    "TraceArrivals",
 ]

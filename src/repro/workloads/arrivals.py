@@ -1,0 +1,185 @@
+"""Open-loop arrival processes for the fleet engine.
+
+:class:`~repro.cluster.fleet.FleetEngine` drains *open* workloads: jobs
+keep arriving while the fleet runs, and admission control decides which
+ones join the queue. This module provides the seeded generators for
+that open loop. Each process is an iterable of ``(time, benchmark_name)``
+pairs in non-decreasing time order; the engine pulls them lazily (one
+in-flight event per source), so a million-arrival process never
+materializes a million objects.
+
+* :class:`PoissonArrivals` — the classic memoryless open-loop workload:
+  exponential inter-arrival gaps at a fixed rate, benchmarks drawn
+  uniformly from a pool.
+* :class:`DiurnalBurstArrivals` — a nonhomogeneous Poisson process via
+  thinning, with a cosine day/night rate profile and optional
+  short-burst modulation; the shape production GPU queues actually
+  exhibit (quiet nights, bursty peaks).
+* :class:`TraceArrivals` — adapts a recorded
+  :class:`~repro.workloads.traces.JobTrace` to the same interface.
+
+All processes are bit-reproducible from their seed: re-iterating a
+process replays the identical arrival sequence (each ``__iter__`` call
+re-seeds a private generator).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.workloads.suite import benchmark
+from repro.workloads.traces import JobTrace
+
+__all__ = ["PoissonArrivals", "DiurnalBurstArrivals", "TraceArrivals"]
+
+#: arrivals drawn per RNG round-trip — keeps the lazy pull cheap without
+#: materializing the whole process
+_CHUNK = 4096
+
+
+def _validated_pool(pool) -> tuple[str, ...]:
+    names = tuple(pool)
+    if not names:
+        raise ConfigurationError("arrival pool cannot be empty")
+    for name in names:
+        benchmark(name)  # validate early, not at dispatch time
+    return names
+
+
+class PoissonArrivals:
+    """Homogeneous Poisson arrivals: ``rate`` jobs per simulated second.
+
+    ``n_jobs=None`` makes the process endless — pair that with an
+    ``until=`` horizon on :meth:`FleetEngine.run`, or it never drains.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        pool,
+        n_jobs: int | None,
+        seed: int = 0,
+        start: float = 0.0,
+    ):
+        if rate <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if n_jobs is not None and n_jobs < 0:
+            raise ConfigurationError("n_jobs cannot be negative")
+        self.rate = float(rate)
+        self.pool = _validated_pool(pool)
+        self.n_jobs = n_jobs
+        self.seed = seed
+        self.start = float(start)
+
+    def __iter__(self):
+        rng = np.random.default_rng(self.seed)
+        t = self.start
+        produced = 0
+        while self.n_jobs is None or produced < self.n_jobs:
+            m = _CHUNK if self.n_jobs is None else min(
+                _CHUNK, self.n_jobs - produced
+            )
+            gaps = rng.exponential(1.0 / self.rate, size=m).tolist()
+            picks = rng.integers(0, len(self.pool), size=m).tolist()
+            for gap, pick in zip(gaps, picks):
+                t += gap
+                yield t, self.pool[pick]
+            produced += m
+
+
+class DiurnalBurstArrivals:
+    """Nonhomogeneous Poisson arrivals with a diurnal rate profile.
+
+    The instantaneous rate follows a raised cosine between
+    ``base_rate`` (trough) and ``peak_rate`` (crest) with the given
+    ``period``, optionally multiplied by a square-wave burst factor
+    (``burst_factor`` for the first ``burst_duty`` fraction of each
+    ``burst_period``). Arrivals are drawn by thinning a homogeneous
+    process at the envelope rate — the standard exact simulation of a
+    nonhomogeneous Poisson process.
+    """
+
+    def __init__(
+        self,
+        base_rate: float,
+        peak_rate: float,
+        pool,
+        n_jobs: int | None,
+        period: float = 86_400.0,
+        phase: float = 0.0,
+        burst_factor: float = 1.0,
+        burst_period: float = 3_600.0,
+        burst_duty: float = 0.1,
+        seed: int = 0,
+        start: float = 0.0,
+    ):
+        if base_rate <= 0 or peak_rate < base_rate:
+            raise ConfigurationError(
+                "need 0 < base_rate <= peak_rate for a diurnal profile"
+            )
+        if period <= 0 or burst_period <= 0:
+            raise ConfigurationError("periods must be positive")
+        if burst_factor < 1.0 or not 0.0 < burst_duty <= 1.0:
+            raise ConfigurationError(
+                "need burst_factor >= 1 and 0 < burst_duty <= 1"
+            )
+        if n_jobs is not None and n_jobs < 0:
+            raise ConfigurationError("n_jobs cannot be negative")
+        self.base_rate = float(base_rate)
+        self.peak_rate = float(peak_rate)
+        self.pool = _validated_pool(pool)
+        self.n_jobs = n_jobs
+        self.period = float(period)
+        self.phase = float(phase)
+        self.burst_factor = float(burst_factor)
+        self.burst_period = float(burst_period)
+        self.burst_duty = float(burst_duty)
+        self.seed = seed
+        self.start = float(start)
+
+    def rate_at(self, t: float) -> float:
+        """The instantaneous arrival rate at simulated time ``t``."""
+        swing = 0.5 * (self.peak_rate - self.base_rate)
+        diurnal = self.base_rate + swing * (
+            1.0 - math.cos(2.0 * math.pi * (t - self.phase) / self.period)
+        )
+        in_burst = ((t - self.phase) % self.burst_period) < (
+            self.burst_duty * self.burst_period
+        )
+        return diurnal * (self.burst_factor if in_burst else 1.0)
+
+    @property
+    def envelope_rate(self) -> float:
+        return self.peak_rate * self.burst_factor
+
+    def __iter__(self):
+        rng = np.random.default_rng(self.seed)
+        envelope = self.envelope_rate
+        t = self.start
+        produced = 0
+        while self.n_jobs is None or produced < self.n_jobs:
+            gaps = rng.exponential(1.0 / envelope, size=_CHUNK).tolist()
+            accepts = rng.random(size=_CHUNK).tolist()
+            picks = rng.integers(0, len(self.pool), size=_CHUNK).tolist()
+            for gap, u, pick in zip(gaps, accepts, picks):
+                t += gap
+                if u * envelope >= self.rate_at(t):
+                    continue  # thinned candidate
+                yield t, self.pool[pick]
+                produced += 1
+                if self.n_jobs is not None and produced >= self.n_jobs:
+                    return
+
+
+class TraceArrivals:
+    """A recorded :class:`JobTrace` as an arrival process."""
+
+    def __init__(self, trace: JobTrace):
+        self.trace = trace
+
+    def __iter__(self):
+        for event in self.trace:
+            yield event.submit_time, event.benchmark_name

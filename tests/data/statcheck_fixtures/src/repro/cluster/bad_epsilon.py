@@ -1,0 +1,21 @@
+"""DET004 fodder: bare absolute-epsilon time comparisons."""
+
+
+def is_free(available_at, now):
+    return available_at <= now + 1e-9
+
+
+def overdue(end_time, now):
+    return now - 1e-6 > end_time
+
+
+def fine_relative(a, b, tol):
+    return a <= b + tol  # no literal epsilon: not flagged
+
+
+def fine_large(share):
+    return share >= 0.5 + 0.25  # epsilon ceiling: not flagged
+
+
+def suppressed(available_at, now):
+    return available_at <= now + 1e-9  # statcheck: ignore[DET004]

@@ -46,6 +46,8 @@ GOLDEN = {
     ("src/repro/bad_wallclock.py", 7, "DET001"),
     ("src/repro/bad_wallclock.py", 10, "DET001"),
     ("src/repro/bad_wallclock.py", 15, "DET001"),
+    ("src/repro/cluster/bad_epsilon.py", 5, "DET004"),
+    ("src/repro/cluster/bad_epsilon.py", 9, "DET004"),
     ("src/repro/core/bad_registry.py", 2, "OBS001"),
     ("src/repro/core/bad_registry.py", 3, "OBS001"),
     ("src/repro/insight/bad_order.py", 6, "DET003"),
@@ -88,6 +90,27 @@ def test_det003_only_fires_in_scoped_paths():
     assert [f.rule for f in kept] == ["DET003"]
     kept, _ = check_source(source, "src/repro/core/x.py", cfg)
     assert kept == []
+
+
+def test_det004_only_fires_in_cluster_paths():
+    source = "def f(avail, now):\n    return avail <= now + 1e-9\n"
+    cfg = load_config(FIXTURES)
+    kept, _ = check_source(source, "src/repro/cluster/x.py", cfg)
+    assert [f.rule for f in kept] == ["DET004"]
+    # faults.py and friends legitimately do small-float arithmetic
+    kept, _ = check_source(source, "src/repro/faults.py", cfg)
+    assert kept == []
+
+
+def test_det004_ignores_equality_and_large_constants():
+    cfg = load_config(FIXTURES)
+    for source in (
+        "def f(a, b):\n    return a == b + 1e-9\n",     # not relational
+        "def f(a, b):\n    return a <= b + 0.5\n",      # not an epsilon
+        "def f(a, b, tol):\n    return a <= b + tol\n", # no literal
+    ):
+        kept, _ = check_source(source, "src/repro/cluster/x.py", cfg)
+        assert kept == []
 
 
 def test_obs001_does_not_fire_in_telemetry_itself():
@@ -172,10 +195,10 @@ def test_cli_json_schema(capsys):
     assert doc["version"] == 1
     assert doc["tool"] == "repro.statcheck"
     assert doc["clean"] is False
-    assert doc["files_checked"] == 9
+    assert doc["files_checked"] == 10
     assert set(doc["suppressed"]) == {"baseline", "pragma"}
-    assert doc["suppressed"]["pragma"] == 3
-    assert set(doc["rules"]) >= {"DET001", "DET002", "DET003",
+    assert doc["suppressed"]["pragma"] == 4
+    assert set(doc["rules"]) >= {"DET001", "DET002", "DET003", "DET004",
                                  "OBS001", "HYG001", "HYG002"}
     required = {"rule", "path", "line", "col", "message", "fixit",
                 "text", "fingerprint"}

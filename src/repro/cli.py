@@ -21,6 +21,11 @@ Subcommands cover the pipeline stages:
   intervals) to an output directory;
 * ``alerts``   — run a cluster scenario with the insight anomaly/SLO
   detectors over its telemetry and print the raised alerts;
+* ``fleet``    — drain an open-loop arrival process (Poisson or
+  diurnal-burst, with a choice of admission policy) over a GPU fleet
+  through the event engine; ``--placement`` picks the cluster-level
+  router — the trained two-level ``agent`` or a classic baseline —
+  and the report includes energy and fairness accounting;
 * ``benchgate`` — diff a fresh training benchmark against the
   committed ``BENCH_training.json`` with tolerance bands; exits
   non-zero on regression (the CI perf gate);
@@ -29,7 +34,7 @@ Subcommands cover the pipeline stages:
   finding not grandfathered in the baseline (the CI static gate).
 
 ``--insight DIR`` (on ``train``/``schedule``/``cluster``/``trace``/
-``alerts``) attaches the decision flight recorder and writes
+``alerts``/``fleet``) attaches the decision flight recorder and writes
 ``decisions.jsonl`` plus the regret analysis (``regret.jsonl``,
 ``worst_decisions.txt``) to the directory.
 """
@@ -537,6 +542,179 @@ def _cmd_alerts(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.cluster.fleet import (
+        AdmitAll,
+        BoundedQueue,
+        FleetEngine,
+        TokenBucket,
+    )
+    from repro.core.serving import DecisionCache
+    from repro.hierarchy import (
+        JointTrainer,
+        LeastLoadedPlacement,
+        RandomPlacement,
+        RoundRobinPlacement,
+    )
+    from repro.power.model import PowerModel
+    from repro.workloads.arrivals import DiurnalBurstArrivals, PoissonArrivals
+    from repro.workloads.suite import TRAINING_SET
+
+    telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
+    out = sys.stderr if args.json == "-" else sys.stdout
+    pool = sorted(TRAINING_SET)[: args.pool_size]
+
+    trainer = JointTrainer(
+        n_nodes=args.nodes,
+        window_size=args.window,
+        c_max=args.c_max,
+        seed=args.seed,
+        jobs_per_episode=args.jobs_per_episode,
+        arrival_rate=args.rate,
+        pool=pool,
+        node_episodes=args.episodes,
+        prioritized=True,
+        crowding_threshold=args.crowding,
+        affinity_weight=0.5,
+    )
+    if args.placement == "agent":
+        print(
+            f"training both levels ({args.episodes} node episodes, "
+            f"{args.placement_episodes} placement episodes) ...",
+            file=out,
+        )
+        joint = trainer.train(episodes=args.placement_episodes)
+        placement = joint.placement
+        node_agent = joint.node.agent
+    else:
+        print(
+            f"training the node-level agent ({args.episodes} episodes) ...",
+            file=out,
+        )
+        node_agent = trainer.prepare_node_level().agent
+        placement = {
+            "least-loaded": LeastLoadedPlacement(),
+            "round-robin": RoundRobinPlacement(),
+            "random": RandomPlacement(args.seed),
+        }[args.placement]
+
+    # rebuild the serving selector so --telemetry/--insight attach to
+    # the optimizer that actually schedules the drain
+    recorder = _make_recorder(args)
+    optimizer = OnlineOptimizer(
+        node_agent,
+        trainer.repository,
+        ActionCatalog(c_max=args.c_max),
+        args.window,
+        telemetry=telemetry,
+        recorder=recorder,
+        decision_cache=DecisionCache(),
+    )
+    selector = PolicySelector(
+        co_scheduling=CoSchedulingPolicy(optimizer),
+        fcfs=FcfsPolicy(),
+        crowding_threshold=args.crowding,
+    )
+
+    if args.admission == "bounded":
+        admission = BoundedQueue(args.max_pending)
+    elif args.admission == "token-bucket":
+        admission = TokenBucket(
+            args.admit_rate if args.admit_rate else args.rate,
+            burst=args.admit_burst,
+        )
+    else:
+        admission = AdmitAll()
+
+    if args.arrivals == "diurnal":
+        peak = args.peak_rate if args.peak_rate else 2.0 * args.rate
+        arrivals = DiurnalBurstArrivals(
+            base_rate=args.rate,
+            peak_rate=peak,
+            pool=pool,
+            n_jobs=args.jobs,
+            period=args.period,
+            seed=args.seed + 17,
+        )
+    else:
+        arrivals = PoissonArrivals(
+            rate=args.rate, pool=pool, n_jobs=args.jobs, seed=args.seed + 17
+        )
+
+    placement.reset()
+    engine = FleetEngine(
+        ClusterState.homogeneous(args.nodes),
+        selector,
+        window_size=args.window,
+        admission=admission,
+        placement=placement,
+        power_model=PowerModel(),
+        telemetry=telemetry,
+    )
+    engine.attach_arrivals(arrivals)
+    print(
+        f"draining {args.jobs} {args.arrivals} arrivals over "
+        f"{args.nodes} nodes ({placement.name} placement) ...",
+        file=out,
+    )
+    result = engine.run()
+
+    summary = engine.summary()
+    print(file=out)
+    for key in (
+        "submitted", "admitted", "rejected", "completed", "failed", "windows",
+    ):
+        print(f"{key:<18s} {summary[key]:10d}", file=out)
+    print(f"{'makespan':<18s} {result.makespan:10.1f}s", file=out)
+    print(f"{'utilization':<18s} {result.utilization:10.3f}", file=out)
+    for key in ("mean_wait", "mean_turnaround"):
+        print(f"{key:<18s} {summary[key]:10.1f}s", file=out)
+    print(f"{'fairness_jain':<18s} {summary['fairness_jain']:10.3f}", file=out)
+    print(f"{'energy_joules':<18s} {summary['energy_joules']:10.0f}", file=out)
+    print(f"{'joules_per_job':<18s} {summary['joules_per_job']:10.1f}", file=out)
+    print(f"{'perf_per_watt':<18s} {summary['perf_per_watt']:10.4f}", file=out)
+
+    if args.json:
+        doc = {
+            "nodes": args.nodes,
+            "jobs": args.jobs,
+            "rate": args.rate,
+            "arrivals": args.arrivals,
+            "admission": args.admission,
+            "placement": placement.name,
+            "window_size": args.window,
+            "seed": args.seed,
+            "summary": summary,
+            "makespan": result.makespan,
+            "utilization": result.utilization,
+            "placements": [list(p) for p in result.placements],
+        }
+        if args.json == "-":
+            json.dump(doc, sys.stdout, indent=1, sort_keys=True)
+            sys.stdout.write("\n")
+        else:
+            with open(args.json, "w") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote run document to {args.json}", file=out)
+    if args.telemetry:
+        paths = write_artifacts(
+            telemetry,
+            args.telemetry,
+            makespan=engine.cluster.makespan,
+            n_tracks=len(engine.cluster.nodes),
+        )
+        print("telemetry artifacts: " + "  ".join(paths.values()), file=out)
+    if recorder is not None:
+        _write_insight_artifacts(
+            recorder, trainer.repository, args.insight, out=out
+        )
+    if summary["completed"] == 0:
+        print("no job completed (admission too tight?)", file=out)
+        return 1
+    return 0
+
+
 def _cmd_benchgate(args: argparse.Namespace) -> int:
     from repro.insight import benchgate as bg
 
@@ -599,10 +777,32 @@ def _cmd_benchgate(args: argparse.Namespace) -> int:
         )
         print(bg.format_checks(fleet_checks))
 
+    hierarchy_checks = []
+    if args.hierarchy_baseline:
+        hierarchy_baseline = bg.load_bench(args.hierarchy_baseline)
+        if args.hierarchy_candidate:
+            hierarchy_candidate = bg.load_bench(args.hierarchy_candidate)
+        else:
+            print("measuring a fresh hierarchy benchmark ...")
+            hierarchy_candidate = bg.measure_hierarchy_bench()
+            if args.hierarchy_out:
+                with open(args.hierarchy_out, "w") as fh:
+                    json.dump(hierarchy_candidate, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+                print(
+                    "wrote measured hierarchy candidate to "
+                    f"{args.hierarchy_out}"
+                )
+        hierarchy_checks = bg.compare_hierarchy_bench(
+            hierarchy_baseline, hierarchy_candidate, tolerance=args.tolerance
+        )
+        print(bg.format_checks(hierarchy_checks))
+
     if (
         bg.gate_passes(checks)
         and bg.gate_passes(serving_checks)
         and bg.gate_passes(fleet_checks)
+        and bg.gate_passes(hierarchy_checks)
     ):
         print("bench gate: PASS")
         return 0
@@ -762,6 +962,68 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=_cmd_alerts)
 
     p = sub.add_parser(
+        "fleet",
+        help="drain an open-loop arrival process over a GPU fleet "
+             "through the event engine, with a choice of placement "
+             "policy (two-level agent or classic baselines)",
+    )
+    p.add_argument("--nodes", type=int, default=16,
+                   help="fleet size in single-GPU nodes")
+    p.add_argument("--jobs", type=int, default=400,
+                   help="arrivals to drain")
+    p.add_argument("--rate", type=float, default=8.0,
+                   help="mean arrival rate, jobs per simulated second")
+    p.add_argument("--arrivals", choices=("poisson", "diurnal"),
+                   default="poisson",
+                   help="arrival process shape")
+    p.add_argument("--peak-rate", type=float, default=None,
+                   help="diurnal crest rate (default: 2x --rate)")
+    p.add_argument("--period", type=float, default=600.0,
+                   help="diurnal period in simulated seconds")
+    p.add_argument("--pool-size", type=int, default=6,
+                   help="distinct benchmarks in the arrival mix")
+    p.add_argument("--admission",
+                   choices=("admit-all", "bounded", "token-bucket"),
+                   default="admit-all",
+                   help="backpressure policy at the fleet door")
+    p.add_argument("--max-pending", type=int, default=512,
+                   help="queue bound (with --admission bounded)")
+    p.add_argument("--admit-rate", type=float, default=None,
+                   help="token refill rate (with --admission "
+                        "token-bucket; default: --rate)")
+    p.add_argument("--admit-burst", type=float, default=16.0,
+                   help="token bucket burst capacity")
+    p.add_argument("--placement",
+                   choices=("agent", "least-loaded", "round-robin", "random"),
+                   default="least-loaded",
+                   help="cluster-level routing policy (agent trains the "
+                        "placement DQN first)")
+    p.add_argument("--window", type=int, default=6)
+    p.add_argument("--c-max", type=int, default=3)
+    p.add_argument("--episodes", type=int, default=12,
+                   help="node-level offline training episodes")
+    p.add_argument("--placement-episodes", type=int, default=10,
+                   help="placement-level rollout episodes "
+                        "(with --placement agent)")
+    p.add_argument("--jobs-per-episode", type=int, default=100,
+                   help="arrivals per placement training rollout")
+    p.add_argument("--crowding", type=int, default=1,
+                   help="queue depth per free GPU that triggers "
+                        "co-scheduling")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--json", metavar="PATH",
+                   help="dump accounting, energy/fairness, and the "
+                        "placement trace as one JSON document "
+                        "('-' for stdout)")
+    p.add_argument("--telemetry", metavar="DIR",
+                   help="record metrics/traces and write telemetry "
+                        "artifacts to this directory")
+    p.add_argument("--insight", metavar="DIR",
+                   help="record per-window RL decisions and write "
+                        "decisions/regret artifacts to this directory")
+    p.set_defaults(fn=_cmd_fleet)
+
+    p = sub.add_parser(
         "benchgate",
         help="diff a training benchmark against the committed baseline "
              "and fail on regression",
@@ -799,6 +1061,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "measure a fresh one in-process)")
     p.add_argument("--fleet-out", metavar="PATH",
                    help="write the measured fleet candidate JSON here")
+    p.add_argument("--hierarchy-baseline", metavar="PATH",
+                   help="also gate the two-level placement benchmark "
+                        "against this baseline (e.g. BENCH_hierarchy.json)")
+    p.add_argument("--hierarchy-candidate", metavar="PATH",
+                   help="hierarchy candidate JSON to compare (default: "
+                        "measure a fresh one in-process)")
+    p.add_argument("--hierarchy-out", metavar="PATH",
+                   help="write the measured hierarchy candidate JSON here")
     p.set_defaults(fn=_cmd_benchgate)
 
     p = sub.add_parser(

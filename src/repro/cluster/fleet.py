@@ -41,6 +41,21 @@ Open-loop operation adds **admission control**: an
 :class:`AdmissionPolicy` sees every arrival and may shed it
 (backpressure), so a saturated fleet degrades by rejecting work instead
 of growing an unbounded queue.
+
+**Hierarchical placement** (``placement=`` or a
+:class:`repro.hierarchy.HierarchicalPolicy` selector) adds the
+cluster level above the node level: every admitted arrival is routed to
+a per-node queue by a placement policy at arrival-event time, and each
+dispatch round cuts one window per idle node *from that node's own
+queue* (the node-level agent keeps choosing groups and partitions
+exactly as before). With placement off — the default — none of the
+hierarchical state exists and dispatch is bitwise-identical to the
+single-queue engine.
+
+**Energy accounting** (``power_model=``) integrates the
+:mod:`repro.power` draw model over every dispatched group — pure
+accounting (``FleetStats.energy_joules``, joules/job, perf-per-watt,
+and an ``energy_joules_total`` gauge); schedules are unchanged.
 """
 
 from __future__ import annotations
@@ -57,7 +72,9 @@ from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
 from repro.cluster.node import ClusterState
 from repro.cluster.policy import PolicySelector
 from repro.cluster.scheduler import DispatchRecord
+from repro.power.model import PowerModel
 from repro.workloads.jobs import Job
+from repro.workloads.suite import PAPER_CLASSES
 
 __all__ = [
     "EventKind",
@@ -70,7 +87,20 @@ __all__ = [
     "FleetSnapshot",
     "FleetResult",
     "FleetEngine",
+    "CLASS_RANK",
+    "window_signature",
 ]
+
+#: canonical feature order for workload-class histograms (Table IV
+#: classes) — shared with :mod:`repro.hierarchy.features`.
+CLASS_RANK: dict[str, int] = {"CI": 0, "MI": 1, "US": 2}
+
+
+def window_signature(names) -> str:
+    """Order-independent identity of a window's benchmark multiset —
+    the key under which the fleet-wide decision cache would memoize the
+    window's schedule."""
+    return "+".join(sorted(names))
 
 #: windows per dispatch round (batched-serving batch size)
 _BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
@@ -202,6 +232,14 @@ class FleetStats:
     wait_sum: float = 0.0
     wait_max: float = 0.0
     turnaround_sum: float = 0.0
+    # energy accounting (power_model engines only; zeros otherwise)
+    energy_joules: float = 0.0
+    solo_work: float = 0.0  # solo-equivalent seconds dispatched
+    # fairness: per-job slowdown moments, O(1) memory (Jain's index
+    # needs only n, sum x and sum x^2)
+    slowdown_sum: float = 0.0
+    slowdown_sq_sum: float = 0.0
+    slowdown_count: int = 0
 
     @property
     def mean_wait(self) -> float:
@@ -210,6 +248,25 @@ class FleetStats:
     @property
     def mean_turnaround(self) -> float:
         return self.turnaround_sum / self.completed if self.completed else 0.0
+
+    @property
+    def joules_per_job(self) -> float:
+        return self.energy_joules / self.completed if self.completed else 0.0
+
+    @property
+    def perf_per_watt(self) -> float:
+        """Solo-equivalent seconds of work completed per joule-second —
+        dimensionless work/energy efficiency."""
+        return self.solo_work / self.energy_joules if self.energy_joules else 0.0
+
+    @property
+    def fairness_jain(self) -> float:
+        """Jain's fairness index over per-job slowdowns, in (0, 1]."""
+        if not self.slowdown_count or self.slowdown_sq_sum <= 0.0:
+            return 1.0
+        return (self.slowdown_sum * self.slowdown_sum) / (
+            self.slowdown_count * self.slowdown_sq_sum
+        )
 
     def to_dict(self) -> dict:
         return {
@@ -229,6 +286,10 @@ class FleetStats:
             "mean_wait": self.mean_wait,
             "max_wait": self.wait_max,
             "mean_turnaround": self.mean_turnaround,
+            "energy_joules": self.energy_joules,
+            "joules_per_job": self.joules_per_job,
+            "perf_per_watt": self.perf_per_watt,
+            "fairness_jain": self.fairness_jain,
         }
 
 
@@ -255,6 +316,14 @@ class FleetResult:
     history: list[DispatchRecord] = field(default_factory=list)
     schedules: list = field(default_factory=list)  # Schedule, keep_history only
     snapshots: list[FleetSnapshot] = field(default_factory=list)
+    # energy/fairness accounting (mirrors stats; zeros / 1.0 defaults)
+    energy_joules: float = 0.0
+    joules_per_job: float = 0.0
+    perf_per_watt: float = 0.0
+    fairness_jain: float = 1.0
+    # hierarchical-placement trace: (benchmark_name, node_index) per
+    # routed job, in routing order (placement engines only)
+    placements: list = field(default_factory=list)
 
 
 # ----------------------------------------------------------------------
@@ -282,6 +351,8 @@ class FleetEngine:
         telemetry: Telemetry = NULL_TELEMETRY,
         exact_execution: bool = False,
         keep_history: bool = False,
+        placement=None,
+        power_model: PowerModel | None = None,
     ):
         if window_size < 1:
             raise SchedulingError("window size must be positive")
@@ -289,8 +360,17 @@ class FleetEngine:
             raise SchedulingError("min batch must be positive")
         if max_retries < 0:
             raise SchedulingError("max_retries cannot be negative")
+        # A HierarchicalPolicy bundles (placement, selector); unwrap it
+        # so the engine drives the inner PolicySelector directly.
+        if placement is None:
+            wrapped = getattr(selector, "placement", None)
+            if wrapped is not None:
+                placement = wrapped
+                selector = selector.selector
         self.cluster = cluster
         self.selector = selector
+        self.placement = placement
+        self.power_model = power_model
         self.window_size = window_size
         self.min_batch = min_batch
         self.admission = admission or AdmitAll()
@@ -307,6 +387,22 @@ class FleetEngine:
         self.snapshots: list[FleetSnapshot] = []
         self.events = EventHeap()
         self._pending: deque = deque()  # (Job, submit_time)
+        # hierarchical-placement state; None/empty when placement is off
+        # (the flag-off path never touches any of it)
+        self.placements: list[tuple[str, int]] = []
+        self.collect_windows = False
+        self.collected_windows: list[tuple[str, ...]] = []
+        if placement is not None:
+            self._node_pending: list[deque] | None = [
+                deque() for _ in cluster.nodes
+            ]
+            self._node_mix: list[list[int]] = [
+                [0, 0, 0] for _ in cluster.nodes
+            ]
+        else:
+            self._node_pending = None
+            self._node_mix = []
+        self._window_sigs: set[str] = set()
         self._attempts: dict[str, int] = {}  # crash re-queues per job id
         self._sources: list = []  # open-loop arrival iterators
         self._live_arrivals = 0  # ARRIVAL events currently in the heap
@@ -433,6 +529,11 @@ class FleetEngine:
             history=self.history,
             schedules=self.schedules,
             snapshots=self.snapshots,
+            energy_joules=self.stats.energy_joules,
+            joules_per_job=self.stats.joules_per_job,
+            perf_per_watt=self.stats.perf_per_watt,
+            fairness_jain=self.stats.fairness_jain,
+            placements=self.placements,
         )
 
     def _handle(self, t: float, kind: EventKind, payload) -> None:
@@ -441,9 +542,12 @@ class FleetEngine:
             source_index, item = payload
             job = item if isinstance(item, Job) else Job.submit(item)
             self.stats.submitted += 1
-            if self.admission.admit(len(self._pending), self.now):
+            if self.admission.admit(self._queue_depth(), self.now):
                 self.stats.admitted += 1
-                self._pending.append((job, t))
+                if self._node_pending is None:
+                    self._pending.append((job, t))
+                else:
+                    self._route(job, t)
             else:
                 self.stats.rejected += 1
                 if self.telemetry.enabled:
@@ -463,7 +567,12 @@ class FleetEngine:
         elif kind is EventKind.REQUEUE:
             self._live_requeues -= 1
             job, submit_time = payload
-            self._pending.append((job, submit_time))
+            if self._node_pending is None:
+                self._pending.append((job, submit_time))
+            else:
+                # a crashed job is re-*placed* at its failure time — the
+                # placement level sees requeues as fresh routing decisions
+                self._route(job, submit_time)
         elif kind in (EventKind.RECONFIG, EventKind.FAULT):
             index, duration = payload
             node = self.cluster.nodes[index]
@@ -498,12 +607,12 @@ class FleetEngine:
                     completed=self.stats.completed,
                     failed=self.stats.failed,
                     rejected=self.stats.rejected,
-                    pending=len(self._pending),
+                    pending=self._queue_depth(),
                     busy_nodes=busy,
                 )
             )
             if self._checkpoint_interval is not None and (
-                busy > 0 or self._pending or self._work_incoming()
+                busy > 0 or self._queue_depth() > 0 or self._work_incoming()
             ):
                 self.events.push(
                     self.now + self._checkpoint_interval,
@@ -519,6 +628,75 @@ class FleetEngine:
         )
 
     # ------------------------------------------------------------------
+    # hierarchical placement (cluster level)
+    # ------------------------------------------------------------------
+    def _queue_depth(self) -> int:
+        if self._node_pending is None:
+            return len(self._pending)
+        return sum(len(q) for q in self._node_pending)
+
+    def _route(self, job: Job, submit_time: float) -> None:
+        """Ask the placement level for a node and enqueue the job there."""
+        index = int(self.placement.place(self, job, self.now))
+        if not 0 <= index < len(self.cluster.nodes):
+            raise SchedulingError(
+                f"placement chose node {index}; fleet has "
+                f"{len(self.cluster.nodes)} nodes"
+            )
+        self._node_pending[index].append((job, submit_time))
+        self.placements.append((job.benchmark_name, index))
+
+    def place_job(self, node_index: int, job: Job, at: float | None = None) -> None:
+        """Externally-decided placement (the :class:`PlacementEnv` hook):
+        admit ``job`` directly onto ``node_index`` at time ``at`` and run
+        one dispatch round. Bypasses both the event heap's ARRIVAL path
+        and the engine's own placement policy."""
+        if self._node_pending is None:
+            raise SchedulingError("place_job requires a placement-enabled engine")
+        if not 0 <= node_index < len(self.cluster.nodes):
+            raise SchedulingError(
+                f"node index {node_index} out of range for "
+                f"{len(self.cluster.nodes)} nodes"
+            )
+        t = self.now if at is None else float(at)
+        if time_lt(t, self.now):
+            raise SchedulingError("cannot place in the past")
+        self.now = max(self.now, t)
+        self.stats.submitted += 1
+        self.stats.admitted += 1
+        self._node_pending[node_index].append((job, t))
+        self.placements.append((job.benchmark_name, node_index))
+        self._dispatch_round()
+
+    def advance_to(self, t: float) -> None:
+        """Process every event up to ``t``, then move the clock there
+        (even if no event lands exactly at ``t``)."""
+        self.run(until=t)
+        if t > self.now:
+            self.now = float(t)
+
+    # --- per-node observation accessors (PlacementObservation inputs) --
+    def node_queue(self, index: int):
+        """The (job, submit_time) deque routed to node ``index``."""
+        if self._node_pending is None:
+            raise SchedulingError("engine has no placement level")
+        return self._node_pending[index]
+
+    def node_is_idle(self, index: int) -> bool:
+        return self._is_idle[index]
+
+    def node_mix(self, index: int) -> tuple[int, int, int]:
+        """Class histogram (CI, MI, US) of the node's last-dispatched
+        window — the running mix a newly-routed job would co-run after."""
+        mix = self._node_mix[index] if self._node_mix else (0, 0, 0)
+        return (mix[0], mix[1], mix[2])
+
+    def window_seen(self, signature: str) -> bool:
+        """Whether a window with this :func:`window_signature` has been
+        dispatched before — a proxy for decision-cache hit likelihood."""
+        return signature in self._window_sigs
+
+    # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
     def _dispatch_round(self) -> int:
@@ -530,6 +708,8 @@ class FleetEngine:
         sources are dry, the last partial window dispatches regardless
         of ``min_batch`` — the drain semantics.
         """
+        if self._node_pending is not None:
+            return self._dispatch_round_placed()
         pending = self._pending
         min_batch = self.min_batch if self._work_incoming() else 1
         if self._idle_count == 0 or len(pending) < min_batch:
@@ -571,6 +751,53 @@ class FleetEngine:
             self._execute(index, window, policy, schedule, fell_back)
         return len(cuts)
 
+    def _dispatch_round_placed(self) -> int:
+        """Hierarchical round: one window per ready idle node, cut from
+        that node's *own* queue (the placement level already decided
+        which jobs live where). Crowding selection sees the node-local
+        queue depth with ``free_gpus=1`` — each node is its own
+        single-GPU serving domain below the placement level."""
+        queues = self._node_pending
+        min_batch = self.min_batch if self._work_incoming() else 1
+        if self._idle_count == 0:
+            return 0
+        ready: list[tuple[float, int, int]] = []
+        parked: list[tuple[float, int, int]] = []
+        while self._idle:
+            entry = heapq.heappop(self._idle)
+            if entry[2] != self._gen[entry[1]]:
+                continue  # stale generation
+            if len(queues[entry[1]]) >= min_batch:
+                ready.append(entry)
+            else:
+                parked.append(entry)  # idle but nothing routed here yet
+        for entry in parked:
+            heapq.heappush(self._idle, entry)
+        if not ready:
+            return 0
+        ready.sort(key=lambda e: e[1])  # node order, like the flat round
+        cuts: list[tuple] = []
+        for avail, index, gen in ready:
+            queue = queues[index]
+            take = min(self.window_size, len(queue))
+            window = [queue.popleft() for _ in range(take)]
+            policy = self.selector.select(
+                queue_depth=len(queue) + take, free_gpus=1
+            )
+            cuts.append((index, window, policy))
+        scheduled = self.selector.schedule_batch(
+            [([job for job, _ in window], policy) for _, window, policy in cuts]
+        )
+        if self.telemetry.enabled:
+            self.telemetry.observe(
+                "dispatch_batch_windows",
+                float(len(cuts)),
+                buckets=_BATCH_BUCKETS,
+            )
+        for (index, window, policy), (schedule, fell_back) in zip(cuts, scheduled):
+            self._execute(index, window, policy, schedule, fell_back)
+        return len(cuts)
+
     def _execute(self, index, window, policy, schedule, fell_back) -> None:
         node = self.cluster.nodes[index]
         stats = self.stats
@@ -585,6 +812,30 @@ class FleetEngine:
         stats.windows += 1
         stats.dispatch_retries += outcome.retries
         stats.degraded_groups += outcome.degraded_groups
+        if self.power_model is not None:
+            joules = 0.0
+            for group in schedule.groups:
+                joules += self.power_model.group_power(
+                    [j.model for j in group.jobs],
+                    group.partition,
+                    group.corun_time,
+                ).energy_joules
+            stats.energy_joules += joules
+            stats.solo_work += schedule.total_solo_time
+            if self.telemetry.enabled:
+                self.telemetry.gauge("energy_joules_total", stats.energy_joules)
+        if self._node_pending is not None:
+            mix = [0, 0, 0]
+            for job, _ in window:
+                mix[CLASS_RANK.get(PAPER_CLASSES.get(job.benchmark_name, "US"), 2)] += 1
+            self._node_mix[index] = mix
+            self._window_sigs.add(
+                window_signature(job.benchmark_name for job, _ in window)
+            )
+        if self.collect_windows:
+            self.collected_windows.append(
+                tuple(job.benchmark_name for job, _ in window)
+            )
         failed = set(outcome.failed_job_ids)
         for job, submit_time in window:
             jid = job.job_id
@@ -611,7 +862,14 @@ class FleetEngine:
                 stats.wait_sum += wait
                 if wait > stats.wait_max:
                     stats.wait_max = wait
-                stats.turnaround_sum += outcome.finish_of[jid] - submit_time
+                turnaround = outcome.finish_of[jid] - submit_time
+                stats.turnaround_sum += turnaround
+                solo = job.solo_time
+                if solo > 0.0:
+                    slowdown = turnaround / solo
+                    stats.slowdown_sum += slowdown
+                    stats.slowdown_sq_sum += slowdown * slowdown
+                    stats.slowdown_count += 1
         self._is_idle[index] = False
         self._idle_count -= 1
         self.events.push(
@@ -634,7 +892,7 @@ class FleetEngine:
             )
             self.schedules.append(schedule)
         if self.telemetry.enabled:
-            self.telemetry.gauge("queue_depth", len(self._pending))
+            self.telemetry.gauge("queue_depth", self._queue_depth())
             self.telemetry.span(
                 "window",
                 node.name,
@@ -656,7 +914,7 @@ class FleetEngine:
     # ------------------------------------------------------------------
     @property
     def pending_depth(self) -> int:
-        return len(self._pending)
+        return self._queue_depth()
 
     def summary(self) -> dict:
         """The stats dict plus fleet-level derived quantities."""
@@ -664,5 +922,10 @@ class FleetEngine:
         doc["nodes"] = len(self.cluster.nodes)
         doc["makespan"] = self.cluster.makespan
         doc["utilization"] = self.cluster.utilization()
-        doc["pending"] = len(self._pending)
+        doc["pending"] = self._queue_depth()
+        doc["placement"] = (
+            getattr(self.placement, "name", type(self.placement).__name__)
+            if self.placement is not None
+            else None
+        )
         return doc

@@ -1,0 +1,74 @@
+"""Hierarchical resource partitioning, level two: cluster placement.
+
+The paper's agent stops at one node — a dueling DDQN picking co-run
+groups and MIG/MPS partitions for a single GPU. This package adds the
+level the title promises: a cluster-level **placement agent** that
+routes arriving jobs onto nodes, composed *above* the node-level agent
+(which keeps deciding groups and partitions unchanged). The split
+follows hierarchical RL practice (per-level observations, rewards, and
+rollout storage) and the RL co-schedulers of Souza et al. and the
+MIG-aware serving of Li et al. (MISO):
+
+* :mod:`repro.hierarchy.features` — the fleet-level observation
+  (queue depths, class mixes, idle structure, cache-hit likelihood);
+* :mod:`repro.hierarchy.placement` — placement policies: classic
+  baselines and the DQN :class:`PlacementAgent` (optionally on
+  prioritized replay);
+* :mod:`repro.hierarchy.policy` — :class:`HierarchicalPolicy`, the
+  two-level bundle :class:`~repro.cluster.fleet.FleetEngine` accepts
+  as a selector;
+* :mod:`repro.hierarchy.env` — :class:`PlacementEnv`, fleet routing
+  as a seeded, deterministic MDP;
+* :mod:`repro.hierarchy.rollout` — DEHRL-style per-level rollout
+  storage;
+* :mod:`repro.hierarchy.trainer` — :class:`JointTrainer` (node level
+  offline first, placement level on fleet rollouts, optional node
+  fine-tuning) plus checkpointing and evaluation helpers.
+"""
+
+from repro.hierarchy.features import (
+    N_GLOBAL_FEATURES,
+    N_NODE_FEATURES,
+    PlacementObservation,
+    job_class_index,
+)
+from repro.hierarchy.placement import (
+    LeastLoadedPlacement,
+    PlacementAgent,
+    PlacementConfig,
+    PlacementPolicy,
+    RandomPlacement,
+    RoundRobinPlacement,
+)
+from repro.hierarchy.policy import HierarchicalPolicy
+from repro.hierarchy.env import PlacementEnv, pair_affinity
+from repro.hierarchy.rollout import JointRollout, LevelRollout, LevelStep
+from repro.hierarchy.trainer import (
+    JointTrainer,
+    JointTrainingResult,
+    evaluate_placement,
+    load_joint,
+)
+
+__all__ = [
+    "N_GLOBAL_FEATURES",
+    "N_NODE_FEATURES",
+    "PlacementObservation",
+    "job_class_index",
+    "PlacementPolicy",
+    "LeastLoadedPlacement",
+    "RoundRobinPlacement",
+    "RandomPlacement",
+    "PlacementConfig",
+    "PlacementAgent",
+    "HierarchicalPolicy",
+    "PlacementEnv",
+    "pair_affinity",
+    "LevelStep",
+    "LevelRollout",
+    "JointRollout",
+    "JointTrainer",
+    "JointTrainingResult",
+    "evaluate_placement",
+    "load_joint",
+]

@@ -1,0 +1,240 @@
+"""The placement environment: fleet routing as an MDP.
+
+One episode replays one arrival trace against a fresh
+:class:`~repro.cluster.fleet.FleetEngine`. At every arrival the agent
+sees the :class:`~repro.hierarchy.features.PlacementObservation` and
+picks a node; the environment feeds the job in through
+:meth:`FleetEngine.place_job` (which runs a dispatch round), advances
+the engine's event heap to the next arrival, and returns the next
+observation. The node-level selector keeps choosing groups and
+partitions inside each dispatched window — the environment trains
+*only* the routing level, on top of whatever node-level policy it is
+handed.
+
+Reward is deterministic and dense:
+
+* a **wait penalty** — the chosen node's time-until-free plus its
+  queue backlog, in units of ``time_scale`` (the load-balancing term
+  every baseline also optimizes);
+* an **affinity bonus** — the mean predicted co-run throughput gain
+  between the arriving job and the jobs already queued on that node,
+  from the perf model's own pairwise half-GPU MPS simulations (the
+  mix-awareness term *no* load-only baseline can see);
+* a **terminal makespan term** — solo-equivalent work over
+  ``n_nodes x makespan``, the fleet's packing efficiency.
+
+Everything is seeded: same arrival trace + same policy state implies a
+byte-identical placement trace (the determinism tests pin this).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.cluster.fleet import FleetEngine
+from repro.cluster.node import ClusterState
+from repro.errors import ConfigurationError
+from repro.gpu.variants import enumerate_mps_only
+from repro.hierarchy.features import (
+    PlacementObservation,
+    node_finish_estimate,
+)
+from repro.hierarchy.placement import LeastLoadedPlacement
+from repro.perfmodel.cache import cached_simulate_corun
+from repro.rl.env import Env
+from repro.rl.spaces import Box, Discrete
+from repro.workloads.jobs import Job
+from repro.workloads.suite import benchmark
+
+__all__ = ["pair_affinity", "PlacementEnv"]
+
+
+def _half_split_tree():
+    """The symmetric 2-way MPS partition (0.5 + 0.5 of the device)."""
+    for variant in enumerate_mps_only(2):
+        fractions = [s.compute_fraction for s in variant.tree.slots()]
+        if all(abs(f - 0.5) < 1e-9 for f in fractions):
+            return variant.tree
+    raise ConfigurationError("no symmetric 2-way MPS variant found")
+
+
+def pair_affinity(pool: Iterable[str]) -> dict[tuple[str, str], float]:
+    """Pairwise co-run throughput gains over a benchmark pool.
+
+    ``gain(a, b) = (solo_a + solo_b) / corun_makespan`` under the
+    half/half MPS split — >1 where co-running pays, <1 where
+    interference dominates. Uses the process-wide co-run cache, so the
+    table costs O(pool^2) simulations once per process.
+    """
+    names = sorted(set(pool))
+    tree = _half_split_tree()
+    table: dict[tuple[str, str], float] = {}
+    for i, a in enumerate(names):
+        for b in names[i:]:
+            result = cached_simulate_corun(
+                [benchmark(a), benchmark(b)], tree
+            )
+            table[(a, b)] = result.solo_run_time / result.makespan
+    return table
+
+
+class PlacementEnv(Env):
+    """Gymnasium-style environment over fleet routing decisions.
+
+    ``arrival_factory(episode_index)`` supplies each episode's arrival
+    trace — any iterable of ``(time, benchmark_name)`` in
+    non-decreasing time order (e.g.
+    :class:`repro.workloads.arrivals.PoissonArrivals`).
+    """
+
+    def __init__(
+        self,
+        *,
+        n_nodes: int,
+        selector,
+        arrival_factory: Callable[[int], Iterable[tuple[float, str]]],
+        window_size: int = 6,
+        observation: PlacementObservation | None = None,
+        candidate_k: int = 8,
+        pool: Iterable[str] | None = None,
+        wait_weight: float = 1.0,
+        affinity_weight: float = 1.0,
+        terminal_weight: float = 2.0,
+        time_scale: float = 60.0,
+        collect_windows: bool = False,
+    ) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError("placement env needs at least one node")
+        self.n_nodes = int(n_nodes)
+        self.selector = selector
+        self.arrival_factory = arrival_factory
+        self.window_size = int(window_size)
+        self.observation = observation or PlacementObservation(
+            n_nodes, window_size, time_scale
+        )
+        if self.observation.n_nodes != self.n_nodes:
+            raise ConfigurationError("observation/env node counts differ")
+        self.candidate_k = int(candidate_k)
+        self.wait_weight = float(wait_weight)
+        self.affinity_weight = float(affinity_weight)
+        self.terminal_weight = float(terminal_weight)
+        self.time_scale = float(time_scale)
+        self.collect_windows = bool(collect_windows)
+        self._pair_gain = pair_affinity(pool) if pool is not None else None
+        self.observation_space = Box(
+            low=0.0, high=4.0, shape=(self.observation.n_inputs,)
+        )
+        self.action_space = Discrete(self.n_nodes)
+        self.engine: FleetEngine | None = None
+        self.collected_windows: list[tuple[str, ...]] = []
+        self._episode = -1
+        self._arrivals: list[tuple[float, str]] = []
+        self._i = 0
+        self._solo_sum = 0.0
+
+    # ------------------------------------------------------------------
+    def reset(
+        self, *, seed: int | None = None, options: dict | None = None
+    ) -> tuple[np.ndarray, dict[str, Any]]:
+        self._episode += 1
+        self._arrivals = [
+            (float(t), str(name))
+            for t, name in self.arrival_factory(self._episode)
+        ]
+        if not self._arrivals:
+            raise ConfigurationError("episode needs at least one arrival")
+        # fresh engine per episode; the selector (and its decision
+        # cache) persists across episodes, like the serving fleet.
+        # LeastLoadedPlacement only handles requeues — every arrival in
+        # this trace is routed by the agent through place_job.
+        self.engine = FleetEngine(
+            ClusterState.homogeneous(self.n_nodes),
+            self.selector,
+            window_size=self.window_size,
+            placement=LeastLoadedPlacement(),
+        )
+        self.engine.collect_windows = self.collect_windows
+        self._i = 0
+        self._solo_sum = 0.0
+        t0, name0 = self._arrivals[0]
+        self.engine.advance_to(t0)
+        return self.observation.observe(self.engine, name0), {
+            "action_mask": self.observation.candidate_mask(
+                self.engine, self.candidate_k
+            ),
+            "time": t0,
+            "benchmark": name0,
+        }
+
+    def step(
+        self, action: int
+    ) -> tuple[np.ndarray, float, bool, bool, dict[str, Any]]:
+        if self.engine is None:
+            raise ConfigurationError("call reset() before step()")
+        engine = self.engine
+        t, name = self._arrivals[self._i]
+        node = int(action)
+        reward = (
+            -self.wait_weight * self._wait_penalty(engine, node)
+            + self.affinity_weight * self._affinity_bonus(engine, node, name)
+        )
+        job = Job.submit(name)
+        self._solo_sum += job.solo_time
+        engine.place_job(node, job, at=t)
+        self._i += 1
+        if self._i == len(self._arrivals):
+            result = engine.run()  # drain everything still in flight
+            if self.collect_windows:
+                self.collected_windows.extend(engine.collected_windows)
+            makespan = max(result.makespan, 1e-9)
+            reward += self.terminal_weight * (
+                self._solo_sum / (self.n_nodes * makespan)
+            )
+            info: dict[str, Any] = {
+                "action_mask": np.ones(self.n_nodes, dtype=bool),
+                "result": result,
+                "makespan": makespan,
+                "fairness": engine.stats.fairness_jain,
+                "placements": list(engine.placements),
+            }
+            obs = np.zeros(self.observation.n_inputs, dtype=np.float64)
+            return obs, float(reward), True, False, info
+        t_next, name_next = self._arrivals[self._i]
+        engine.advance_to(t_next)
+        obs = self.observation.observe(engine, name_next)
+        return obs, float(reward), False, False, {
+            "action_mask": self.observation.candidate_mask(
+                engine, self.candidate_k
+            ),
+            "time": t_next,
+            "benchmark": name_next,
+        }
+
+    # ------------------------------------------------------------------
+    # reward terms
+    # ------------------------------------------------------------------
+    def _wait_penalty(self, engine: FleetEngine, node: int) -> float:
+        """Estimated queueing delay the job inherits on this node
+        (availability horizon + duration-aware solo backlog), in units
+        of ``time_scale``."""
+        return node_finish_estimate(engine, node) / self.time_scale
+
+    def _affinity_bonus(
+        self, engine: FleetEngine, node: int, name: str
+    ) -> float:
+        """Mean predicted co-run gain with the node's queued jobs,
+        centered at 0 (no queue-mates or no table: 0)."""
+        if self._pair_gain is None:
+            return 0.0
+        mates = [
+            job.benchmark_name for job, _ in engine.node_queue(node)
+        ][-(self.window_size - 1):] if self.window_size > 1 else []
+        if not mates:
+            return 0.0
+        total = 0.0
+        for mate in mates:
+            key = (name, mate) if name <= mate else (mate, name)
+            total += self._pair_gain.get(key, 1.0)
+        return total / len(mates) - 1.0

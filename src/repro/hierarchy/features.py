@@ -1,0 +1,172 @@
+"""Fleet-level observation builder for the placement agent.
+
+The cluster level sees a different world than the node level: not
+kernel counters, but queueing structure. Per node the observation
+carries
+
+* queue depth (in windows) and busy/idle state,
+* time until the node frees up (in units of ``time_scale``),
+* the class histogram (CI/MI/US, Table IV) of the jobs already routed
+  there — what the arriving job would co-run *with*,
+* the class mix of the node's last-dispatched window (its running mix),
+* the queued **solo-work backlog** in seconds — profiles make solo
+  times known at placement time, and duration-aware backlog is what
+  separates good routing from count-based least-loaded,
+* the decision-cache hit likelihood: whether the window the node would
+  cut next has been scheduled somewhere in the fleet before (the
+  fleet-wide decision cache would then serve it from memory).
+
+Globally it carries total backlog, the idle fraction, and a one-hot of
+the arriving job's class. Everything is normalized to O(1) ranges so
+one network serves fleets of any load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.fleet import CLASS_RANK, FleetEngine, window_signature
+from repro.errors import ConfigurationError
+from repro.workloads.suite import PAPER_CLASSES
+
+__all__ = [
+    "N_NODE_FEATURES",
+    "N_GLOBAL_FEATURES",
+    "CORUN_SPEED",
+    "job_class_index",
+    "node_backlog_seconds",
+    "node_finish_estimate",
+    "PlacementObservation",
+]
+
+#: per-node feature block width
+N_NODE_FEATURES = 11
+#: trailing global feature block width
+N_GLOBAL_FEATURES = 5
+
+#: saturation ceiling for unbounded ratios (queue depths, horizons)
+_CLIP = 4.0
+
+#: assumed effective co-run concurrency when converting queued solo
+#: seconds into wall seconds (the node level typically packs ~2 jobs'
+#: worth of progress per unit time under C_max = 3..4)
+CORUN_SPEED = 2.0
+
+
+def job_class_index(benchmark_name: str) -> int:
+    """CI/MI/US -> 0/1/2 (Table IV classes; unknown programs fall back
+    to the unsaturated class)."""
+    return CLASS_RANK.get(PAPER_CLASSES.get(benchmark_name, "US"), 2)
+
+
+def node_backlog_seconds(engine: FleetEngine, index: int) -> float:
+    """Wall-clock estimate of draining node ``index``'s queue: queued
+    solo seconds compressed by the assumed co-run speed."""
+    total = 0.0
+    for job, _ in engine.node_queue(index):
+        total += job.solo_time
+    return total / CORUN_SPEED
+
+
+def node_finish_estimate(engine: FleetEngine, index: int) -> float:
+    """When node ``index`` would finish the work already routed to it:
+    its availability horizon plus the queued backlog estimate."""
+    until_free = max(
+        engine.cluster.nodes[index].available_at - engine.now, 0.0
+    )
+    return until_free + node_backlog_seconds(engine, index)
+
+
+class PlacementObservation:
+    """Builds the placement agent's observation from a live engine.
+
+    Pure read: consumes no RNG and mutates neither the engine nor any
+    queue, so observing is bitwise-repeatable at a decision point.
+    """
+
+    def __init__(
+        self, n_nodes: int, window_size: int, time_scale: float = 60.0
+    ) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError("placement needs at least one node")
+        if window_size < 1:
+            raise ConfigurationError("window size must be positive")
+        if time_scale <= 0:
+            raise ConfigurationError("time scale must be positive")
+        self.n_nodes = int(n_nodes)
+        self.window_size = int(window_size)
+        self.time_scale = float(time_scale)
+
+    @property
+    def n_inputs(self) -> int:
+        return self.n_nodes * N_NODE_FEATURES + N_GLOBAL_FEATURES
+
+    # ------------------------------------------------------------------
+    def observe(self, engine: FleetEngine, benchmark_name: str) -> np.ndarray:
+        """The observation for routing ``benchmark_name`` now."""
+        x = np.zeros(self.n_inputs, dtype=np.float64)
+        now = engine.now
+        w = float(self.window_size)
+        nodes = engine.cluster.nodes
+        total_pending = 0
+        idle_nodes = 0
+        for i in range(self.n_nodes):
+            queue = engine.node_queue(i)
+            depth = len(queue)
+            total_pending += depth
+            base = i * N_NODE_FEATURES
+            x[base] = min(depth / w, _CLIP)
+            if engine.node_is_idle(i):
+                idle_nodes += 1
+            else:
+                x[base + 1] = 1.0
+            until_free = max(nodes[i].available_at - now, 0.0)
+            x[base + 2] = min(until_free / self.time_scale, _CLIP)
+            if depth:
+                hist = [0, 0, 0]
+                for job, _ in queue:
+                    hist[job_class_index(job.benchmark_name)] += 1
+                for c in range(3):
+                    x[base + 3 + c] = hist[c] / depth
+            mix = engine.node_mix(i)
+            running = mix[0] + mix[1] + mix[2]
+            if running:
+                for c in range(3):
+                    x[base + 6 + c] = mix[c] / running
+            x[base + 9] = min(
+                node_backlog_seconds(engine, i) / self.time_scale, _CLIP
+            )
+            # cache-hit likelihood: the window this node would cut next
+            # if the arriving job lands here
+            names = [job.benchmark_name for job, _ in queue]
+            names = names[: self.window_size - 1]
+            names.append(benchmark_name)
+            if engine.window_seen(window_signature(names)):
+                x[base + 10] = 1.0
+        g = self.n_nodes * N_NODE_FEATURES
+        x[g] = min(total_pending / (self.n_nodes * w), _CLIP)
+        x[g + 1] = idle_nodes / self.n_nodes
+        x[g + 2 + job_class_index(benchmark_name)] = 1.0
+        return x
+
+    def candidate_mask(self, engine: FleetEngine, k: int) -> np.ndarray:
+        """Restrict actions to the ``k`` earliest-finishing nodes
+        (availability horizon + queued solo backlog, ties by index).
+
+        ``k <= 0`` (or ``k >= n_nodes``) means no restriction. Masking
+        keeps the agent's exploration from ever producing a
+        catastrophically imbalanced fleet — it chooses *which* of the
+        temporally-best nodes gets the job, the dimension where
+        workload-mix awareness pays.
+        """
+        n = self.n_nodes
+        if k <= 0 or k >= n:
+            return np.ones(n, dtype=bool)
+        order = sorted(
+            range(n),
+            key=lambda i: (node_finish_estimate(engine, i), i),
+        )
+        mask = np.zeros(n, dtype=bool)
+        for i in order[:k]:
+            mask[i] = True
+        return mask

@@ -1,0 +1,51 @@
+"""The two-level policy bundle.
+
+:class:`HierarchicalPolicy` composes a cluster-level
+:class:`~repro.hierarchy.placement.PlacementPolicy` over the existing
+node-level :class:`~repro.cluster.policy.PolicySelector`. Handing one
+to :class:`~repro.cluster.fleet.FleetEngine` as the ``selector``
+switches the engine into hierarchical dispatch: the engine unwraps the
+bundle, routes arrivals through the placement level, and keeps driving
+the inner selector for groups and partitions exactly as before.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.policy import PolicySelector
+from repro.hierarchy.placement import PlacementPolicy
+from repro.workloads.jobs import Job
+
+__all__ = ["HierarchicalPolicy"]
+
+
+@dataclass
+class HierarchicalPolicy:
+    """Placement (cluster level) over selection (node level).
+
+    Also quacks like a :class:`PolicySelector` — ``select`` /
+    ``schedule_batch`` / ``fcfs`` delegate to the inner selector — so
+    it can stand anywhere a selector is expected.
+    """
+
+    placement: PlacementPolicy
+    selector: PolicySelector
+
+    @property
+    def co_scheduling(self):
+        return self.selector.co_scheduling
+
+    @property
+    def fcfs(self):
+        return self.selector.fcfs
+
+    @property
+    def crowding_threshold(self) -> int:
+        return self.selector.crowding_threshold
+
+    def select(self, queue_depth: int, free_gpus: int):
+        return self.selector.select(queue_depth, free_gpus)
+
+    def schedule_batch(self, cuts: list[tuple[list[Job], object]]):
+        return self.selector.schedule_batch(cuts)

@@ -1,0 +1,122 @@
+"""Per-level rollout storage for hierarchical training (DEHRL-style).
+
+Each level of the hierarchy — placement above, partitioning below —
+operates on its own timescale with its own transition stream, so each
+gets its own :class:`LevelRollout`: an on-policy episode buffer that
+accumulates ``(s, a, r, s', done, mask)`` tuples during the episode
+and flushes them into that level's learner afterwards. The
+:class:`JointRollout` bundles one rollout per level for the joint
+trainer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["LevelStep", "LevelRollout", "JointRollout"]
+
+
+@dataclass(frozen=True)
+class LevelStep:
+    """One transition of one hierarchy level."""
+
+    observation: np.ndarray
+    action: int
+    reward: float
+    next_observation: np.ndarray
+    done: bool
+    next_mask: np.ndarray | None
+
+
+class LevelRollout:
+    """Episode storage for one hierarchy level."""
+
+    def __init__(self, level: str, gamma: float = 1.0) -> None:
+        if not 0.0 <= gamma <= 1.0:
+            raise ConfigurationError("gamma must be in [0, 1]")
+        self.level = str(level)
+        self.gamma = float(gamma)
+        self.steps: list[LevelStep] = []
+
+    def insert(
+        self,
+        observation: np.ndarray,
+        action: int,
+        reward: float,
+        next_observation: np.ndarray,
+        done: bool,
+        next_mask: np.ndarray | None = None,
+    ) -> None:
+        self.steps.append(LevelStep(
+            observation=np.asarray(observation, dtype=np.float64),
+            action=int(action),
+            reward=float(reward),
+            next_observation=np.asarray(next_observation, dtype=np.float64),
+            done=bool(done),
+            next_mask=None if next_mask is None
+            else np.asarray(next_mask, dtype=bool),
+        ))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(s.reward for s in self.steps))
+
+    def returns(self) -> np.ndarray:
+        """Discounted return-to-go per step (diagnostics)."""
+        out = np.zeros(len(self.steps), dtype=np.float64)
+        acc = 0.0
+        for i in range(len(self.steps) - 1, -1, -1):
+            step = self.steps[i]
+            if step.done:
+                acc = 0.0
+            acc = step.reward + self.gamma * acc
+            out[i] = acc
+        return out
+
+    def replay_into(self, learner) -> float | None:
+        """Flush the episode into a learner's ``observe`` (any object
+        with the DQN agent's observe signature). Returns the mean loss
+        over the gradient steps that actually ran, or ``None`` if the
+        learner was still warming up throughout."""
+        losses = [
+            loss
+            for step in self.steps
+            if (loss := learner.observe(
+                step.observation,
+                step.action,
+                step.reward,
+                step.next_observation,
+                step.done,
+                step.next_mask,
+            )) is not None
+        ]
+        return float(np.mean(losses)) if losses else None
+
+    def clear(self) -> None:
+        self.steps.clear()
+
+
+class JointRollout:
+    """One rollout per hierarchy level, created on first use."""
+
+    def __init__(self, gammas: dict[str, float] | None = None) -> None:
+        self._gammas = dict(gammas or {})
+        self.levels: dict[str, LevelRollout] = {}
+
+    def level(self, name: str) -> LevelRollout:
+        if name not in self.levels:
+            self.levels[name] = LevelRollout(
+                name, self._gammas.get(name, 1.0)
+            )
+        return self.levels[name]
+
+    def clear(self) -> None:
+        for rollout in self.levels.values():
+            rollout.clear()

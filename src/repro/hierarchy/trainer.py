@@ -1,0 +1,335 @@
+"""Joint training of the two hierarchy levels.
+
+The node level first: an :class:`~repro.core.trainer.OfflineTrainer`
+trains the partitioning DDQN exactly as in the paper, and the frozen
+result becomes the node-level :class:`PolicySelector` (RL co-scheduling
+above the crowding threshold, FCFS below). The placement level then
+learns on top: epsilon-greedy rollouts through :class:`PlacementEnv`,
+with per-level rollout storage (:class:`LevelRollout`) flushed into the
+placement DQN after each episode — optionally through the prioritized
+replay buffer.
+
+Optionally the node level keeps learning too: every
+``finetune_every`` placement episodes, the windows the fleet actually
+dispatched are replayed through a :class:`CoSchedulingEnv` and the
+node agent takes gradient steps on them (then re-freezes; its serving
+decision cache is re-created because the cached schedules are stale
+once weights move).
+
+Checkpointing goes through :mod:`repro.rl.checkpoint` — one
+fingerprinted ``.npz`` per level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.cluster.fleet import FleetEngine, FleetResult
+from repro.cluster.node import ClusterState
+from repro.cluster.policy import CoSchedulingPolicy, FcfsPolicy, PolicySelector
+from repro.core.actions import ActionCatalog
+from repro.core.env import CoSchedulingEnv
+from repro.core.evaluation import profile_all_benchmarks
+from repro.core.optimizer import OnlineOptimizer
+from repro.core.serving import DecisionCache
+from repro.core.trainer import OfflineTrainer, TrainingResult
+from repro.errors import ConfigurationError
+from repro.hierarchy.env import PlacementEnv
+from repro.hierarchy.placement import (
+    PlacementAgent,
+    PlacementConfig,
+    PlacementPolicy,
+)
+from repro.hierarchy.policy import HierarchicalPolicy
+from repro.hierarchy.rollout import JointRollout
+from repro.rl.checkpoint import load_agent, save_agent
+from repro.rl.dqn import DuelingDoubleDQNAgent
+from repro.workloads.arrivals import PoissonArrivals
+from repro.workloads.jobs import Job
+from repro.workloads.suite import TRAINING_SET
+
+__all__ = [
+    "JointTrainingResult",
+    "JointTrainer",
+    "evaluate_placement",
+    "PLACEMENT_CHECKPOINT",
+    "NODE_CHECKPOINT",
+]
+
+PLACEMENT_CHECKPOINT = "placement.npz"
+NODE_CHECKPOINT = "node.npz"
+
+
+@dataclass
+class JointTrainingResult:
+    """Both trained levels plus per-episode learning curves."""
+
+    placement: PlacementAgent
+    node: TrainingResult
+    policy: HierarchicalPolicy
+    episode_returns: list[float] = field(default_factory=list)
+    episode_makespans: list[float] = field(default_factory=list)
+    episode_fairness: list[float] = field(default_factory=list)
+
+    def save(self, directory: str | Path) -> dict[str, Path]:
+        """Checkpoint both levels (fingerprinted, atomic)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        paths = {
+            "placement": directory / PLACEMENT_CHECKPOINT,
+            "node": directory / NODE_CHECKPOINT,
+        }
+        save_agent(self.placement.dqn, paths["placement"])
+        save_agent(self.node.agent, paths["node"])
+        return paths
+
+
+def load_joint(
+    directory: str | Path,
+) -> tuple[DuelingDoubleDQNAgent, DuelingDoubleDQNAgent]:
+    """Restore ``(placement_dqn, node_dqn)`` from a joint checkpoint
+    directory, architecture reconstructed from the fingerprints."""
+    directory = Path(directory)
+    return (
+        load_agent(directory / PLACEMENT_CHECKPOINT),
+        load_agent(directory / NODE_CHECKPOINT),
+    )
+
+
+class JointTrainer:
+    """Trains placement over partitioning on fleet rollouts."""
+
+    def __init__(
+        self,
+        n_nodes: int = 8,
+        window_size: int = 6,
+        c_max: int = 3,
+        seed: int = 0,
+        jobs_per_episode: int = 96,
+        arrival_rate: float = 2.0,
+        pool: list[str] | None = None,
+        node_episodes: int = 20,
+        node_queues: int = 4,
+        node_overrides: dict | None = None,
+        placement_overrides: dict | None = None,
+        prioritized: bool = False,
+        crowding_threshold: int = 1,
+        finetune_every: int = 0,
+        finetune_episodes: int = 1,
+        wait_weight: float = 1.0,
+        affinity_weight: float = 1.0,
+        terminal_weight: float = 2.0,
+        time_scale: float = 60.0,
+    ) -> None:
+        if min(n_nodes, jobs_per_episode, node_episodes) < 1:
+            raise ConfigurationError("joint trainer sizes must be positive")
+        if arrival_rate <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        self.n_nodes = n_nodes
+        self.window_size = window_size
+        self.c_max = c_max
+        self.seed = seed
+        self.jobs_per_episode = jobs_per_episode
+        self.arrival_rate = arrival_rate
+        self.pool = list(pool) if pool else sorted(TRAINING_SET)[:6]
+        self.node_episodes = node_episodes
+        self.node_queues = node_queues
+        self.node_overrides = node_overrides or {
+            "hidden": (64, 32),
+            "warmup_transitions": 32,
+            "batch_size": 16,
+            "epsilon_decay_rate": 0.98,
+        }
+        self.placement_overrides = placement_overrides or {}
+        self.prioritized = prioritized
+        self.crowding_threshold = crowding_threshold
+        self.finetune_every = finetune_every
+        self.finetune_episodes = finetune_episodes
+        self.wait_weight = wait_weight
+        self.affinity_weight = affinity_weight
+        self.terminal_weight = terminal_weight
+        self.time_scale = time_scale
+        # populated by train()
+        self.node_trainer: OfflineTrainer | None = None
+        self.repository = None
+        self.optimizer: OnlineOptimizer | None = None
+        self.selector: PolicySelector | None = None
+        self.env: PlacementEnv | None = None
+
+    # ------------------------------------------------------------------
+    def _build_node_level(self) -> TrainingResult:
+        self.node_trainer = OfflineTrainer(
+            window_size=self.window_size,
+            c_max=self.c_max,
+            n_training_queues=self.node_queues,
+            seed=self.seed,
+            dqn_overrides=dict(self.node_overrides),
+        )
+        result = self.node_trainer.train(episodes=self.node_episodes)
+        self.repository = result.repository.copy()
+        profile_all_benchmarks(self.repository)
+        self.optimizer = OnlineOptimizer(
+            result.agent,
+            self.repository,
+            ActionCatalog(c_max=self.c_max),
+            self.window_size,
+            decision_cache=DecisionCache(),
+        )
+        self.selector = PolicySelector(
+            co_scheduling=CoSchedulingPolicy(self.optimizer),
+            fcfs=FcfsPolicy(),
+            crowding_threshold=self.crowding_threshold,
+        )
+        return result
+
+    def prepare_node_level(self) -> TrainingResult:
+        """Train only the node level — for runs that pair the trained
+        partitioning agent with a classic placement baseline. The
+        serving ``selector`` and ``repository`` are populated after."""
+        return self._build_node_level()
+
+    def _arrival_factory(self, episode: int):
+        return PoissonArrivals(
+            rate=self.arrival_rate,
+            pool=self.pool,
+            n_jobs=self.jobs_per_episode,
+            seed=self.seed * 1009 + episode,
+        )
+
+    # ------------------------------------------------------------------
+    def train(self, episodes: int = 40) -> JointTrainingResult:
+        """Node level offline, then ``episodes`` placement rollouts."""
+        if episodes < 1:
+            raise ConfigurationError("need at least one placement episode")
+        node_result = self._build_node_level()
+        agent = PlacementAgent(PlacementConfig(
+            n_nodes=self.n_nodes,
+            window_size=self.window_size,
+            seed=self.seed,
+            prioritized=self.prioritized,
+            time_scale=self.time_scale,
+            **self.placement_overrides,
+        ))
+        self.env = PlacementEnv(
+            n_nodes=self.n_nodes,
+            selector=self.selector,
+            arrival_factory=self._arrival_factory,
+            window_size=self.window_size,
+            observation=agent.observation,
+            candidate_k=agent.config.candidate_k,
+            pool=self.pool,
+            wait_weight=self.wait_weight,
+            affinity_weight=self.affinity_weight,
+            terminal_weight=self.terminal_weight,
+            time_scale=self.time_scale,
+            collect_windows=self.finetune_every > 0,
+        )
+        result = JointTrainingResult(
+            placement=agent,
+            node=node_result,
+            policy=HierarchicalPolicy(
+                placement=agent, selector=self.selector
+            ),
+        )
+        rollouts = JointRollout(
+            gammas={"placement": agent.config.gamma}
+        )
+        for episode in range(episodes):
+            obs, info = self.env.reset()
+            rollout = rollouts.level("placement")
+            rollout.clear()
+            done = False
+            episode_return = 0.0
+            while not done:
+                action = agent.act(obs, info["action_mask"])
+                next_obs, reward, terminated, truncated, info = (
+                    self.env.step(action)
+                )
+                done = terminated or truncated
+                rollout.insert(
+                    obs, action, reward, next_obs, done,
+                    info.get("action_mask"),
+                )
+                episode_return += reward
+                obs = next_obs
+            rollout.replay_into(agent)
+            result.episode_returns.append(episode_return)
+            result.episode_makespans.append(float(info["makespan"]))
+            result.episode_fairness.append(float(info["fairness"]))
+            if (
+                self.finetune_every
+                and (episode + 1) % self.finetune_every == 0
+            ):
+                self._finetune_node(node_result, episode)
+        agent.freeze()
+        return result
+
+    def _finetune_node(
+        self, node_result: TrainingResult, episode: int
+    ) -> None:
+        """Replay fleet-dispatched windows through the node-level env."""
+        windows = [
+            [Job.submit(name) for name in names]
+            for names in self.env.collected_windows[-64:]
+            if len(names) >= 2
+        ]
+        if not windows:
+            return
+        env = CoSchedulingEnv(
+            windows=windows,
+            repository=self.repository,
+            catalog=self.node_trainer.catalog,
+            window_size=self.window_size,
+            reward_config=self.node_trainer.reward_config,
+            seed=self.seed + 101 + episode,
+            binding=self.node_trainer.binding,
+        )
+        node_agent = node_result.agent
+        node_agent.unfreeze()
+        for _ in range(self.finetune_episodes):
+            obs, info = env.reset()
+            done = False
+            while not done:
+                action = node_agent.act(obs, info["action_mask"])
+                next_obs, reward, terminated, truncated, info = env.step(
+                    action
+                )
+                done = terminated or truncated
+                node_agent.observe(
+                    obs, action, reward, next_obs, done,
+                    info["action_mask"],
+                )
+                obs = next_obs
+        node_agent.freeze()
+        # cached schedules were computed under the old weights
+        self.optimizer.decision_cache = DecisionCache()
+
+
+# ----------------------------------------------------------------------
+# evaluation
+# ----------------------------------------------------------------------
+def evaluate_placement(
+    placement: PlacementPolicy,
+    selector: PolicySelector,
+    n_nodes: int,
+    arrivals,
+    window_size: int = 6,
+    power_model=None,
+) -> FleetResult:
+    """Drain one arrival process under a placement policy and report.
+
+    Resets the policy first (round-robin cursor, random stream) so
+    repeated evaluations are reproducible; agents should be frozen by
+    the caller.
+    """
+    placement.reset()
+    engine = FleetEngine(
+        ClusterState.homogeneous(n_nodes),
+        selector,
+        window_size=window_size,
+        placement=placement,
+        power_model=power_model,
+    )
+    engine.attach_arrivals(arrivals)
+    return engine.run()

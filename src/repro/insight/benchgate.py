@@ -54,15 +54,19 @@ __all__ = [
     "SERVING_BOOL_CHECKS",
     "FLEET_RATIO_CHECKS",
     "FLEET_BOOL_CHECKS",
+    "HIERARCHY_RATIO_CHECKS",
+    "HIERARCHY_BOOL_CHECKS",
     "load_bench",
     "compare_bench",
     "compare_serving_bench",
     "compare_fleet_bench",
+    "compare_hierarchy_bench",
     "gate_passes",
     "format_checks",
     "measure_training_bench",
     "measure_serving_bench",
     "measure_fleet_bench",
+    "measure_hierarchy_bench",
 ]
 
 DEFAULT_TOLERANCE = 0.15
@@ -96,6 +100,22 @@ FLEET_RATIO_CHECKS = ("fleet.completions_per_min",)
 #: fleet-document keys that must be exactly true in the candidate
 #: (the event engine's bitwise-identity contract with the old loop)
 FLEET_BOOL_CHECKS = ("fleet.identical_schedules",)
+
+#: hierarchy-document keys, higher-is-better: the two-level policy's
+#: makespan edge over least-loaded, its relative fairness, and the
+#: wall-clock routing throughput of the learned placement level
+HIERARCHY_RATIO_CHECKS = (
+    "hierarchy.makespan_improvement",
+    "hierarchy.fairness_ratio",
+    "hierarchy.placements_per_sec",
+)
+
+#: hierarchy-document keys that must be exactly true in the candidate
+HIERARCHY_BOOL_CHECKS = (
+    "hierarchy.beats_baseline",
+    "hierarchy.fairness_no_worse",
+    "hierarchy.off_flag_identical",
+)
 
 
 @dataclass(frozen=True)
@@ -204,6 +224,19 @@ def compare_fleet_bench(
         tolerance,
         ratio_checks=FLEET_RATIO_CHECKS,
         bool_checks=FLEET_BOOL_CHECKS,
+    )
+
+
+def compare_hierarchy_bench(
+    baseline: dict, candidate: dict, tolerance: float | None = None
+) -> list[GateCheck]:
+    """The hierarchy-document gate (``BENCH_hierarchy.json`` schema)."""
+    return compare_bench(
+        baseline,
+        candidate,
+        tolerance,
+        ratio_checks=HIERARCHY_RATIO_CHECKS,
+        bool_checks=HIERARCHY_BOOL_CHECKS,
     )
 
 
@@ -632,5 +665,241 @@ def measure_fleet_bench(
             "utilization": fleet_result.utilization,
             "mean_wait": fleet_result.stats.mean_wait,
             "identical_schedules": bool(identical),
+        },
+    }
+
+
+#: bench pool for the hierarchy gate: two long CI programs, two MI,
+#: two short US — maximal spread in both pair affinity and solo time,
+#: the two signals the placement level can exploit and the class-blind
+#: baselines cannot
+HIERARCHY_BENCH_POOL = (
+    "hotspot3D", "lavaMD", "lud_A", "stream", "kmeans", "pathfinder",
+)
+
+
+def measure_hierarchy_bench(
+    n_nodes: int = 100,
+    eval_jobs: int = 2000,
+    arrival_rate: float = 40.0,
+    node_episodes: int = 12,
+    placement_episodes: int = 10,
+    jobs_per_episode: int = 300,
+    seed: int = 7,
+    clock: Clock = perf_clock,
+) -> dict:
+    """A fresh hierarchy benchmark document (``BENCH_hierarchy.json``).
+
+    Trains the two-level policy with :class:`JointTrainer` (node-level
+    DDQN offline, then placement DQN on fleet rollouts with prioritized
+    replay), then drains one held-out Poisson stream at ``n_nodes``
+    under every placement policy — the trained agent and the
+    ``least-loaded`` / ``round-robin`` / ``random`` baselines, all over
+    the *same* node-level selector, so the comparison isolates the
+    placement level. The simulation is deterministic end to end: the
+    makespan/fairness ratios reproduce bit-for-bit given the seeds, and
+    only ``placements_per_sec`` is wall-clock.
+
+    The document also carries the flag-off identity contract: a
+    placement-free engine over the same trained node level must stay
+    bitwise-identical to the :class:`ClusterScheduler` oracle (dispatch
+    records and schedule fingerprints), proving the hierarchical wiring
+    is a no-op when off. Makes no threshold assertion itself — the perf
+    suite asserts the beats-baseline floor and the gate's tolerance
+    band does the ratcheting.
+    """
+    from repro.cluster.fleet import FleetEngine
+    from repro.cluster.node import ClusterState
+    from repro.cluster.scheduler import ClusterScheduler
+    from repro.core.serving import schedule_fingerprint
+    from repro.hierarchy import (
+        JointTrainer,
+        LeastLoadedPlacement,
+        RandomPlacement,
+        RoundRobinPlacement,
+        evaluate_placement,
+    )
+    from repro.power.model import PowerModel
+    from repro.workloads.arrivals import PoissonArrivals
+    from repro.workloads.generator import MixCategory, QueueGenerator
+    from repro.workloads.jobs import Job, JobQueue
+
+    if min(n_nodes, eval_jobs, node_episodes, placement_episodes) <= 0:
+        raise ReproError("hierarchy bench sizes must be positive")
+    if arrival_rate <= 0:
+        raise ReproError("arrival rate must be positive")
+
+    pool = list(HIERARCHY_BENCH_POOL)
+    trainer = JointTrainer(
+        n_nodes=n_nodes,
+        window_size=6,
+        c_max=3,
+        seed=seed,
+        jobs_per_episode=jobs_per_episode,
+        arrival_rate=arrival_rate,
+        pool=pool,
+        node_episodes=node_episodes,
+        prioritized=True,
+        wait_weight=1.0,
+        affinity_weight=0.5,
+        terminal_weight=2.0,
+        placement_overrides={
+            "hidden": (64, 32),
+            "candidate_k": 12,
+            "gamma": 0.5,
+            "warmup_transitions": 64,
+            "batch_size": 32,
+            "epsilon_decay_rate": 0.995,
+        },
+    )
+    t0 = clock()
+    joint = trainer.train(episodes=placement_episodes)
+    train_wall = clock() - t0
+
+    def arrivals():
+        # held-out stream: a seed no training episode uses
+        return PoissonArrivals(
+            rate=arrival_rate, pool=pool, n_jobs=eval_jobs, seed=seed + 17
+        )
+
+    power = PowerModel()
+    policies = [
+        joint.placement,
+        LeastLoadedPlacement(),
+        RoundRobinPlacement(),
+        RandomPlacement(seed),
+    ]
+    per_policy: dict[str, dict] = {}
+    agent_wall = 1e-12
+    for policy in policies:
+        t0 = clock()
+        fr = evaluate_placement(
+            policy,
+            trainer.selector,
+            n_nodes,
+            arrivals(),
+            window_size=trainer.window_size,
+            power_model=power,
+        )
+        wall = max(clock() - t0, 1e-12)
+        if policy.name == "agent":
+            agent_wall = wall
+        per_policy[policy.name] = {
+            "makespan": fr.makespan,
+            "fairness_jain": fr.fairness_jain,
+            "mean_wait": fr.stats.mean_wait,
+            "mean_turnaround": fr.stats.mean_turnaround,
+            "utilization": fr.utilization,
+            "completed": fr.stats.completed,
+            "energy_joules": fr.energy_joules,
+            "joules_per_job": fr.joules_per_job,
+            "perf_per_watt": fr.perf_per_watt,
+            "wall_seconds": wall,
+        }
+    agent = per_policy["agent"]
+    least_loaded = per_policy["least-loaded"]
+    baselines = {k: v for k, v in per_policy.items() if k != "agent"}
+    best_name = min(baselines, key=lambda k: baselines[k]["makespan"])
+    best = baselines[best_name]
+
+    # flag-off identity: a placement-free engine over the same trained
+    # node level vs the ClusterScheduler oracle, bitwise
+    def make_selector():
+        from repro.cluster.policy import (
+            CoSchedulingPolicy,
+            FcfsPolicy,
+            PolicySelector,
+        )
+        from repro.core.actions import ActionCatalog
+        from repro.core.optimizer import OnlineOptimizer
+        from repro.core.serving import DecisionCache
+
+        optimizer = OnlineOptimizer(
+            joint.node.agent,
+            trainer.repository,
+            ActionCatalog(c_max=trainer.c_max),
+            trainer.window_size,
+            decision_cache=DecisionCache(),
+        )
+        return PolicySelector(
+            co_scheduling=CoSchedulingPolicy(optimizer),
+            fcfs=FcfsPolicy(),
+            crowding_threshold=1,
+        )
+
+    class _RecordingSelector:
+        def __init__(self, inner):
+            self.inner = inner
+            self.fcfs = inner.fcfs
+            self.co_scheduling = inner.co_scheduling
+            self.schedules: list = []
+
+        def select(self, queue_depth: int, free_gpus: int):
+            return self.inner.select(queue_depth, free_gpus)
+
+        def schedule_batch(self, cuts):
+            out = self.inner.schedule_batch(cuts)
+            self.schedules.extend(s for s, _ in out)
+            return out
+
+    gen = QueueGenerator(seed=seed + 3, training_only=True)
+    names: list[str] = []
+    for _ in range(8):
+        names.extend(
+            gen.queue(MixCategory.BALANCED, w=trainer.window_size)
+            .benchmark_names
+        )
+    jobs = [Job.submit(name) for name in names]
+    recording = _RecordingSelector(make_selector())
+    oracle = ClusterScheduler(
+        cluster=ClusterState.homogeneous(3),
+        selector=recording,  # type: ignore[arg-type]
+        window_size=trainer.window_size,
+    )
+    oracle_records = oracle.run(JobQueue(jobs=list(jobs)))
+    engine = FleetEngine(
+        ClusterState.homogeneous(3),
+        make_selector(),
+        window_size=trainer.window_size,
+        keep_history=True,
+    )
+    for job in jobs:
+        engine.submit(job, at=0.0)
+    engine_result = engine.run()
+    off_flag_identical = (
+        oracle_records == engine_result.history
+        and [schedule_fingerprint(s) for s in recording.schedules]
+        == [schedule_fingerprint(s) for s in engine_result.schedules]
+    )
+
+    return {
+        "hierarchy": {
+            "n_nodes": n_nodes,
+            "eval_jobs": eval_jobs,
+            "arrival_rate": arrival_rate,
+            "window_size": trainer.window_size,
+            "pool": pool,
+            "node_episodes": node_episodes,
+            "placement_episodes": placement_episodes,
+            "jobs_per_episode": jobs_per_episode,
+            "train_wall_seconds": train_wall,
+            "policies": per_policy,
+            "best_baseline": best_name,
+            "makespan_improvement": (
+                least_loaded["makespan"] / agent["makespan"]
+            ),
+            "makespan_improvement_vs_best": (
+                best["makespan"] / agent["makespan"]
+            ),
+            "fairness_ratio": (
+                agent["fairness_jain"] / least_loaded["fairness_jain"]
+            ),
+            "placements_per_sec": eval_jobs / agent_wall,
+            "beats_baseline": bool(agent["makespan"] < best["makespan"]),
+            "fairness_no_worse": bool(
+                agent["fairness_jain"]
+                >= least_loaded["fairness_jain"] - 0.01
+            ),
+            "off_flag_identical": bool(off_flag_identical),
         },
     }

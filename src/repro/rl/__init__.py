@@ -9,7 +9,7 @@ functionality from scratch:
 * :mod:`repro.rl.nn` — fully-connected networks with manual backprop,
   including the dueling value/advantage head of Wang et al. (2016).
 * :mod:`repro.rl.optim` — SGD with momentum and Adam.
-* :mod:`repro.rl.replay` — uniform experience replay.
+* :mod:`repro.rl.replay` — uniform and sum-tree prioritized replay.
 * :mod:`repro.rl.dqn` — the dueling **double** DQN agent of the paper
   (Hasselt et al. 2016 target decoupling), with invalid-action masking.
 * :mod:`repro.rl.schedules` — the epsilon-greedy decay schedule.
@@ -19,7 +19,12 @@ from repro.rl.spaces import Discrete, Box
 from repro.rl.env import Env
 from repro.rl.nn import Linear, ReLU, Sequential, DuelingQNetwork
 from repro.rl.optim import SGD, Adam
-from repro.rl.replay import ReplayBuffer, Transition
+from repro.rl.replay import (
+    PrioritizedReplayBuffer,
+    ReplayBuffer,
+    SumTree,
+    Transition,
+)
 from repro.rl.schedules import LinearDecay, ExponentialDecay
 from repro.rl.dqn import DQNConfig, DuelingDoubleDQNAgent
 
@@ -34,6 +39,8 @@ __all__ = [
     "SGD",
     "Adam",
     "ReplayBuffer",
+    "PrioritizedReplayBuffer",
+    "SumTree",
     "Transition",
     "LinearDecay",
     "ExponentialDecay",

@@ -217,9 +217,15 @@ class DuelingDoubleDQNAgent:
         if next_mask is None:
             next_mask = np.ones(self.config.n_actions, dtype=bool)
         self.replay.push(state, action, reward, next_state, done, next_mask)
-        if len(self.replay) < self.config.warmup_transitions:
+        if len(self.replay) < self._warm_threshold:
             return None
         return self.train_step()
+
+    @property
+    def _warm_threshold(self) -> int:
+        # never ask the replay buffer for more rows than it holds —
+        # sample() rejects oversized draws instead of silently repeating
+        return max(self.config.warmup_transitions, self.config.batch_size)
 
     def observe_many(
         self,
@@ -239,7 +245,7 @@ class DuelingDoubleDQNAgent:
         self.replay.push_many(
             states, actions, rewards, next_states, dones, next_masks
         )
-        if len(self.replay) < self.config.warmup_transitions:
+        if len(self.replay) < self._warm_threshold:
             return None
         losses = [self.train_step() for _ in range(len(np.atleast_1d(actions)))]
         return float(np.mean(losses))

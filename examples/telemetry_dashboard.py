@@ -25,8 +25,18 @@ STRIP_WIDTH = 60
 
 
 def load_artifacts(out_dir: str):
-    with open(os.path.join(out_dir, "timeline.json")) as fh:
-        timeline = json.load(fh)
+    # zero-fill on missing/empty/corrupt artifacts: a crashed or
+    # zero-completion run still renders a (mostly empty) dashboard
+    timeline = {"makespan": 0.0, "utilization": 0.0, "devices": {}}
+    timeline_path = os.path.join(out_dir, "timeline.json")
+    if os.path.exists(timeline_path):
+        try:
+            with open(timeline_path) as fh:
+                loaded = json.load(fh)
+            if isinstance(loaded, dict):
+                timeline = {**timeline, **loaded}
+        except (OSError, ValueError):
+            pass
     prom_path = os.path.join(out_dir, "metrics.prom")
     metrics: dict[str, float] = {}
     if os.path.exists(prom_path):
@@ -65,6 +75,8 @@ def utilization_strip(intervals: list[dict], makespan: float) -> str:
 
 
 def load_jsonl(path: str) -> list[dict]:
+    if not os.path.exists(path):
+        return []
     rows = []
     with open(path) as fh:
         for line in fh:
@@ -72,6 +84,53 @@ def load_jsonl(path: str) -> list[dict]:
             if line:
                 rows.append(json.loads(line))
     return rows
+
+
+def render_fleet_frames(out_dir: str) -> None:
+    """Rollup frames from a ``repro-gpu fleet --telemetry`` run."""
+    frames = load_jsonl(os.path.join(out_dir, "frames.jsonl"))
+    if not frames:
+        return
+    last = frames[-1]
+    print()
+    print(f"fleet frames ({len(frames)}): "
+          f"t={last.get('time', 0.0):.1f}s  "
+          f"completed={last.get('completed', 0)}  "
+          f"failed={last.get('failed', 0)}  "
+          f"rejected={last.get('rejected', 0)}")
+    for key, label in (
+        ("pending", "pending"),
+        ("busy_nodes", "busy nodes"),
+        ("utilization", "utilization"),
+        ("queue_wait_p95", "queue-wait p95 (s)"),
+        ("decisions_per_sec", "decisions/sec"),
+    ):
+        series = [float(f.get(key, 0.0)) for f in frames]
+        print(f"  {label:<20s} last={series[-1]:10.3f}  "
+              f"max={max(series):10.3f}  "
+              f"mean={sum(series) / len(series):10.3f}")
+
+
+def render_lifecycle(out_dir: str) -> None:
+    """Per-job span-tree outcomes from ``lifecycle.jsonl``."""
+    records = load_jsonl(os.path.join(out_dir, "lifecycle.jsonl"))
+    if not records:
+        return
+    outcomes: dict[str, int] = {}
+    attempts = 0
+    waits = []
+    for record in records:
+        outcome = str(record.get("outcome", "unknown"))
+        outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        attempts += int(record.get("attempts", 0))
+        if "wait" in record:
+            waits.append(float(record["wait"]))
+    mix = "  ".join(f"{k}={outcomes[k]}" for k in sorted(outcomes))
+    print()
+    print(f"lifecycle: {len(records)} jobs  {mix}  attempts={attempts}")
+    if waits:
+        print(f"  queue wait: mean={sum(waits) / len(waits):8.1f}s  "
+              f"max={max(waits):8.1f}s")
 
 
 def render_alerts(out_dir: str) -> None:
@@ -113,10 +172,12 @@ def render_worst_decisions(out_dir: str, top: int = 5) -> None:
 
 def main() -> int:
     out_dir = sys.argv[1] if len(sys.argv) > 1 else "out"
-    if not os.path.exists(os.path.join(out_dir, "timeline.json")):
+    known = ("timeline.json", "frames.jsonl", "lifecycle.jsonl")
+    if not any(os.path.exists(os.path.join(out_dir, n)) for n in known):
         print(
-            f"no timeline.json under {out_dir!r} — produce one with:\n"
-            f"  repro-gpu trace Q1 --episodes 50 --faults 0.05 --out {out_dir}"
+            f"no telemetry artifacts under {out_dir!r} — produce some with:\n"
+            f"  repro-gpu trace Q1 --episodes 50 --faults 0.05 --out {out_dir}\n"
+            f"  repro-gpu fleet --telemetry {out_dir}"
         )
         return 1
     timeline, metrics = load_artifacts(out_dir)
@@ -151,6 +212,8 @@ def main() -> int:
         ):
             if name in metrics:
                 print(f"  {name:28s} {metrics[name]:10.0f}")
+    render_fleet_frames(out_dir)
+    render_lifecycle(out_dir)
     render_alerts(out_dir)
     render_worst_decisions(out_dir)
     return 0

@@ -560,9 +560,31 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     from repro.workloads.arrivals import DiurnalBurstArrivals, PoissonArrivals
     from repro.workloads.suite import TRAINING_SET
 
+    from repro.clock import perf_clock
+    from repro.obs import (
+        LifecycleTracer,
+        PhaseTimers,
+        lifecycle_chrome_trace,
+        read_lifecycle_jsonl,
+        write_frames_jsonl,
+    )
+
     telemetry = Telemetry() if args.telemetry else NULL_TELEMETRY
     out = sys.stderr if args.json == "-" else sys.stdout
     pool = sorted(TRAINING_SET)[: args.pool_size]
+
+    lifecycle = profile = decision_clock = None
+    if args.telemetry:
+        os.makedirs(args.telemetry, exist_ok=True)
+        lifecycle = LifecycleTracer(
+            seed=args.seed,
+            path=os.path.join(args.telemetry, "lifecycle.jsonl"),
+        )
+    if args.profile:
+        # wall-clock self-profiling is opt-in so the default --json
+        # document stays byte-deterministic
+        profile = PhaseTimers(clock=perf_clock)
+        decision_clock = perf_clock
 
     trainer = JointTrainer(
         n_nodes=args.nodes,
@@ -650,7 +672,16 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         placement=placement,
         power_model=PowerModel(),
         telemetry=telemetry,
+        lifecycle=lifecycle,
+        profile=profile,
+        decision_clock=decision_clock,
     )
+    if args.telemetry:
+        interval = args.checkpoint_interval
+        if interval is None:
+            # ~32 rollup frames across the expected arrival span
+            interval = max((args.jobs / args.rate) / 32.0, 1e-3)
+        engine.schedule_checkpoints(interval)
     engine.attach_arrivals(arrivals)
     print(
         f"draining {args.jobs} {args.arrivals} arrivals over "
@@ -673,6 +704,22 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"{'energy_joules':<18s} {summary['energy_joules']:10.0f}", file=out)
     print(f"{'joules_per_job':<18s} {summary['joules_per_job']:10.1f}", file=out)
     print(f"{'perf_per_watt':<18s} {summary['perf_per_watt']:10.4f}", file=out)
+    for key in ("queue_wait_p50", "queue_wait_p95", "queue_wait_p99"):
+        print(f"{key:<18s} {summary[key]:10.1f}s", file=out)
+    if args.profile:
+        for key in (
+            "placement_decision_p50_s",
+            "placement_decision_p95_s",
+            "placement_decision_p99_s",
+        ):
+            print(f"{key:<25s} {summary[key] * 1e6:10.1f}us", file=out)
+        phases = profile.to_dict()
+        print(f"{'profile_total':<25s} "
+              f"{phases['total_seconds'] * 1e3:10.1f}ms", file=out)
+        for name, row in phases["phases"].items():
+            print(f"  {name:<16s} {row['seconds'] * 1e3:8.1f}ms "
+                  f"({row['fraction'] * 100:5.1f}%, "
+                  f"{row['calls']} calls)", file=out)
 
     if args.json:
         doc = {
@@ -689,6 +736,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             "utilization": result.utilization,
             "placements": [list(p) for p in result.placements],
         }
+        if args.profile:
+            doc["phases"] = profile.to_dict()
         if args.json == "-":
             json.dump(doc, sys.stdout, indent=1, sort_keys=True)
             sys.stdout.write("\n")
@@ -698,12 +747,31 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
                 fh.write("\n")
             print(f"wrote run document to {args.json}", file=out)
     if args.telemetry:
+        lifecycle.close()
         paths = write_artifacts(
             telemetry,
             args.telemetry,
             makespan=engine.cluster.makespan,
             n_tracks=len(engine.cluster.nodes),
         )
+        frames_path = os.path.join(args.telemetry, "frames.jsonl")
+        write_frames_jsonl(engine.snapshots, frames_path)
+        paths["frames"] = frames_path
+        lifecycle_path = os.path.join(args.telemetry, "lifecycle.jsonl")
+        chrome_path = os.path.join(args.telemetry, "lifecycle_trace.json")
+        with open(chrome_path, "w") as fh:
+            json.dump(
+                lifecycle_chrome_trace(read_lifecycle_jsonl(lifecycle_path)),
+                fh, sort_keys=True,
+            )
+            fh.write("\n")
+        paths["lifecycle"] = lifecycle_path
+        paths["lifecycle_trace"] = chrome_path
+        summary_path = os.path.join(args.telemetry, "fleet.json")
+        with open(summary_path, "w") as fh:
+            json.dump(summary, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+        paths["fleet"] = summary_path
         print("telemetry artifacts: " + "  ".join(paths.values()), file=out)
     if recorder is not None:
         _write_insight_artifacts(
@@ -711,6 +779,20 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         )
     if summary["completed"] == 0:
         print("no job completed (admission too tight?)", file=out)
+        return 1
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.insight import BurnRateConfig, scan_burn_rate
+    from repro.obs import load_run, render_top
+
+    run = load_run(args.dir)
+    alerts = scan_burn_rate(
+        run["frames"], BurnRateConfig(slo_wait_seconds=args.slo)
+    )
+    print(render_top(run, alerts=alerts, width=args.width))
+    if alerts and args.fail_on_burn:
         return 1
     return 0
 
@@ -798,11 +880,28 @@ def _cmd_benchgate(args: argparse.Namespace) -> int:
         )
         print(bg.format_checks(hierarchy_checks))
 
+    overhead_checks = []
+    if args.overhead:
+        print("measuring telemetry overhead (off vs telemetry vs full) ...")
+        overhead_doc = bg.measure_overhead_bench(
+            n_jobs=args.overhead_jobs, timed_runs=args.overhead_runs
+        )
+        if args.overhead_out:
+            with open(args.overhead_out, "w") as fh:
+                json.dump(overhead_doc, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"wrote measured overhead document to {args.overhead_out}")
+        overhead_checks = bg.compare_overhead_bench(
+            overhead_doc, budget=args.overhead_budget
+        )
+        print(bg.format_checks(overhead_checks))
+
     if (
         bg.gate_passes(checks)
         and bg.gate_passes(serving_checks)
         and bg.gate_passes(fleet_checks)
         and bg.gate_passes(hierarchy_checks)
+        and bg.gate_passes(overhead_checks)
     ):
         print("bench gate: PASS")
         return 0
@@ -1016,12 +1115,39 @@ def build_parser() -> argparse.ArgumentParser:
                         "placement trace as one JSON document "
                         "('-' for stdout)")
     p.add_argument("--telemetry", metavar="DIR",
-                   help="record metrics/traces and write telemetry "
-                        "artifacts to this directory")
+                   help="record metrics/traces plus the observability "
+                        "artifacts (lifecycle.jsonl span trees, "
+                        "frames.jsonl rollups, lifecycle_trace.json, "
+                        "fleet.json) to this directory")
+    p.add_argument("--checkpoint-interval", type=float, default=None,
+                   help="rollup frame cadence in simulated seconds "
+                        "(default: ~32 frames across the arrival span; "
+                        "with --telemetry)")
+    p.add_argument("--profile", action="store_true",
+                   help="attribute wall-clock time to engine phases and "
+                        "time placement decisions (non-deterministic "
+                        "fields; off by default)")
     p.add_argument("--insight", metavar="DIR",
                    help="record per-window RL decisions and write "
                         "decisions/regret artifacts to this directory")
     p.set_defaults(fn=_cmd_fleet)
+
+    p = sub.add_parser(
+        "top",
+        help="render fleet health (rollup sparklines, lifecycle outcome "
+             "mix, burn-rate SLO status) from a fleet run directory",
+    )
+    p.add_argument("dir", nargs="?", default="out",
+                   help="fleet run directory holding frames.jsonl / "
+                        "lifecycle.jsonl / fleet.json (default: out/)")
+    p.add_argument("--slo", type=float, default=7200.0,
+                   help="queue-wait p95 SLO in simulated seconds for the "
+                        "burn-rate scan")
+    p.add_argument("--width", type=int, default=48,
+                   help="sparkline width in characters")
+    p.add_argument("--fail-on-burn", action="store_true",
+                   help="exit 1 if the burn-rate monitor fires (CI gating)")
+    p.set_defaults(fn=_cmd_top)
 
     p = sub.add_parser(
         "benchgate",
@@ -1069,6 +1195,19 @@ def build_parser() -> argparse.ArgumentParser:
                         "measure a fresh one in-process)")
     p.add_argument("--hierarchy-out", metavar="PATH",
                    help="write the measured hierarchy candidate JSON here")
+    p.add_argument("--overhead", action="store_true",
+                   help="also measure the telemetry-overhead benchmark "
+                        "and gate the telemetry-plane throughput ratio "
+                        "against --overhead-budget")
+    p.add_argument("--overhead-budget", type=float, default=0.85,
+                   help="minimum telemetry-on / telemetry-off fleet "
+                        "throughput ratio (default: 0.85)")
+    p.add_argument("--overhead-jobs", type=int, default=3000,
+                   help="fleet drain size for the overhead benchmark")
+    p.add_argument("--overhead-runs", type=int, default=5,
+                   help="interleaved timed repetitions, best-of")
+    p.add_argument("--overhead-out", metavar="PATH",
+                   help="write the measured overhead document JSON here")
     p.set_defaults(fn=_cmd_benchgate)
 
     p = sub.add_parser(

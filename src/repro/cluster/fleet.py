@@ -65,9 +65,12 @@ import heapq
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.clock import time_le, time_lt
+from repro.clock import Clock, time_le, time_lt
 from repro.errors import SchedulingError
 from repro.faults import FaultInjector, RetryPolicy
+from repro.obs.phase import PhaseTimers
+from repro.obs.sketch import QuantileSketch
+from repro.obs.trace import LifecycleTracer
 from repro.telemetry.facade import NULL_TELEMETRY, Telemetry
 from repro.cluster.node import ClusterState
 from repro.cluster.policy import PolicySelector
@@ -240,6 +243,10 @@ class FleetStats:
     slowdown_sum: float = 0.0
     slowdown_sq_sum: float = 0.0
     slowdown_count: int = 0
+    # streaming percentiles: bounded log-bucketed sketches (still O(1)
+    # in the arrival count; DESIGN.md §15 states the error bound)
+    wait_sketch: QuantileSketch = field(default_factory=QuantileSketch)
+    decision_sketch: QuantileSketch = field(default_factory=QuantileSketch)
 
     @property
     def mean_wait(self) -> float:
@@ -258,6 +265,18 @@ class FleetStats:
         """Solo-equivalent seconds of work completed per joule-second —
         dimensionless work/energy efficiency."""
         return self.solo_work / self.energy_joules if self.energy_joules else 0.0
+
+    @property
+    def queue_wait_p50(self) -> float:
+        return self.wait_sketch.quantile(0.5)
+
+    @property
+    def queue_wait_p95(self) -> float:
+        return self.wait_sketch.quantile(0.95)
+
+    @property
+    def queue_wait_p99(self) -> float:
+        return self.wait_sketch.quantile(0.99)
 
     @property
     def fairness_jain(self) -> float:
@@ -285,6 +304,12 @@ class FleetStats:
             "checkpoints": self.checkpoints,
             "mean_wait": self.mean_wait,
             "max_wait": self.wait_max,
+            "queue_wait_p50": self.queue_wait_p50,
+            "queue_wait_p95": self.queue_wait_p95,
+            "queue_wait_p99": self.queue_wait_p99,
+            "placement_decision_p50_s": self.decision_sketch.quantile(0.5),
+            "placement_decision_p95_s": self.decision_sketch.quantile(0.95),
+            "placement_decision_p99_s": self.decision_sketch.quantile(0.99),
             "mean_turnaround": self.mean_turnaround,
             "energy_joules": self.energy_joules,
             "joules_per_job": self.joules_per_job,
@@ -295,7 +320,14 @@ class FleetStats:
 
 @dataclass(frozen=True)
 class FleetSnapshot:
-    """One checkpoint event's view of the fleet."""
+    """One checkpoint event's view of the fleet.
+
+    PR 9 enriched snapshots into streaming rollup *frames*: besides the
+    original counters they carry utilization, the sketch-backed
+    queue-wait percentiles, the decision rate over the preceding
+    checkpoint interval, and cumulative energy. The new fields default
+    to zero so pre-existing constructors stay valid.
+    """
 
     time: float
     submitted: int
@@ -304,6 +336,31 @@ class FleetSnapshot:
     rejected: int
     pending: int
     busy_nodes: int
+    windows: int = 0
+    utilization: float = 0.0
+    queue_wait_p50: float = 0.0
+    queue_wait_p95: float = 0.0
+    queue_wait_p99: float = 0.0
+    decisions_per_sec: float = 0.0
+    energy_joules: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "time": self.time,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "pending": self.pending,
+            "busy_nodes": self.busy_nodes,
+            "windows": self.windows,
+            "utilization": self.utilization,
+            "queue_wait_p50": self.queue_wait_p50,
+            "queue_wait_p95": self.queue_wait_p95,
+            "queue_wait_p99": self.queue_wait_p99,
+            "decisions_per_sec": self.decisions_per_sec,
+            "energy_joules": self.energy_joules,
+        }
 
 
 @dataclass
@@ -321,6 +378,13 @@ class FleetResult:
     joules_per_job: float = 0.0
     perf_per_watt: float = 0.0
     fairness_jain: float = 1.0
+    # streaming percentiles (mirrors stats' sketches; zeros when empty)
+    queue_wait_p50: float = 0.0
+    queue_wait_p95: float = 0.0
+    queue_wait_p99: float = 0.0
+    placement_decision_p50_s: float = 0.0
+    placement_decision_p95_s: float = 0.0
+    placement_decision_p99_s: float = 0.0
     # hierarchical-placement trace: (benchmark_name, node_index) per
     # routed job, in routing order (placement engines only)
     placements: list = field(default_factory=list)
@@ -353,6 +417,9 @@ class FleetEngine:
         keep_history: bool = False,
         placement=None,
         power_model: PowerModel | None = None,
+        lifecycle: LifecycleTracer | None = None,
+        profile: PhaseTimers | None = None,
+        decision_clock: Clock | None = None,
     ):
         if window_size < 1:
             raise SchedulingError("window size must be positive")
@@ -378,6 +445,12 @@ class FleetEngine:
         self.retry = retry or RetryPolicy()
         self.max_retries = max_retries
         self.telemetry = telemetry
+        # causal per-job tracing, wall-clock self-profiling, and the
+        # placement-decision latency clock — all pure observers: None
+        # (the default) leaves every hot path byte-identical
+        self.lifecycle = lifecycle
+        self.profile = profile
+        self.decision_clock = decision_clock
         self.exact_execution = exact_execution
         self.keep_history = keep_history
         self.now = float(start)
@@ -408,6 +481,13 @@ class FleetEngine:
         self._live_arrivals = 0  # ARRIVAL events currently in the heap
         self._live_requeues = 0  # REQUEUE events currently in the heap
         self._checkpoint_interval: float | None = None
+        self._last_frame: tuple[float, int] = (self.now, 0)
+        # batched telemetry mirror: the dispatch hot path increments
+        # plain dicts; _sync_metrics flushes them to the registry at
+        # checkpoints and end of run (constant facade cost per frame)
+        self._policy_windows: dict[str, int] = {}
+        self._batch_rounds: dict[int, int] = {}
+        self._synced_completed = 0
         n = len(cluster.nodes)
         self._gen = [0] * n  # availability generation (outage bumps)
         self._is_idle = [True] * n
@@ -510,7 +590,14 @@ class FleetEngine:
         exactly like the old loops' rounds.
         """
         events = self.events
+        timers = self.profile
+        # the loop accumulates event_pop locally and flushes one
+        # aggregate sample — per-iteration method calls would be the
+        # profiler observing itself
+        clk = timers.clock if timers is not None else None
+        pop_seconds, pop_calls = 0.0, 0
         while events:
+            t0 = clk() if clk is not None else 0.0
             t = events.peek_time()
             if until is not None and time_lt(until, t):
                 break
@@ -521,18 +608,31 @@ class FleetEngine:
                 batch.append(events.pop())
             for event_time, kind, payload in batch:
                 self._handle(event_time, kind, payload)
+            if clk is not None:
+                pop_seconds += clk() - t0
+                pop_calls += 1
             self._dispatch_round()
+        if timers is not None and pop_calls:
+            timers.add("event_pop", pop_seconds, pop_calls)
+        self._sync_metrics()
+        stats = self.stats
         return FleetResult(
-            stats=self.stats,
+            stats=stats,
             makespan=self.cluster.makespan,
             utilization=self.cluster.utilization(),
             history=self.history,
             schedules=self.schedules,
             snapshots=self.snapshots,
-            energy_joules=self.stats.energy_joules,
-            joules_per_job=self.stats.joules_per_job,
-            perf_per_watt=self.stats.perf_per_watt,
-            fairness_jain=self.stats.fairness_jain,
+            energy_joules=stats.energy_joules,
+            joules_per_job=stats.joules_per_job,
+            perf_per_watt=stats.perf_per_watt,
+            fairness_jain=stats.fairness_jain,
+            queue_wait_p50=stats.queue_wait_p50,
+            queue_wait_p95=stats.queue_wait_p95,
+            queue_wait_p99=stats.queue_wait_p99,
+            placement_decision_p50_s=stats.decision_sketch.quantile(0.5),
+            placement_decision_p95_s=stats.decision_sketch.quantile(0.95),
+            placement_decision_p99_s=stats.decision_sketch.quantile(0.99),
             placements=self.placements,
         )
 
@@ -544,12 +644,16 @@ class FleetEngine:
             self.stats.submitted += 1
             if self.admission.admit(self._queue_depth(), self.now):
                 self.stats.admitted += 1
+                if self.lifecycle is not None:
+                    self.lifecycle.arrival(job, t, admitted=True)
                 if self._node_pending is None:
                     self._pending.append((job, t))
                 else:
                     self._route(job, t)
             else:
                 self.stats.rejected += 1
+                if self.lifecycle is not None:
+                    self.lifecycle.arrival(job, t, admitted=False)
                 if self.telemetry.enabled:
                     self.telemetry.count("fleet_rejected_total", 1)
             if source_index is not None:
@@ -600,17 +704,35 @@ class FleetEngine:
         elif kind is EventKind.CHECKPOINT:
             self.stats.checkpoints += 1
             busy = len(self.cluster.nodes) - self._idle_count
+            stats = self.stats
+            frame_t, frame_windows = self._last_frame
+            interval = self.now - frame_t
+            rate = (
+                (stats.windows - frame_windows) / interval
+                if interval > 0.0
+                else 0.0
+            )
+            self._last_frame = (self.now, stats.windows)
+            p50, p95, p99 = stats.wait_sketch.quantiles((0.5, 0.95, 0.99))
             self.snapshots.append(
                 FleetSnapshot(
                     time=self.now,
-                    submitted=self.stats.submitted,
-                    completed=self.stats.completed,
-                    failed=self.stats.failed,
-                    rejected=self.stats.rejected,
+                    submitted=stats.submitted,
+                    completed=stats.completed,
+                    failed=stats.failed,
+                    rejected=stats.rejected,
                     pending=self._queue_depth(),
                     busy_nodes=busy,
+                    windows=stats.windows,
+                    utilization=self.cluster.utilization(),
+                    queue_wait_p50=p50,
+                    queue_wait_p95=p95,
+                    queue_wait_p99=p99,
+                    decisions_per_sec=rate,
+                    energy_joules=stats.energy_joules,
                 )
             )
+            self._sync_metrics()
             if self._checkpoint_interval is not None and (
                 busy > 0 or self._queue_depth() > 0 or self._work_incoming()
             ):
@@ -619,6 +741,47 @@ class FleetEngine:
                     EventKind.CHECKPOINT,
                     None,
                 )
+
+    def _sync_metrics(self) -> None:
+        """Flush the engine-side telemetry mirror into the registry.
+
+        Per-window facade calls cost a metric lookup, label-key sort,
+        and a lock each; the engine instead accumulates plain
+        dicts/ints on the hot path and bulk-syncs at checkpoints and
+        end of run — identical final registry values at constant
+        telemetry cost per frame. Fleet-level counters also keep label
+        cardinality bounded (``policy``, not ``node``): per-node detail
+        lives in the tracer's window spans, not in metric series.
+        """
+        if not self.telemetry.enabled:
+            return
+        tel = self.telemetry
+        stats = self.stats
+        tel.sync_sketch("fleet_queue_wait_seconds", stats.wait_sketch)
+        tel.gauge("queue_depth", self._queue_depth())
+        if self.power_model is not None:
+            tel.gauge("energy_joules_total", stats.energy_joules)
+        if self._policy_windows:
+            for policy_name in sorted(self._policy_windows):
+                tel.count(
+                    "windows_dispatched_total",
+                    self._policy_windows[policy_name],
+                    policy=policy_name,
+                )
+            self._policy_windows.clear()
+        delta = stats.completed - self._synced_completed
+        if delta:
+            tel.count("jobs_completed_total", delta)
+            self._synced_completed = stats.completed
+        if self._batch_rounds:
+            for size in sorted(self._batch_rounds):
+                tel.observe(
+                    "dispatch_batch_windows",
+                    float(size),
+                    buckets=_BATCH_BUCKETS,
+                    count=self._batch_rounds[size],
+                )
+            self._batch_rounds.clear()
 
     def _work_incoming(self) -> bool:
         return (
@@ -637,7 +800,18 @@ class FleetEngine:
 
     def _route(self, job: Job, submit_time: float) -> None:
         """Ask the placement level for a node and enqueue the job there."""
-        index = int(self.placement.place(self, job, self.now))
+        clock = self.decision_clock
+        t0 = clock() if clock is not None else 0.0
+        info: dict | None = None
+        if self.lifecycle is not None:
+            # same decision, same RNG consumption — plus provenance
+            # (top-k alternative ranking for learned placements)
+            raw, info = self.placement.place_with_info(self, job, self.now)
+        else:
+            raw = self.placement.place(self, job, self.now)
+        if clock is not None:
+            self.stats.decision_sketch.add(max(clock() - t0, 0.0))
+        index = int(raw)
         if not 0 <= index < len(self.cluster.nodes):
             raise SchedulingError(
                 f"placement chose node {index}; fleet has "
@@ -645,6 +819,10 @@ class FleetEngine:
             )
         self._node_pending[index].append((job, submit_time))
         self.placements.append((job.benchmark_name, index))
+        if self.lifecycle is not None:
+            self.lifecycle.placed(
+                job, self.now, index, self.cluster.nodes[index].name, info
+            )
 
     def place_job(self, node_index: int, job: Job, at: float | None = None) -> None:
         """Externally-decided placement (the :class:`PlacementEnv` hook):
@@ -696,6 +874,13 @@ class FleetEngine:
         dispatched before — a proxy for decision-cache hit likelihood."""
         return signature in self._window_sigs
 
+    def _decision_cache(self):
+        """The PR 6 fleet-wide :class:`DecisionCache`, when the wired
+        selector carries one (lifecycle cache-hit provenance)."""
+        co = getattr(self.selector, "co_scheduling", None)
+        optimizer = getattr(co, "optimizer", None)
+        return getattr(optimizer, "decision_cache", None)
+
     # ------------------------------------------------------------------
     # dispatch
     # ------------------------------------------------------------------
@@ -738,18 +923,31 @@ class FleetEngine:
                 free_gpus=max(n_free - k, 1),
             )
             cuts.append((index, window, policy))
+        scheduled, round_hits = self._schedule_round(cuts)
+        for (index, window, policy), (schedule, fell_back) in zip(cuts, scheduled):
+            self._execute(index, window, policy, schedule, fell_back, round_hits)
+        return len(cuts)
+
+    def _schedule_round(self, cuts) -> tuple[list, int | None]:
+        """One batched serving pass over the round's cuts, with the
+        decision phase timed and the round's decision-cache hit delta
+        captured for lifecycle provenance."""
+        timers = self.profile
+        cache = self._decision_cache() if self.lifecycle is not None else None
+        hits_before = cache.stats.hits if cache is not None else 0
+        t0 = timers.clock() if timers is not None else 0.0
         scheduled = self.selector.schedule_batch(
             [([job for job, _ in window], policy) for _, window, policy in cuts]
         )
+        if timers is not None:
+            timers.add("decision", timers.clock() - t0)
+        round_hits = (
+            cache.stats.hits - hits_before if cache is not None else None
+        )
         if self.telemetry.enabled:
-            self.telemetry.observe(
-                "dispatch_batch_windows",
-                float(len(cuts)),
-                buckets=_BATCH_BUCKETS,
-            )
-        for (index, window, policy), (schedule, fell_back) in zip(cuts, scheduled):
-            self._execute(index, window, policy, schedule, fell_back)
-        return len(cuts)
+            n = len(cuts)
+            self._batch_rounds[n] = self._batch_rounds.get(n, 0) + 1
+        return scheduled, round_hits
 
     def _dispatch_round_placed(self) -> int:
         """Hierarchical round: one window per ready idle node, cut from
@@ -785,30 +983,28 @@ class FleetEngine:
                 queue_depth=len(queue) + take, free_gpus=1
             )
             cuts.append((index, window, policy))
-        scheduled = self.selector.schedule_batch(
-            [([job for job, _ in window], policy) for _, window, policy in cuts]
-        )
-        if self.telemetry.enabled:
-            self.telemetry.observe(
-                "dispatch_batch_windows",
-                float(len(cuts)),
-                buckets=_BATCH_BUCKETS,
-            )
+        scheduled, round_hits = self._schedule_round(cuts)
         for (index, window, policy), (schedule, fell_back) in zip(cuts, scheduled):
-            self._execute(index, window, policy, schedule, fell_back)
+            self._execute(index, window, policy, schedule, fell_back, round_hits)
         return len(cuts)
 
-    def _execute(self, index, window, policy, schedule, fell_back) -> None:
+    def _execute(
+        self, index, window, policy, schedule, fell_back, round_hits=None
+    ) -> None:
         node = self.cluster.nodes[index]
         stats = self.stats
+        timers = self.profile
         if fell_back:
             stats.fallback_windows += 1
         start = max(self.now, node.available_at)
         node.device.clock = start
+        t0 = timers.clock() if timers is not None else 0.0
         if self.exact_execution:
             outcome = node.execute_schedule_ft(schedule, self.retry)
         else:
             outcome = node.execute_schedule_fast(schedule, self.retry)
+        if timers is not None:
+            timers.add("replay", timers.clock() - t0)
         stats.windows += 1
         stats.dispatch_retries += outcome.retries
         stats.degraded_groups += outcome.degraded_groups
@@ -822,20 +1018,23 @@ class FleetEngine:
                 ).energy_joules
             stats.energy_joules += joules
             stats.solo_work += schedule.total_solo_time
-            if self.telemetry.enabled:
-                self.telemetry.gauge("energy_joules_total", stats.energy_joules)
+        lifecycle = self.lifecycle
+        window_seen = False
+        if self._node_pending is not None or lifecycle is not None:
+            sig = window_signature(job.benchmark_name for job, _ in window)
+            window_seen = sig in self._window_sigs
+            self._window_sigs.add(sig)
         if self._node_pending is not None:
             mix = [0, 0, 0]
             for job, _ in window:
                 mix[CLASS_RANK.get(PAPER_CLASSES.get(job.benchmark_name, "US"), 2)] += 1
             self._node_mix[index] = mix
-            self._window_sigs.add(
-                window_signature(job.benchmark_name for job, _ in window)
-            )
         if self.collect_windows:
             self.collected_windows.append(
                 tuple(job.benchmark_name for job, _ in window)
             )
+        effective_policy = self.selector.fcfs.name if fell_back else policy.name
+        terminal: list | None = [] if lifecycle is not None else None
         failed = set(outcome.failed_job_ids)
         for job, submit_time in window:
             jid = job.job_id
@@ -852,14 +1051,19 @@ class FleetEngine:
                         EventKind.REQUEUE,
                         (job, submit_time),
                     )
+                    if terminal is not None:
+                        terminal.append((job, submit_time, "requeue"))
                 else:
                     self._attempts.pop(jid, None)
                     stats.failed += 1
+                    if terminal is not None:
+                        terminal.append((job, submit_time, "failed"))
             else:
                 self._attempts.pop(jid, None)
                 stats.completed += 1
                 wait = start - submit_time
                 stats.wait_sum += wait
+                stats.wait_sketch.add(wait)
                 if wait > stats.wait_max:
                     stats.wait_max = wait
                 turnaround = outcome.finish_of[jid] - submit_time
@@ -870,12 +1074,37 @@ class FleetEngine:
                     stats.slowdown_sum += slowdown
                     stats.slowdown_sq_sum += slowdown * slowdown
                     stats.slowdown_count += 1
+                if terminal is not None:
+                    terminal.append((job, submit_time, "completed"))
         self._is_idle[index] = False
         self._idle_count -= 1
         self.events.push(
             outcome.end_time, EventKind.COMPLETION, (index, self._gen[index])
         )
-        effective_policy = self.selector.fcfs.name if fell_back else policy.name
+        if lifecycle is not None and terminal is not None:
+            t0 = timers.clock() if timers is not None else 0.0
+            for job, submit_time, kind in terminal:
+                finish = outcome.finish_of[job.job_id]
+                lifecycle.attempt(
+                    job,
+                    start,
+                    finish,
+                    node.name,
+                    effective_policy,
+                    fell_back,
+                    crashed=kind != "completed",
+                    window_size=len(window),
+                    window_seen=window_seen,
+                    cache_hits=round_hits,
+                )
+                if kind == "requeue":
+                    lifecycle.requeued(job, finish)
+                elif kind == "failed":
+                    lifecycle.failed(job, finish)
+                else:
+                    lifecycle.completed(job, finish, wait=start - submit_time)
+            if timers is not None:
+                timers.add("telemetry", timers.clock() - t0)
         if self.keep_history:
             self.history.append(
                 DispatchRecord(
@@ -892,7 +1121,9 @@ class FleetEngine:
             )
             self.schedules.append(schedule)
         if self.telemetry.enabled:
-            self.telemetry.gauge("queue_depth", self._queue_depth())
+            t0 = timers.clock() if timers is not None else 0.0
+            # only the trace span is emitted per window; counters and
+            # gauges go through the batched mirror (_sync_metrics)
             self.telemetry.span(
                 "window",
                 node.name,
@@ -903,13 +1134,10 @@ class FleetEngine:
                 window_size=len(window),
                 fell_back=fell_back,
             )
-            self.telemetry.count(
-                "windows_dispatched_total",
-                1,
-                node=node.name,
-                policy=effective_policy,
-            )
-            self.telemetry.count("jobs_completed_total", len(window) - len(failed))
+            pol = self._policy_windows
+            pol[effective_policy] = pol.get(effective_policy, 0) + 1
+            if timers is not None:
+                timers.add("telemetry", timers.clock() - t0)
 
     # ------------------------------------------------------------------
     @property
@@ -928,4 +1156,9 @@ class FleetEngine:
             if self.placement is not None
             else None
         )
+        if self.profile is not None:
+            doc["phases"] = self.profile.to_dict()
+        if self.lifecycle is not None:
+            doc["lifecycle_open_jobs"] = self.lifecycle.open_jobs
+            doc["lifecycle_finished"] = self.lifecycle.finished
         return doc

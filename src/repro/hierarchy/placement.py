@@ -44,6 +44,19 @@ class PlacementPolicy:
     def place(self, engine: FleetEngine, job: Job, now: float) -> int:
         raise NotImplementedError  # pragma: no cover
 
+    def place_with_info(
+        self, engine: FleetEngine, job: Job, now: float
+    ) -> tuple[int, dict]:
+        """:meth:`place` plus decision provenance for lifecycle tracing.
+
+        The contract is strict: implementations must consume exactly the
+        randomness :meth:`place` consumes, so a traced run's routing is
+        bitwise-identical to an untraced one. Baselines return no extra
+        provenance; the learned agent adds its top-k alternative
+        ranking.
+        """
+        return self.place(engine, job, now), {}
+
     def reset(self) -> None:
         """Return to the initial (reproducible) state."""
 
@@ -192,6 +205,28 @@ class PlacementAgent(PlacementPolicy):
         obs = self.observation.observe(engine, job.benchmark_name)
         mask = self.observation.candidate_mask(engine, self.config.candidate_k)
         return int(self.dqn.act(obs, mask))
+
+    def place_with_info(
+        self, engine: FleetEngine, job: Job, now: float, top_k: int = 5
+    ) -> tuple[int, dict]:
+        """Route plus provenance: the epsilon-greedy choice (exactly one
+        :meth:`act` call — the same RNG draw :meth:`place` makes) and the
+        greedy top-k ``[node, q]`` ranking from a pure forward pass."""
+        obs = self.observation.observe(engine, job.benchmark_name)
+        mask = self.observation.candidate_mask(engine, self.config.candidate_k)
+        chosen = int(self.dqn.act(obs, mask))
+        q = self.dqn.online.infer(obs[None, :])[0]
+        q = np.where(mask, q, -np.inf)
+        order = np.argsort(-q, kind="stable")
+        alternatives = [
+            [int(i), float(q[i])] for i in order[:top_k] if np.isfinite(q[i])
+        ]
+        info = {
+            "alternatives": alternatives,
+            "epsilon": float(self.dqn.epsilon),
+            "greedy": bool(alternatives) and alternatives[0][0] == chosen,
+        }
+        return chosen, info
 
     def act(self, state: np.ndarray, mask: np.ndarray | None = None) -> int:
         return self.dqn.act(state, mask)

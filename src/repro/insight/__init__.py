@@ -13,11 +13,16 @@ Four pieces (DESIGN.md §10):
   decisions and CI/MI/US job classes, rank the worst decisions;
 * :mod:`repro.insight.alerts` — streaming anomaly/SLO detectors over a
   run's telemetry (straggler/retry/fallback/requeue rates, utilization
-  floor, queue-wait p95, training Q-drift and TD-loss blowup) raising
-  typed :class:`Alert`\\ s back into the trace;
+  floor, queue-wait p95 off either the batch histogram or the fleet
+  sketch, training Q-drift and TD-loss blowup) raising typed
+  :class:`Alert`\\ s back into the trace, plus the multi-window
+  burn-rate SLO monitor (:func:`scan_burn_rate`) over fleet rollup
+  frames;
 * :mod:`repro.insight.benchgate` — the bench-regression gate diffing a
   fresh ``BENCH_training.json`` against the committed baseline with
-  tolerance bands (the ``repro-gpu benchgate`` CI job).
+  tolerance bands (the ``repro-gpu benchgate`` CI job), plus the
+  self-contained telemetry-overhead gate
+  (:func:`measure_overhead_bench`).
 
 Everything here is observer-only: recording consumes no randomness and
 mutates no scheduler state, so instrumented runs stay bitwise-identical
@@ -28,14 +33,19 @@ from repro.insight.alerts import (
     Alert,
     AlertConfig,
     AlertEngine,
+    BurnRateConfig,
+    scan_burn_rate,
     write_alerts_jsonl,
 )
 from repro.insight.benchgate import (
+    OVERHEAD_BUDGET,
     GateCheck,
     compare_bench,
+    compare_overhead_bench,
     format_checks,
     gate_passes,
     load_bench,
+    measure_overhead_bench,
     measure_training_bench,
 )
 from repro.insight.records import (
@@ -59,12 +69,17 @@ __all__ = [
     "Alert",
     "AlertConfig",
     "AlertEngine",
+    "BurnRateConfig",
+    "scan_burn_rate",
     "write_alerts_jsonl",
     "GateCheck",
+    "OVERHEAD_BUDGET",
     "compare_bench",
+    "compare_overhead_bench",
     "format_checks",
     "gate_passes",
     "load_bench",
+    "measure_overhead_bench",
     "measure_training_bench",
     "AlternativeAction",
     "DecisionRecord",

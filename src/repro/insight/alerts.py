@@ -36,10 +36,17 @@ from dataclasses import dataclass
 from repro.errors import ReproError
 from repro.telemetry.export import device_timelines
 from repro.telemetry.facade import Telemetry
-from repro.telemetry.registry import Histogram
+from repro.telemetry.registry import Histogram, SketchMetric
 from repro.telemetry.tracer import Event, Span
 
-__all__ = ["Alert", "AlertConfig", "AlertEngine", "write_alerts_jsonl"]
+__all__ = [
+    "Alert",
+    "AlertConfig",
+    "AlertEngine",
+    "BurnRateConfig",
+    "scan_burn_rate",
+    "write_alerts_jsonl",
+]
 
 
 @dataclass(frozen=True)
@@ -213,14 +220,21 @@ class AlertEngine:
         )]
 
     def _scan_queue_wait(self) -> list[Alert]:
-        """p95 of the ``queue_wait_seconds`` histogram vs. the SLO."""
+        """p95 queue wait vs. the SLO, read off either wait metric.
+
+        Accepts the batch path's ``queue_wait_seconds``
+        :class:`Histogram` (reservoir quantiles, sketch-backed beyond
+        the reservoir) and the fleet path's ``fleet_queue_wait_seconds``
+        :class:`SketchMetric`; both expose ``count`` / ``quantile`` /
+        ``maximum`` on their snapshots, so one detector covers both.
+        """
         cfg = self.config
         metric = next(
             (
                 m
                 for m in self.telemetry.registry.collect()
-                if m.name == "queue_wait_seconds"
-                and isinstance(m, Histogram)
+                if m.name in ("queue_wait_seconds", "fleet_queue_wait_seconds")
+                and isinstance(m, (Histogram, SketchMetric))
             ),
             None,
         )
@@ -305,6 +319,71 @@ class AlertEngine:
             if len(fired) == 2:
                 break
         return alerts
+
+
+@dataclass
+class BurnRateConfig:
+    """Multi-window burn-rate SLO policy over fleet rollup frames.
+
+    The SLO is "``objective`` of checkpoint frames keep queue-wait p95
+    at or under ``slo_wait_seconds``"; the error budget is
+    ``1 - objective``. A frame whose ``queue_wait_p95`` exceeds the
+    bound is *bad*, and a window's burn rate is its bad-frame fraction
+    divided by the error budget (burn 1.0 = spending budget exactly on
+    schedule). The detector pages only when both a fast window (quick
+    to fire) and a slow window (resistant to blips) burn hot — the
+    standard multi-window guard against one-frame spikes.
+    """
+
+    slo_wait_seconds: float = 7200.0
+    objective: float = 0.95       # fraction of frames that must meet the SLO
+    fast_frames: int = 6
+    slow_frames: int = 36
+    fast_burn: float = 6.0        # page when the fast window burns this hot...
+    slow_burn: float = 3.0        # ...and the slow window confirms it
+
+
+def scan_burn_rate(
+    frames: list[dict], config: BurnRateConfig | None = None
+) -> list[Alert]:
+    """Latch one critical alert at the first multi-window burn crossing.
+
+    ``frames`` are rollup-frame dicts (``FleetSnapshot.to_dict`` rows,
+    e.g. from ``repro.obs.rollup.read_frames_jsonl``); only their
+    ``time`` and ``queue_wait_p95`` fields are read, and frames before
+    the sketch has samples (p95 still zero) count as good.
+    """
+    cfg = config or BurnRateConfig()
+    budget = max(1.0 - cfg.objective, 1e-9)
+    bad = [
+        1 if float(f.get("queue_wait_p95", 0.0)) > cfg.slo_wait_seconds else 0
+        for f in frames
+    ]
+    for i in range(len(frames)):
+        if i + 1 < cfg.fast_frames:
+            continue
+        fast = sum(bad[i + 1 - cfg.fast_frames: i + 1]) / cfg.fast_frames
+        slow_n = min(i + 1, cfg.slow_frames)
+        slow = sum(bad[i + 1 - slow_n: i + 1]) / slow_n
+        fast_rate = fast / budget
+        slow_rate = slow / budget
+        if fast_rate >= cfg.fast_burn and slow_rate >= cfg.slow_burn:
+            return [Alert(
+                kind="slo_burn_rate",
+                severity="critical",
+                ts=float(frames[i].get("time", float(i))),
+                track="fleet",
+                value=fast_rate,
+                threshold=cfg.fast_burn,
+                message=(
+                    f"queue-wait SLO burning {fast_rate:.1f}x budget over "
+                    f"the last {cfg.fast_frames} frames "
+                    f"({slow_rate:.1f}x over {slow_n}; p95 bound "
+                    f"{cfg.slo_wait_seconds:.0f}s, objective "
+                    f"{cfg.objective:.0%})"
+                ),
+            )]
+    return []
 
 
 def write_alerts_jsonl(alerts: list[Alert], path) -> int:

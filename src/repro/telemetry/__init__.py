@@ -38,6 +38,7 @@ from repro.telemetry.registry import (
     Histogram,
     HistogramSnapshot,
     MetricsRegistry,
+    SketchMetric,
     default_registry,
     set_default_registry,
 )
@@ -61,6 +62,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "SketchMetric",
     "MetricsRegistry",
     "default_registry",
     "set_default_registry",

@@ -25,7 +25,13 @@ import json
 import os
 
 from repro.telemetry.facade import Telemetry
-from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SketchMetric,
+)
 from repro.telemetry.tracer import Event, Span, Tracer
 
 __all__ = [
@@ -146,10 +152,18 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                 lines.append(
                     f"{metric.name}{_format_labels(key)} {_format_value(value)}"
                 )
-        elif isinstance(metric, Histogram):
+        elif isinstance(metric, (Histogram, SketchMetric)):
+            # both expose cumulative le-buckets: fixed ladder for the
+            # classic histogram, log buckets for the quantile sketch
             for key in metric.series():
                 snap = metric.snapshot(**dict(key))
-                for bound, cumulative in snap.buckets:
+                buckets = (
+                    snap.buckets if isinstance(metric, Histogram)
+                    else snap.to_buckets()
+                )
+                total = snap.total
+                count = snap.count
+                for bound, cumulative in buckets:
                     le = "+Inf" if bound == "+Inf" else _format_value(bound)
                     lines.append(
                         f"{metric.name}_bucket"
@@ -157,10 +171,10 @@ def prometheus_text(registry: MetricsRegistry) -> str:
                     )
                 lines.append(
                     f"{metric.name}_sum{_format_labels(key)} "
-                    f"{_format_value(snap.total)}"
+                    f"{_format_value(total)}"
                 )
                 lines.append(
-                    f"{metric.name}_count{_format_labels(key)} {snap.count}"
+                    f"{metric.name}_count{_format_labels(key)} {count}"
                 )
     return "\n".join(lines) + ("\n" if lines else "")
 

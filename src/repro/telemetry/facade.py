@@ -57,6 +57,11 @@ METRIC_HELP = {
     "queue_wait_seconds": "per-job queue wait at dispatch (start minus submit)",
     "train_q_max": "max online-network Q at each episode's final observation",
     "alerts_raised_total": "alerts raised by the insight detectors, by kind",
+    "fleet_rejected_total": "arrivals shed by admission control",
+    "fleet_queue_wait_seconds": "per-job fleet queue wait (sketch percentiles)",
+    "placement_decision_seconds": "placement-level routing latency per job",
+    "energy_joules_total": "cumulative dispatched-group energy (power model)",
+    "dispatch_batch_windows": "windows served per batched dispatch round",
 }
 
 
@@ -72,6 +77,12 @@ class Telemetry:
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else Tracer()
+        # per-name metric handles, memoized so steady-state facade calls
+        # skip the registry's locked get-or-create
+        self._counters: dict = {}
+        self._gauges: dict = {}
+        self._histograms: dict = {}
+        self._sketches: dict = {}
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -109,25 +120,56 @@ class Telemetry:
     # metrics
     # ------------------------------------------------------------------
     def count(self, name: str, amount: float = 1.0, **labels) -> None:
-        self.registry.counter(name, METRIC_HELP.get(name, "")).inc(
-            amount, **labels
-        )
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self.registry.counter(name, METRIC_HELP.get(name, ""))
+            self._counters[name] = metric
+        metric.inc(amount, **labels)
 
     def gauge(self, name: str, value: float, **labels) -> None:
-        self.registry.gauge(name, METRIC_HELP.get(name, "")).set(
-            value, **labels
-        )
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self.registry.gauge(name, METRIC_HELP.get(name, ""))
+            self._gauges[name] = metric
+        metric.set(value, **labels)
 
     def observe(
         self,
         name: str,
         value: float,
         buckets: tuple = DEFAULT_BUCKETS,
+        count: int = 1,
         **labels,
     ) -> None:
-        self.registry.histogram(
-            name, METRIC_HELP.get(name, ""), buckets=buckets
-        ).observe(value, **labels)
+        metric = self._histograms.get((name, buckets))
+        if metric is None:
+            metric = self.registry.histogram(
+                name, METRIC_HELP.get(name, ""), buckets=buckets
+            )
+            self._histograms[(name, buckets)] = metric
+        metric.observe(value, count, **labels)
+
+    def sketch(self, name: str, value: float, **labels) -> None:
+        """Observe into a :class:`SketchMetric` — the fleet-scale
+        distribution path (mergeable, relative-error-bounded
+        percentiles; no bucket ladder to choose). Hot path: the metric
+        handle is memoized per name, so steady-state cost is one
+        sketch ``observe``."""
+        metric = self._sketches.get(name)
+        if metric is None:
+            metric = self.registry.sketch(name, METRIC_HELP.get(name, ""))
+            self._sketches[name] = metric
+        metric.observe(value, **labels)
+
+    def sync_sketch(self, name: str, sketch, **labels) -> None:
+        """Replace ``name``'s series with a copy of an externally-kept
+        :class:`~repro.obs.sketch.QuantileSketch` — one O(bins) sync
+        instead of one ``observe`` per hot-path value."""
+        metric = self._sketches.get(name)
+        if metric is None:
+            metric = self.registry.sketch(name, METRIC_HELP.get(name, ""))
+            self._sketches[name] = metric
+        metric.replace(sketch, **labels)
 
     # ------------------------------------------------------------------
     def close(self) -> None:
@@ -163,6 +205,12 @@ class NullTelemetry(Telemetry):
         pass
 
     def observe(self, *a, **k) -> None:  # noqa: D102
+        pass
+
+    def sketch(self, *a, **k) -> None:  # noqa: D102
+        pass
+
+    def sync_sketch(self, *a, **k) -> None:  # noqa: D102
         pass
 
     def close(self) -> None:  # noqa: D102

@@ -28,12 +28,14 @@ import threading
 from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
+from repro.obs.sketch import DEFAULT_RELATIVE_ACCURACY, QuantileSketch
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "HistogramSnapshot",
+    "SketchMetric",
     "MetricsRegistry",
     "default_registry",
     "set_default_registry",
@@ -50,6 +52,8 @@ LabelKey = tuple  # tuple[tuple[str, str], ...], sorted by label name
 
 
 def _label_key(labels: dict) -> LabelKey:
+    if not labels:  # hot path: most engine metrics are label-free
+        return ()
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
@@ -124,10 +128,13 @@ class _HistogramSeries:
     minimum: float = math.inf
     maximum: float = -math.inf
     reservoir: list = None  # type: ignore[assignment]
+    sketch: QuantileSketch = None  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
         if self.reservoir is None:
             self.reservoir = []
+        if self.sketch is None:
+            self.sketch = QuantileSketch()
 
 
 @dataclass(frozen=True)
@@ -140,17 +147,28 @@ class HistogramSnapshot:
     minimum: float
     maximum: float
     samples: tuple
+    sketch: QuantileSketch | None = None
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Reservoir quantile (exact while count <= reservoir size)."""
+        """Quantile estimate for the full stream.
+
+        Exact (reservoir order statistic) while every sample is still
+        retained; beyond the reservoir size it switches to the series'
+        :class:`~repro.obs.sketch.QuantileSketch`, whose relative error
+        is bounded instead of sampled — the reservoir's value past that
+        point is a lottery at fleet scale. ``q=0`` / ``q=1`` always
+        return the exactly-tracked extremes.
+        """
         if not 0.0 <= q <= 1.0:
             raise ConfigurationError(f"quantile must be in [0, 1]; got {q}")
         if not self.samples:
             return 0.0
+        if self.sketch is not None and self.count > len(self.samples):
+            return self.sketch.quantile(q)
         ordered = sorted(self.samples)
         idx = min(len(ordered) - 1, int(q * len(ordered)))
         return ordered[idx]
@@ -182,7 +200,13 @@ class Histogram(_Metric):
         # randomness (determinism contract of the simulation).
         self._rng = random.Random(f"repro.telemetry:{name}")
 
-    def observe(self, value: float, **labels) -> None:
+    def observe(self, value: float, count: int = 1, **labels) -> None:
+        """Record ``value`` (``count`` times, exactly as ``count``
+        sequential single observes — including the reservoir's RNG
+        draws). Bulk counts are the batched-mirror path: hot loops keep
+        a plain ``{value: n}`` dict and flush it periodically."""
+        if count < 1:
+            raise ConfigurationError("observe count must be positive")
         key = _label_key(labels)
         with self._lock:
             s = self._series.get(key)
@@ -191,18 +215,22 @@ class Histogram(_Metric):
                 self._series[key] = s
             for i, bound in enumerate(self.buckets):
                 if value <= bound:
-                    s.bucket_counts[i] += 1
+                    s.bucket_counts[i] += count
                     break
-            s.count += 1
-            s.total += value
+            before = s.count
+            s.count += count
+            s.total += value * count
             s.minimum = min(s.minimum, value)
             s.maximum = max(s.maximum, value)
-            if len(s.reservoir) < self.reservoir_size:
-                s.reservoir.append(value)
-            else:  # Vitter's Algorithm R
-                j = self._rng.randrange(s.count)
-                if j < self.reservoir_size:
-                    s.reservoir[j] = value
+            if math.isfinite(value):
+                s.sketch.add(value, count)
+            for i in range(count):
+                if len(s.reservoir) < self.reservoir_size:
+                    s.reservoir.append(value)
+                else:  # Vitter's Algorithm R
+                    j = self._rng.randrange(before + i + 1)
+                    if j < self.reservoir_size:
+                        s.reservoir[j] = value
 
     def snapshot(self, **labels) -> HistogramSnapshot:
         with self._lock:
@@ -215,6 +243,7 @@ class Histogram(_Metric):
                     minimum=0.0,
                     maximum=0.0,
                     samples=(),
+                    sketch=None,
                 )
             cumulative, acc = [], 0
             for bound, n in zip(self.buckets, s.bucket_counts):
@@ -228,7 +257,68 @@ class Histogram(_Metric):
                 minimum=s.minimum if s.count else 0.0,
                 maximum=s.maximum if s.count else 0.0,
                 samples=tuple(s.reservoir),
+                sketch=s.sketch.copy(),
             )
+
+
+class SketchMetric(_Metric):
+    """A pure-sketch distribution metric (no fixed buckets, no reservoir).
+
+    The streaming replacement for :class:`Histogram` where the bucket
+    ladder cannot be known up front and percentiles must stay trustworthy
+    at fleet scale: per-label-set :class:`~repro.obs.sketch.QuantileSketch`
+    accumulators with a relative-error bound, mergeable across shards.
+    Exported as a Prometheus histogram whose cumulative ``le`` bounds are
+    the sketch's log buckets.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        lock: threading.RLock,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+    ):
+        super().__init__(name, help, lock)
+        self.relative_accuracy = float(relative_accuracy)
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            s = self._series.get(key)
+            if s is None:
+                s = QuantileSketch(relative_accuracy=self.relative_accuracy)
+                self._series[key] = s
+            s.add(value)
+
+    def replace(self, sketch: QuantileSketch, **labels) -> None:
+        """Bulk-sync one label set to a copy of an externally-maintained
+        sketch — the constant-cost alternative to per-value ``observe``
+        for hot paths that already keep their own sketch (e.g. the
+        fleet engine's always-on wait sketch, synced at checkpoints)."""
+        with self._lock:
+            self._series[_label_key(labels)] = sketch.copy()
+
+    def snapshot(self, **labels) -> QuantileSketch:
+        """An isolated copy of one label set's sketch (empty if unseen)."""
+        with self._lock:
+            s = self._series.get(_label_key(labels))
+            if s is None:
+                return QuantileSketch(relative_accuracy=self.relative_accuracy)
+            return s.copy()
+
+    def quantile(self, q: float, **labels) -> float:
+        return self.snapshot(**labels).quantile(q)
+
+    def merged(self) -> QuantileSketch:
+        """All label sets folded into one fleet-wide sketch."""
+        merged = QuantileSketch(relative_accuracy=self.relative_accuracy)
+        with self._lock:
+            for key in sorted(self._series):
+                merged.merge(self._series[key])
+        return merged
 
 
 class MetricsRegistry:
@@ -265,6 +355,16 @@ class MetricsRegistry:
     ) -> Histogram:
         return self._get_or_create(
             Histogram, name, help, buckets=buckets, reservoir_size=reservoir_size
+        )
+
+    def sketch(
+        self,
+        name: str,
+        help: str = "",
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+    ) -> SketchMetric:
+        return self._get_or_create(
+            SketchMetric, name, help, relative_accuracy=relative_accuracy
         )
 
     def collect(self) -> list[_Metric]:

@@ -1,0 +1,434 @@
+"""The autofix engine behind ``repro-gpu statcheck --fix``.
+
+Only *mechanical* rules get fixers — rewrites whose correctness is
+decidable from the AST alone:
+
+* **DET004** — a bare absolute-epsilon time comparison becomes the
+  sanctioned relative-tolerance helper: ``a <= b + 1e-9`` →
+  ``time_le(a, b)``; tightening forms (``a + 1e-9 < b``) become
+  ``time_lt``; ``>``/``>=`` mirror with swapped operands. The
+  ``from repro.clock import ...`` import is added or extended as
+  needed.
+* **HYG001** — a mutable default becomes ``None`` plus a guarded
+  rebind at the top of the body (after the docstring)::
+
+      def f(xs=[]):            def f(xs=None):
+          ...            →         if xs is None:
+                                       xs = []
+                                   ...
+
+Fixers skip sites they cannot rewrite safely (lambdas, single-line
+``def f(): ...`` bodies, comparison chains) and sites suppressed by a
+pragma — a deliberate suppression must not be "fixed" away.
+
+**Idempotence guarantee:** :func:`fix_source` loops until a full
+re-check yields no further fixable findings (bounded), so its output
+is a fixed point — running ``--fix`` twice never edits twice. The
+engine asserts this by re-scanning after the loop.
+"""
+
+from __future__ import annotations
+
+import ast
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.statcheck.config import StatcheckConfig
+from repro.statcheck.rules import (
+    _epsilon_operand,
+    _is_mutable_default,
+)
+
+__all__ = ["FixResult", "fix_source", "FIXABLE_RULES"]
+
+FIXABLE_RULES = ("DET004", "HYG001")
+
+_MAX_PASSES = 10
+
+
+@dataclass(frozen=True)
+class _Edit:
+    """One span replacement over the original source text."""
+
+    start: int      #: absolute character offset, inclusive
+    end: int        #: absolute character offset, exclusive
+    replacement: str
+    rule: str
+    line: int
+
+
+@dataclass
+class FixResult:
+    source: str
+    applied: list[tuple[str, int]]  # (rule, line) per applied edit
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+class _Offsets:
+    """line/col (ast convention) → absolute character offsets."""
+
+    def __init__(self, source: str) -> None:
+        self.starts = [0]
+        for line in source.splitlines(keepends=True):
+            self.starts.append(self.starts[-1] + len(line))
+
+    def offset(self, line: int, col: int) -> int:
+        return self.starts[line - 1] + col
+
+    def line_for(self, offset: int) -> int:
+        return bisect_right(self.starts, offset)
+
+
+def _segment(source: str, offsets: _Offsets, node: ast.AST) -> str | None:
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    return source[
+        offsets.offset(node.lineno, node.col_offset):
+        offsets.offset(end_line, end_col)
+    ]
+
+
+def _needs_parens(expr: ast.AST) -> bool:
+    """Operand must be parenthesized when spliced into a call arg."""
+    return isinstance(expr, (ast.Tuple, ast.NamedExpr, ast.Lambda))
+
+
+def _operand_src(source: str, offsets: _Offsets, expr: ast.AST) -> str | None:
+    seg = _segment(source, offsets, expr)
+    if seg is None:
+        return None
+    seg = seg.strip()
+    if "\n" in seg:
+        # a multi-line operand spliced into a helper call keeps its
+        # newlines; that is only valid inside the call's parentheses,
+        # which we do provide — still, normalize the continuations
+        seg = " ".join(part.strip() for part in seg.split("\n"))
+    if _needs_parens(expr):
+        seg = f"({seg})"
+    return seg
+
+
+# ----------------------------------------------------------------------
+# DET004: bare epsilon comparison → repro.clock helpers
+# ----------------------------------------------------------------------
+def _strip_epsilon(expr: ast.AST) -> tuple[ast.AST, bool] | None:
+    """(bare operand, loosens) when ``expr`` is ``operand ± epsilon``.
+
+    ``loosens`` is True when the epsilon moves the comparison toward
+    acceptance for ``<``/``<=`` on that side (i.e. ``+eps`` on the
+    right / ``-eps`` on the left).
+    """
+    if not isinstance(expr, ast.BinOp):
+        return None
+    if _epsilon_operand(expr) is None:
+        return None
+    if isinstance(expr.right, ast.Constant):
+        bare = expr.left
+    elif isinstance(expr.left, ast.Constant):
+        bare = expr.right
+    else:
+        return None
+    plus = isinstance(expr.op, ast.Add)
+    return bare, plus
+
+
+def _det004_edit(
+    node: ast.Compare, source: str, offsets: _Offsets,
+) -> tuple[_Edit, str] | None:
+    """The rewrite for one flagged comparison, or None when unsafe."""
+    if len(node.ops) != 1 or len(node.comparators) != 1:
+        return None
+    op = node.ops[0]
+    if not isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE)):
+        return None
+    left, right = node.left, node.comparators[0]
+
+    left_strip = _strip_epsilon(left)
+    right_strip = _strip_epsilon(right)
+    if (left_strip is None) == (right_strip is None):
+        return None  # zero or two epsilon sides: leave it alone
+
+    if right_strip is not None:
+        bare_left, bare_right = left, right_strip[0]
+        eps_plus = right_strip[1]
+        eps_on_right = True
+    else:
+        bare_left, bare_right = left_strip[0], right  # type: ignore[index]
+        eps_plus = left_strip[1]                      # type: ignore[index]
+        eps_on_right = False
+
+    # For < / <=: slack toward acceptance (loosening) means tolerant
+    # less-or-equal; slack against (tightening) means strict less.
+    # For > / >= mirror the operands.
+    lt_like = isinstance(op, (ast.Lt, ast.LtE))
+    loosens = eps_plus if eps_on_right else not eps_plus
+    if not lt_like:
+        loosens = not loosens
+        bare_left, bare_right = bare_right, bare_left
+
+    helper = "time_le" if loosens else "time_lt"
+    a = _operand_src(source, offsets, bare_left)
+    b = _operand_src(source, offsets, bare_right)
+    if a is None or b is None:
+        return None
+    end_line = getattr(node, "end_lineno", None)
+    end_col = getattr(node, "end_col_offset", None)
+    if end_line is None or end_col is None:
+        return None
+    edit = _Edit(
+        start=offsets.offset(node.lineno, node.col_offset),
+        end=offsets.offset(end_line, end_col),
+        replacement=f"{helper}({a}, {b})",
+        rule="DET004",
+        line=node.lineno,
+    )
+    return edit, helper
+
+
+# ----------------------------------------------------------------------
+# HYG001: mutable default → None + guarded rebind
+# ----------------------------------------------------------------------
+def _hyg001_edits(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+    source: str,
+    offsets: _Offsets,
+    resolve,
+) -> list[tuple[_Edit, str, str]] | None:
+    """(default→None edit, param name, default source) per fixable arg."""
+    if not fn.body:
+        return None
+    first = fn.body[0]
+    if first.lineno == fn.lineno:
+        return None  # single-line def body: no room to insert the guard
+    args = fn.args
+    positional = list(args.posonlyargs) + list(args.args)
+    pairs: list[tuple[ast.arg, ast.expr]] = []
+    for arg, default in zip(
+        positional[len(positional) - len(args.defaults):], args.defaults
+    ):
+        pairs.append((arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            pairs.append((arg, default))
+
+    out: list[tuple[_Edit, str, str]] = []
+    for arg, default in pairs:
+        if not _is_mutable_default(default, resolve):
+            continue
+        default_src = _segment(source, offsets, default)
+        if default_src is None or "\n" in default_src:
+            continue
+        end_line = getattr(default, "end_lineno", None)
+        end_col = getattr(default, "end_col_offset", None)
+        if end_line is None or end_col is None:
+            continue
+        out.append((
+            _Edit(
+                start=offsets.offset(default.lineno, default.col_offset),
+                end=offsets.offset(end_line, end_col),
+                replacement="None",
+                rule="HYG001",
+                line=default.lineno,
+            ),
+            arg.arg,
+            default_src,
+        ))
+    return out or None
+
+
+def _docstring_end(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> int:
+    """Index into fn.body after a leading docstring, else 0."""
+    if (
+        fn.body
+        and isinstance(fn.body[0], ast.Expr)
+        and isinstance(fn.body[0].value, ast.Constant)
+        and isinstance(fn.body[0].value.value, str)
+    ):
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# clock-import insertion
+# ----------------------------------------------------------------------
+def _ensure_clock_import(
+    tree: ast.Module, source: str, offsets: _Offsets, helpers: set[str],
+) -> _Edit | None:
+    """Edit adding/extending ``from repro.clock import ...`` if needed."""
+    for node in tree.body:
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module == "repro.clock"
+            and not node.level
+        ):
+            have = {a.name for a in node.names}
+            missing = sorted(helpers - have)
+            if not missing:
+                return None
+            names = sorted(
+                have | set(missing)
+            )
+            end_line = getattr(node, "end_lineno", node.lineno)
+            end_col = getattr(node, "end_col_offset", 0)
+            return _Edit(
+                start=offsets.offset(node.lineno, node.col_offset),
+                end=offsets.offset(end_line, end_col),
+                replacement=(
+                    "from repro.clock import " + ", ".join(names)
+                ),
+                rule="DET004",
+                line=node.lineno,
+            )
+    # insert a fresh import after the last top-level import (or the
+    # module docstring, or at the very top)
+    insert_after = 0
+    for node in tree.body:
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            insert_after = max(
+                insert_after, getattr(node, "end_lineno", node.lineno)
+            )
+        elif (
+            isinstance(node, ast.Expr)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+            and insert_after == 0
+        ):
+            insert_after = getattr(node, "end_lineno", node.lineno)
+    pos = offsets.offset(insert_after + 1, 0) if insert_after else 0
+    pos = min(pos, len(source))
+    stmt = "from repro.clock import " + ", ".join(sorted(helpers)) + "\n"
+    if insert_after:
+        stmt = "\n" + stmt if not source[
+            offsets.offset(insert_after, 0):pos
+        ].endswith("\n") else stmt
+    return _Edit(start=pos, end=pos, replacement=stmt,
+                 rule="DET004", line=max(insert_after, 1))
+
+
+# ----------------------------------------------------------------------
+# the fix loop
+# ----------------------------------------------------------------------
+def _one_pass(
+    source: str,
+    relpath: str,
+    config: StatcheckConfig,
+) -> tuple[str, list[tuple[str, int]]]:
+    """Apply every applicable fixer once; return (new source, applied)."""
+    from repro.statcheck.engine import pragma_map
+    from repro.statcheck.rules import RuleVisitor
+
+    enabled = config.enabled_rules(relpath)
+    fixable = [r for r in FIXABLE_RULES if r in enabled]
+    if not fixable:
+        return source, []
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError:
+        return source, []
+    offsets = _Offsets(source)
+    pragmas = pragma_map(source, tree)
+
+    def suppressed(rule: str, line: int) -> bool:
+        codes = pragmas.get(line)
+        if codes is None and line in pragmas:
+            return True
+        return bool(codes) and rule in codes  # type: ignore[operator]
+
+    resolver = RuleVisitor(
+        path=relpath, lines=source.splitlines(), enabled=frozenset()
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            resolver._track_import(node)
+
+    edits: list[_Edit] = []
+    inserts: list[tuple[int, str]] = []  # (body line to insert before, text)
+    helpers: set[str] = set()
+
+    for node in ast.walk(tree):
+        if (
+            "DET004" in fixable
+            and isinstance(node, ast.Compare)
+            and not suppressed("DET004", node.lineno)
+        ):
+            rewrite = _det004_edit(node, source, offsets)
+            if rewrite is not None:
+                edits.append(rewrite[0])
+                helpers.add(rewrite[1])
+        elif (
+            "HYG001" in fixable
+            and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ):
+            found = _hyg001_edits(node, source, offsets, resolver)
+            if not found:
+                continue
+            kept = [
+                (edit, name, default_src)
+                for edit, name, default_src in found
+                if not suppressed("HYG001", edit.line)
+            ]
+            if not kept:
+                continue
+            body_start = node.body[_docstring_end(node)]
+            indent = " " * body_start.col_offset
+            guard_lines = []
+            for _, name, default_src in kept:
+                guard_lines.append(f"{indent}if {name} is None:")
+                guard_lines.append(f"{indent}    {name} = {default_src}")
+            inserts.append((
+                body_start.lineno, "\n".join(guard_lines) + "\n"
+            ))
+            edits.extend(edit for edit, _, _ in kept)
+
+    if not edits:
+        return source, []
+    if helpers:
+        import_edit = _ensure_clock_import(tree, source, offsets, helpers)
+        if import_edit is not None:
+            edits.append(import_edit)
+    for line, text in inserts:
+        pos = offsets.offset(line, 0)
+        edits.append(_Edit(start=pos, end=pos, replacement=text,
+                           rule="HYG001", line=line))
+
+    # apply bottom-up so earlier offsets stay valid; overlapping edits
+    # (should not happen) drop the later one
+    edits.sort(key=lambda e: (e.start, e.end), reverse=True)
+    applied: list[tuple[str, int]] = []
+    out = source
+    last_start = len(source) + 1
+    for edit in edits:
+        if edit.end > last_start:
+            continue
+        out = out[:edit.start] + edit.replacement + out[edit.end:]
+        last_start = edit.start
+        applied.append((edit.rule, edit.line))
+    applied.reverse()
+    return out, applied
+
+
+def fix_source(
+    source: str,
+    relpath: str,
+    config: StatcheckConfig,
+) -> FixResult:
+    """Fix every mechanically fixable finding in one module's source.
+
+    Iterates to a fixed point (re-parsing between passes), so the
+    result is idempotent: ``fix_source(fix_source(s).source)`` applies
+    nothing.
+    """
+    applied: list[tuple[str, int]] = []
+    current = source
+    for _ in range(_MAX_PASSES):
+        new, this_pass = _one_pass(current, relpath, config)
+        if not this_pass:
+            break
+        applied.extend(this_pass)
+        current = new
+    return FixResult(source=current, applied=applied)

@@ -1,0 +1,169 @@
+"""The incremental analysis cache behind warm statcheck reruns.
+
+One JSON document (default ``.statcheck-cache.json`` at the repo
+root, configurable via ``[tool.statcheck] cache``) stores, per
+module:
+
+* ``content_hash`` — sha256 of the file bytes; the validity key for
+  everything purely local: import edges, the analysis summary, the
+  pragma map, and the per-file rule findings;
+* ``project_key`` — sha256 over the module's content hash, its whole
+  transitive-dependency closure's content hashes, and the resolved
+  configuration digest. It is stored so runs (and tests/CI) can
+  observe exactly which modules an edit invalidated for the
+  interprocedural rules;
+* the findings and summaries themselves, serialized.
+
+A warm run therefore re-parses only modules whose bytes changed; the
+interprocedural passes re-derive from cached summaries in memory.
+The cache never changes results — it only skips work whose inputs are
+byte-identical — and is safe to delete at any time (``repro-gpu
+statcheck --clear-cache``, or remove the file).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.statcheck.findings import Finding
+from repro.statcheck.graph import ImportEdge
+from repro.statcheck.symbols import ModuleSummary
+
+__all__ = ["CACHE_VERSION", "CachedModule", "load_cache", "write_cache"]
+
+CACHE_VERSION = 1
+
+
+def _finding_from_dict(d: dict[str, object]) -> Finding:
+    return Finding(
+        rule=str(d["rule"]),
+        path=str(d["path"]),
+        line=int(d["line"]),       # type: ignore[arg-type]
+        col=int(d["col"]),         # type: ignore[arg-type]
+        message=str(d["message"]),
+        fixit=str(d["fixit"]),
+        text=str(d.get("text", "")),
+    )
+
+
+@dataclass
+class CachedModule:
+    """Everything one module contributes to a warm rerun."""
+
+    relpath: str
+    module: str
+    is_package: bool
+    content_hash: str
+    project_key: str
+    imports: list[ImportEdge] = field(default_factory=list)
+    summary: ModuleSummary | None = None
+    pragmas: dict[int, frozenset[str] | None] = field(default_factory=dict)
+    kept: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "relpath": self.relpath,
+            "module": self.module,
+            "is_package": self.is_package,
+            "content_hash": self.content_hash,
+            "project_key": self.project_key,
+            "imports": [e.to_dict() for e in self.imports],
+            "summary": (
+                self.summary.to_dict() if self.summary is not None else None
+            ),
+            "pragmas": {
+                str(line): (sorted(codes) if codes is not None else None)
+                for line, codes in sorted(self.pragmas.items())
+            },
+            "kept": [f.to_dict() for f in self.kept],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, object]) -> "CachedModule":
+        summary_doc = d.get("summary")
+        return cls(
+            relpath=str(d["relpath"]),
+            module=str(d["module"]),
+            is_package=bool(d["is_package"]),
+            content_hash=str(d["content_hash"]),
+            project_key=str(d.get("project_key", "")),
+            imports=[
+                ImportEdge.from_dict(e) for e in d.get("imports", [])  # type: ignore[union-attr]
+            ],
+            summary=(
+                ModuleSummary.from_dict(summary_doc)  # type: ignore[arg-type]
+                if summary_doc is not None else None
+            ),
+            pragmas={
+                int(line): (frozenset(codes) if codes is not None else None)
+                for line, codes in d.get("pragmas", {}).items()  # type: ignore[union-attr]
+            },
+            kept=[_finding_from_dict(f) for f in d.get("kept", [])],  # type: ignore[union-attr]
+            suppressed=[
+                _finding_from_dict(f) for f in d.get("suppressed", [])  # type: ignore[union-attr]
+            ],
+        )
+
+
+def load_cache(path: Path, config_digest: str) -> dict[str, CachedModule]:
+    """Cached modules from ``path``; {} when absent, stale, or corrupt.
+
+    A cache written under a different configuration (or statcheck
+    version) is discarded wholesale — correctness beats reuse.
+    """
+    if not path.is_file():
+        return {}
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return {}
+    if not isinstance(doc, dict):
+        return {}
+    if doc.get("version") != CACHE_VERSION:
+        return {}
+    if doc.get("config_digest") != config_digest:
+        return {}
+    modules = doc.get("modules")
+    if not isinstance(modules, dict):
+        return {}
+    out: dict[str, CachedModule] = {}
+    try:
+        for relpath, entry in modules.items():
+            out[str(relpath)] = CachedModule.from_dict(entry)
+    except (KeyError, TypeError, ValueError):
+        return {}
+    return out
+
+
+def write_cache(
+    path: Path,
+    config_digest: str,
+    modules: dict[str, CachedModule],
+) -> None:
+    """Atomically persist the cache (no-op when content is unchanged)."""
+    doc = {
+        "version": CACHE_VERSION,
+        "tool": "repro.statcheck",
+        "comment": (
+            "Incremental statcheck cache — safe to delete; cleared by "
+            "repro-gpu statcheck --clear-cache. Do not commit."
+        ),
+        "config_digest": config_digest,
+        "modules": {
+            rel: modules[rel].to_dict() for rel in sorted(modules)
+        },
+    }
+    payload = json.dumps(doc, indent=1, sort_keys=True) + "\n"
+    try:
+        if path.is_file() and path.read_text(encoding="utf-8") == payload:
+            return
+    except OSError:
+        pass
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(payload, encoding="utf-8")
+    os.replace(tmp, path)

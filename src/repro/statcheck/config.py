@@ -24,6 +24,8 @@ dependency-free everywhere the repo supports.
 from __future__ import annotations
 
 import fnmatch
+import hashlib
+import json
 import os
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -31,6 +33,11 @@ from typing import Any
 
 from repro.errors import ReproError
 from repro.statcheck.rules import RULES, all_codes
+
+#: bumped whenever the analysis itself changes meaning — folded into
+#: the cache digest so stale caches from older statcheck versions are
+#: discarded wholesale
+ANALYSIS_VERSION = 2
 
 __all__ = [
     "StatcheckError",
@@ -77,6 +84,18 @@ class StatcheckConfig:
     baseline: str | None = "statcheck-baseline.json"
     disable: tuple[str, ...] = ()
     scopes: dict[str, RuleScope] = field(default_factory=dict)
+    #: incremental-cache file (repo-root-relative); None disables it
+    cache: str | None = ".statcheck-cache.json"
+    #: root package of the project graph (module names start with it)
+    package: str = "repro"
+    #: the ARCH001 layer DAG, lowest layer first; each entry is the set
+    #: of top-level package tokens assigned to that layer. Empty means
+    #: "cycles only" — the layer check needs an explicit map.
+    layers: tuple[frozenset[str], ...] = ()
+    #: engine modules whose hook call sites seed OBS002 root discovery
+    obs_roots: tuple[str, ...] = ()
+    #: observer packages whose functions those hooks resolve into
+    obs_observers: tuple[str, ...] = ()
 
     def enabled_rules(self, relpath: str) -> frozenset[str]:
         """Rule codes active for one repo-relative file path."""
@@ -102,6 +121,41 @@ class StatcheckConfig:
         if not self.baseline:
             return None
         return self.root / self.baseline
+
+    @property
+    def cache_path(self) -> Path | None:
+        if not self.cache:
+            return None
+        return self.root / self.cache
+
+    def digest(self) -> str:
+        """Stable hash of everything that affects analysis results.
+
+        Any change here — enabled rules, scopes, layers, observer
+        config, the analysis version — must invalidate the incremental
+        cache, because cached findings were computed under the old
+        meaning.
+        """
+        doc = {
+            "analysis_version": ANALYSIS_VERSION,
+            "rules": sorted(RULES),
+            "paths": list(self.paths),
+            "exclude": list(self.exclude),
+            "disable": sorted(self.disable),
+            "scopes": {
+                code: {
+                    "only": list(self.scope(code).only),
+                    "allow": list(self.scope(code).allow),
+                }
+                for code in sorted(RULES)
+            },
+            "package": self.package,
+            "layers": [sorted(layer) for layer in self.layers],
+            "obs_roots": sorted(self.obs_roots),
+            "obs_observers": sorted(self.obs_observers),
+        }
+        payload = json.dumps(doc, sort_keys=True).encode()
+        return hashlib.sha256(payload).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -251,6 +305,51 @@ def load_config(root: str | os.PathLike[str] | None = None) -> StatcheckConfig:
         if unknown:
             raise StatcheckError(f"disable lists unknown rules: {unknown}")
         kwargs["disable"] = disable
+    if "cache" in section:
+        cache = section["cache"]
+        if cache is not None and not isinstance(cache, str):
+            raise StatcheckError("[tool.statcheck] cache must be a string")
+        kwargs["cache"] = cache or None
+    if "package" in section:
+        package = section["package"]
+        if not isinstance(package, str) or not package:
+            raise StatcheckError(
+                "[tool.statcheck] package must be a non-empty string"
+            )
+        kwargs["package"] = package
+
+    arch = section.get("arch", {})
+    if not isinstance(arch, dict):
+        raise StatcheckError("[tool.statcheck.arch] must be a table")
+    if "layers" in arch:
+        # each entry is one layer: a space-separated string of package
+        # tokens (flat strings keep the table parseable by the minimal
+        # 3.10 reader, which has no nested arrays)
+        raw_layers = _as_str_tuple(arch["layers"], "arch.layers")
+        layers: list[frozenset[str]] = []
+        seen_tokens: set[str] = set()
+        for entry in raw_layers:
+            tokens = frozenset(entry.split())
+            if not tokens:
+                raise StatcheckError("arch.layers has an empty layer")
+            dup = tokens & seen_tokens
+            if dup:
+                raise StatcheckError(
+                    f"arch.layers assigns {sorted(dup)} to two layers"
+                )
+            seen_tokens |= tokens
+            layers.append(tokens)
+        kwargs["layers"] = tuple(layers)
+
+    obs = section.get("obs", {})
+    if not isinstance(obs, dict):
+        raise StatcheckError("[tool.statcheck.obs] must be a table")
+    if "roots" in obs:
+        kwargs["obs_roots"] = _as_str_tuple(obs["roots"], "obs.roots")
+    if "observers" in obs:
+        kwargs["obs_observers"] = _as_str_tuple(
+            obs["observers"], "obs.observers"
+        )
 
     scopes: dict[str, RuleScope] = {}
     for code, sub in section.get("rules", {}).items():

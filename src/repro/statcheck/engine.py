@@ -1,25 +1,35 @@
-"""The statcheck engine: file walking, pragmas, baseline, reports.
+"""The statcheck engine: file walking, pragmas, cache, baseline, reports.
 
 Entry points:
 
 * :func:`check_paths` — the pytest-importable API. Returns a
   :class:`Report`; ``report.new`` is what gates (empty == green).
+  Builds the whole-program module graph and runs the interprocedural
+  project rules (DET005, ARCH001, OBS002) alongside the per-file ones.
 * :func:`check_source` — one in-memory module, used by the unit tests
   and by tools embedding statcheck.
+* :func:`apply_fixes` — the ``--fix`` path: rewrite mechanically
+  fixable findings in place (idempotent; see
+  :mod:`repro.statcheck.autofix`).
 
 Per-line escape hatch::
 
     t0 = time.perf_counter()   # statcheck: ignore[DET001] CLI boundary
 
 ``ignore`` with no bracket suppresses every rule on that line; the
-bracket form lists codes, comma-separated. The suppression must sit on
-the line the finding points at (the statement's first line).
+bracket form lists codes, comma-separated. Pragmas are matched against
+real comment tokens (never string literals) and apply to the whole
+statement they sit on — any line of a multi-line statement works.
 """
 
 from __future__ import annotations
 
 import ast
+import hashlib
+import io
+import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -29,15 +39,35 @@ from repro.statcheck.baseline import (
     load_baseline,
     write_baseline,
 )
+from repro.statcheck.cache import CachedModule, load_cache, write_cache
 from repro.statcheck.config import (
     StatcheckConfig,
     StatcheckError,
     load_config,
 )
+from repro.statcheck.dataflow import det005_findings
 from repro.statcheck.findings import Finding
+from repro.statcheck.graph import (
+    ImportEdge,
+    ModuleGraph,
+    ModuleNode,
+    extract_imports,
+    module_name_for,
+)
+from repro.statcheck.layering import arch001_findings
+from repro.statcheck.observers import obs002_findings
 from repro.statcheck.rules import RULES, RuleVisitor
+from repro.statcheck.symbols import ModuleSummary, summarize_module
 
-__all__ = ["Report", "check_source", "check_paths", "iter_python_files"]
+__all__ = [
+    "Report",
+    "check_source",
+    "check_paths",
+    "apply_fixes",
+    "iter_python_files",
+    "pragma_map",
+    "update_baseline",
+]
 
 _PRAGMA = re.compile(
     r"#\s*statcheck:\s*ignore(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?"
@@ -54,6 +84,10 @@ class Report:
     grandfathered: list[Finding] = field(default_factory=list)
     pragma_suppressed: list[Finding] = field(default_factory=list)
     stale_baseline: list[dict[str, object]] = field(default_factory=list)
+    #: cache observability — summary-line only, deliberately NOT part
+    #: of to_dict() so --json stays byte-identical across warm/cold runs
+    modules_analyzed: int = 0
+    modules_cached: int = 0
 
     @property
     def clean(self) -> bool:
@@ -80,12 +114,12 @@ class Report:
 
     def render(self, verbose: bool = False) -> str:
         """The human-readable report the CLI prints."""
-        lines = [f.render() for f in sorted(
+        lines = []
+        for f in sorted(
             self.new, key=lambda f: (f.path, f.line, f.col, f.rule)
-        )]
-        if verbose:
-            for f in sorted(self.new,
-                            key=lambda f: (f.path, f.line, f.col, f.rule)):
+        ):
+            lines.append(f.render())
+            if verbose:
                 lines.append(f"    fix: {f.fixit}")
         summary = (
             f"statcheck: {self.files_checked} files, "
@@ -93,6 +127,11 @@ class Report:
             f"{len(self.grandfathered)} grandfathered, "
             f"{len(self.pragma_suppressed)} pragma-suppressed"
         )
+        if self.modules_analyzed or self.modules_cached:
+            summary += (
+                f" [{self.modules_analyzed} analyzed, "
+                f"{self.modules_cached} from cache]"
+            )
         if self.stale_baseline:
             summary += (
                 f", {len(self.stale_baseline)} stale baseline entrie(s) "
@@ -103,29 +142,131 @@ class Report:
 
 
 # ----------------------------------------------------------------------
-def _pragma_lines(lines: Sequence[str]) -> dict[int, frozenset[str] | None]:
-    """``lineno -> codes`` for every ignore pragma (None = all rules)."""
+# pragmas
+# ----------------------------------------------------------------------
+def _comment_pragmas(source: str) -> dict[int, frozenset[str] | None]:
+    """``lineno -> codes`` for pragmas found in real comment tokens.
+
+    Tokenizing (rather than regex over raw lines) means a pragma-shaped
+    substring inside a string literal is never honored.
+    """
     out: dict[int, frozenset[str] | None] = {}
-    for i, line in enumerate(lines, start=1):
-        m = _PRAGMA.search(line)
-        if not m:
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # unparseable source gets PARSE001 anyway; fall back to a raw
+        # line scan so a pragma near the damage still works
+        for i, line in enumerate(source.splitlines(), start=1):
+            m = _PRAGMA.search(line)
+            if m:
+                out[i] = _codes_of(m)
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
             continue
-        raw = m.group("codes")
-        if raw is None:
-            out[i] = None
-        else:
-            out[i] = frozenset(
-                c.strip() for c in raw.split(",") if c.strip()
-            )
+        m = _PRAGMA.search(tok.string)
+        if m:
+            out[tok.start[0]] = _codes_of(m)
     return out
 
 
+def _codes_of(m: re.Match[str]) -> frozenset[str] | None:
+    raw = m.group("codes")
+    if raw is None:
+        return None
+    return frozenset(c.strip() for c in raw.split(",") if c.strip())
+
+
+def _statement_spans(tree: ast.Module) -> list[tuple[int, int]]:
+    """(first, last) line of every statement's *pragma reach*.
+
+    Simple statements span their full source extent; compound
+    statements span their header only (``if``/``def``/... line through
+    the line before the first body statement), so a pragma inside the
+    body never leaks onto the header and vice versa.
+    """
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.stmt):
+            continue
+        start = node.lineno
+        decorators = getattr(node, "decorator_list", None)
+        if decorators:
+            start = min(start, decorators[0].lineno)
+        body = getattr(node, "body", None)
+        if body and isinstance(body[0], ast.stmt):
+            end = body[0].lineno - 1
+        else:
+            end = getattr(node, "end_lineno", None) or node.lineno
+        spans.append((start, max(start, end)))
+    return spans
+
+
+def _merge_codes(
+    a: frozenset[str] | None, b: frozenset[str] | None
+) -> frozenset[str] | None:
+    if a is None or b is None:
+        return None
+    return a | b
+
+
+def pragma_map(
+    source: str, tree: ast.Module | None
+) -> dict[int, frozenset[str] | None]:
+    """``lineno -> suppressed codes`` (None = all) for one module.
+
+    Every line a pragma *reaches* is keyed: the comment's own line plus
+    every line of any statement whose span contains it. Findings point
+    at arbitrary node lines inside multi-line statements, so the map
+    must cover the whole span.
+    """
+    base = _comment_pragmas(source)
+    if not base or tree is None:
+        return dict(base)
+    out: dict[int, frozenset[str] | None] = dict(base)
+    for start, end in _statement_spans(tree):
+        if end <= start:
+            continue
+        hit: frozenset[str] | None = frozenset()
+        any_hit = False
+        for line in range(start, end + 1):
+            if line in base:
+                any_hit = True
+                hit = _merge_codes(hit, base[line])
+        if not any_hit:
+            continue
+        for line in range(start, end + 1):
+            if line in out:
+                out[line] = _merge_codes(out[line], hit)
+            else:
+                out[line] = hit
+    return out
+
+
+def _split_by_pragmas(
+    findings: Iterable[Finding],
+    pragmas: dict[int, frozenset[str] | None],
+) -> tuple[list[Finding], list[Finding]]:
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for f in findings:
+        codes = pragmas.get(f.line, frozenset())
+        if codes is None or (codes and f.rule in codes):
+            suppressed.append(f)
+        else:
+            kept.append(f)
+    return kept, suppressed
+
+
+# ----------------------------------------------------------------------
+# per-module analysis
+# ----------------------------------------------------------------------
 def check_source(
     source: str,
     relpath: str,
     config: StatcheckConfig,
 ) -> tuple[list[Finding], list[Finding]]:
-    """(kept, pragma-suppressed) findings for one module's source."""
+    """(kept, pragma-suppressed) per-file findings for one module."""
     enabled = config.enabled_rules(relpath)
     lines = source.splitlines()
     try:
@@ -143,16 +284,7 @@ def check_source(
         return [f], []
     visitor = RuleVisitor(path=relpath, lines=lines, enabled=enabled)
     visitor.visit(tree)
-    pragmas = _pragma_lines(lines)
-    kept: list[Finding] = []
-    suppressed: list[Finding] = []
-    for f in visitor.findings:
-        codes = pragmas.get(f.line, frozenset())
-        if codes is None or (codes and f.rule in codes):
-            suppressed.append(f)
-        else:
-            kept.append(f)
-    return kept, suppressed
+    return _split_by_pragmas(visitor.findings, pragma_map(source, tree))
 
 
 def iter_python_files(
@@ -184,28 +316,242 @@ def iter_python_files(
         yield c, rel
 
 
+def _project_files(
+    cfg: StatcheckConfig,
+    requested: list[tuple[Path, str]],
+) -> dict[str, Path]:
+    """``relpath -> abspath`` for the whole-program graph.
+
+    The configured paths (tolerating absent entries — the graph is
+    best-effort outside the requested set) unioned with whatever the
+    caller explicitly requested.
+    """
+    out: dict[str, Path] = {}
+    for entry in cfg.paths:
+        p = cfg.root / entry
+        if not p.exists():
+            continue
+        for abspath, rel in iter_python_files([p], cfg):
+            out[rel] = abspath
+    for abspath, rel in requested:
+        out[rel] = abspath
+    return out
+
+
+@dataclass
+class _ModuleFacts:
+    """Everything one module contributes to the run (fresh or cached)."""
+
+    relpath: str
+    module: str
+    is_package: bool
+    content_hash: str
+    source: str
+    imports: list[ImportEdge]
+    summary: ModuleSummary | None
+    pragmas: dict[int, frozenset[str] | None]
+    kept: list[Finding]
+    suppressed: list[Finding]
+    from_cache: bool
+
+
+def _analyze_module(
+    source: str,
+    relpath: str,
+    module: str,
+    is_package: bool,
+    content_hash: str,
+    cfg: StatcheckConfig,
+    known_modules: frozenset[str],
+) -> _ModuleFacts:
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        f = Finding(
+            rule="PARSE001",
+            path=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+            fixit=RULES["PARSE001"].fixit,
+            text=(exc.text or "").strip(),
+        )
+        return _ModuleFacts(
+            relpath=relpath, module=module, is_package=is_package,
+            content_hash=content_hash, source=source, imports=[],
+            summary=None, pragmas=_comment_pragmas(source),
+            kept=[f], suppressed=[], from_cache=False,
+        )
+    enabled = cfg.enabled_rules(relpath)
+    visitor = RuleVisitor(
+        path=relpath, lines=source.splitlines(), enabled=enabled
+    )
+    visitor.visit(tree)
+    pragmas = pragma_map(source, tree)
+    kept, suppressed = _split_by_pragmas(visitor.findings, pragmas)
+    return _ModuleFacts(
+        relpath=relpath, module=module, is_package=is_package,
+        content_hash=content_hash, source=source,
+        imports=extract_imports(tree, module, is_package, known_modules),
+        summary=summarize_module(
+            tree, module, relpath, is_package, cfg.package
+        ),
+        pragmas=pragmas, kept=kept, suppressed=suppressed,
+        from_cache=False,
+    )
+
+
+# ----------------------------------------------------------------------
+# project rules
+# ----------------------------------------------------------------------
+def _with_text(f: Finding, source_lines: list[str]) -> Finding:
+    """The finding with its source line attached (fresh fingerprint)."""
+    text = ""
+    if 1 <= f.line <= len(source_lines):
+        text = source_lines[f.line - 1].strip()
+    return Finding(
+        rule=f.rule, path=f.path, line=f.line, col=f.col,
+        message=f.message, fixit=f.fixit, text=text,
+    )
+
+
+def _project_findings(
+    cfg: StatcheckConfig,
+    graph: ModuleGraph,
+    summaries: dict[str, ModuleSummary],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    if "DET005" not in cfg.disable:
+        findings.extend(det005_findings(summaries, RULES["DET005"].fixit))
+    if "ARCH001" not in cfg.disable:
+        findings.extend(arch001_findings(
+            graph, cfg.layers, RULES["ARCH001"].fixit, cfg.package,
+        ))
+    if (
+        "OBS002" not in cfg.disable
+        and cfg.obs_roots
+        and cfg.obs_observers
+    ):
+        findings.extend(obs002_findings(
+            summaries, cfg.obs_roots, cfg.obs_observers,
+            RULES["OBS002"].fixit,
+        ))
+    return findings
+
+
+# ----------------------------------------------------------------------
+# the run
+# ----------------------------------------------------------------------
 def check_paths(
     paths: Sequence[str | Path] | None = None,
     root: str | Path | None = None,
     config: StatcheckConfig | None = None,
     use_baseline: bool = True,
+    use_cache: bool = False,
 ) -> Report:
-    """Run statcheck over ``paths`` (config defaults when None)."""
+    """Run statcheck over ``paths`` (config defaults when None).
+
+    The whole-program graph is always built over the configured
+    project paths so the interprocedural rules see every module;
+    findings are then filtered to the requested files, which keeps
+    subset runs (``repro-gpu statcheck src/repro/clean.py``) scoped
+    the way the per-file rules always were.
+    """
     cfg = config if config is not None else load_config(root)
     targets = [Path(p) for p in paths] if paths else [
         Path(p) for p in cfg.paths
     ]
-    report = Report(root=str(cfg.root))
-    all_kept: list[Finding] = []
-    for abspath, rel in iter_python_files(targets, cfg):
-        report.files_checked += 1
+    requested = list(iter_python_files(targets, cfg))
+    requested_rels = {rel for _, rel in requested}
+    all_files = _project_files(cfg, requested)
+
+    sources: dict[str, str] = {}
+    hashes: dict[str, str] = {}
+    for rel in sorted(all_files):
+        abspath = all_files[rel]
         try:
-            source = abspath.read_text()
+            raw = abspath.read_bytes()
+            sources[rel] = raw.decode("utf-8")
         except (OSError, UnicodeDecodeError) as exc:
             raise StatcheckError(f"cannot read {abspath}: {exc}")
-        kept, suppressed = check_source(source, rel, cfg)
+        hashes[rel] = hashlib.sha256(raw).hexdigest()
+
+    module_for: dict[str, str] = {}
+    claimed: set[str] = set()
+    for rel in sorted(all_files):
+        name = module_name_for(rel)
+        if name in claimed:  # duplicate layouts: path-derived fallback
+            name = rel[:-3].replace("/", ".")
+        claimed.add(name)
+        module_for[rel] = name
+    known_modules = frozenset(module_for.values())
+
+    layout = json.dumps(sorted(module_for.items()), sort_keys=True)
+    cache_digest = hashlib.sha256(
+        (cfg.digest() + "\x00" + layout).encode()
+    ).hexdigest()
+    cache_path = cfg.cache_path
+    cached: dict[str, CachedModule] = (
+        load_cache(cache_path, cache_digest)
+        if use_cache and cache_path is not None else {}
+    )
+
+    report = Report(root=str(cfg.root))
+    report.files_checked = len(requested)
+    facts: dict[str, _ModuleFacts] = {}
+    for rel in sorted(all_files):
+        entry = cached.get(rel)
+        if entry is not None and entry.content_hash == hashes[rel]:
+            facts[rel] = _ModuleFacts(
+                relpath=rel, module=entry.module,
+                is_package=entry.is_package,
+                content_hash=entry.content_hash, source=sources[rel],
+                imports=list(entry.imports), summary=entry.summary,
+                pragmas=dict(entry.pragmas), kept=list(entry.kept),
+                suppressed=list(entry.suppressed), from_cache=True,
+            )
+            report.modules_cached += 1
+        else:
+            facts[rel] = _analyze_module(
+                sources[rel], rel, module_for[rel],
+                rel.endswith("__init__.py"), hashes[rel], cfg,
+                known_modules,
+            )
+            report.modules_analyzed += 1
+
+    graph = ModuleGraph([
+        ModuleNode(
+            module=m.module, relpath=m.relpath,
+            content_hash=m.content_hash, is_package=m.is_package,
+            imports=m.imports,
+        )
+        for m in facts.values()
+    ])
+    summaries = {
+        m.module: m.summary
+        for m in facts.values() if m.summary is not None
+    }
+
+    all_kept: list[Finding] = []
+    for rel in sorted(requested_rels):
+        m = facts[rel]
+        all_kept.extend(m.kept)
+        report.pragma_suppressed.extend(m.suppressed)
+
+    for f in _project_findings(cfg, graph, summaries):
+        if f.path not in requested_rels:
+            continue
+        if f.rule not in cfg.enabled_rules(f.path):
+            continue
+        f = _with_text(f, sources[f.path].splitlines())
+        kept, suppressed = _split_by_pragmas([f], facts[f.path].pragmas)
         all_kept.extend(kept)
         report.pragma_suppressed.extend(suppressed)
+
+    all_kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule, f.message))
+    report.pragma_suppressed.sort(
+        key=lambda f: (f.path, f.line, f.col, f.rule, f.message)
+    )
 
     entries: list[dict[str, object]] = []
     if use_baseline and cfg.baseline_path is not None:
@@ -213,7 +559,62 @@ def check_paths(
     report.new, report.grandfathered, report.stale_baseline = (
         apply_baseline(all_kept, entries)
     )
+
+    if use_cache and cache_path is not None:
+        payload = {
+            rel: CachedModule(
+                relpath=rel, module=m.module, is_package=m.is_package,
+                content_hash=m.content_hash,
+                project_key=hashlib.sha256(
+                    (graph.transitive_hash(m.module) + "\x00"
+                     + cache_digest).encode()
+                ).hexdigest(),
+                imports=m.imports,
+                summary=m.summary,
+                pragmas=m.pragmas,
+                kept=m.kept,
+                suppressed=m.suppressed,
+            )
+            for rel, m in sorted(facts.items())
+        }
+        try:
+            write_cache(cache_path, cache_digest, payload)
+        except OSError:
+            pass  # a read-only checkout still gets its report
     return report
+
+
+# ----------------------------------------------------------------------
+# --fix
+# ----------------------------------------------------------------------
+def apply_fixes(
+    paths: Sequence[str | Path] | None = None,
+    root: str | Path | None = None,
+    config: StatcheckConfig | None = None,
+) -> list[tuple[str, list[tuple[str, int]]]]:
+    """Rewrite mechanically fixable findings in place.
+
+    Returns ``(relpath, [(rule, line), ...])`` per changed file,
+    sorted. Fixing is idempotent — a second invocation applies
+    nothing (see :mod:`repro.statcheck.autofix`).
+    """
+    from repro.statcheck.autofix import fix_source
+
+    cfg = config if config is not None else load_config(root)
+    targets = [Path(p) for p in paths] if paths else [
+        Path(p) for p in cfg.paths
+    ]
+    changed: list[tuple[str, list[tuple[str, int]]]] = []
+    for abspath, rel in iter_python_files(targets, cfg):
+        try:
+            source = abspath.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise StatcheckError(f"cannot read {abspath}: {exc}")
+        result = fix_source(source, rel, cfg)
+        if result.changed:
+            abspath.write_text(result.source, encoding="utf-8")
+            changed.append((rel, result.applied))
+    return changed
 
 
 def update_baseline(report: Report, config: StatcheckConfig) -> Path:

@@ -1,0 +1,104 @@
+"""ARCH001 — architecture layering over the module graph.
+
+The repository's layer DAG (DESIGN.md §16) assigns every top-level
+package (and sanctioned root module) to a layer; a module may import
+at module level only from its own layer or below. Two failure modes:
+
+* **upward import** — a lower layer reaching into a higher one
+  (``core`` importing ``cluster``), which inverts the dependency
+  architecture;
+* **import cycle** — any strongly connected component of size > 1 in
+  the module-level import graph, reported on every edge inside the
+  component.
+
+Deferred (function-body) and type-only imports are exempt: they are
+the sanctioned cycle-breaking idioms and never execute at import
+time. Modules whose layer token is not in the configured map are
+skipped — the map must name a package before the rule constrains it.
+"""
+
+from __future__ import annotations
+
+from repro.statcheck.findings import Finding
+from repro.statcheck.graph import ModuleGraph
+
+__all__ = ["layer_token", "layer_index", "arch001_findings"]
+
+
+def layer_token(module: str, package_root: str = "repro") -> str:
+    """The layer-map token for a dotted module name.
+
+    ``repro.cluster.fleet`` → ``cluster``; root modules map to their
+    own name (``repro.clock`` → ``clock``); the package root itself
+    (``repro``, i.e. ``__init__``) maps to ``repro``.
+    """
+    parts = module.split(".")
+    if len(parts) == 1:
+        return parts[0]
+    return parts[1]
+
+
+def layer_index(
+    token: str, layers: tuple[frozenset[str], ...]
+) -> int | None:
+    for i, layer in enumerate(layers):
+        if token in layer:
+            return i
+    return None
+
+
+def arch001_findings(
+    graph: ModuleGraph,
+    layers: tuple[frozenset[str], ...],
+    fixit: str,
+    package_root: str = "repro",
+) -> list[Finding]:
+    """All ARCH001 findings for the project, deterministically ordered."""
+    findings: list[Finding] = []
+    cyclic = graph.cyclic_modules()
+
+    for module in graph.modules():
+        node = graph.nodes[module]
+        src_token = layer_token(module, package_root)
+        src_layer = layer_index(src_token, layers)
+        scc = cyclic.get(module)
+        for edge in node.imports:
+            if not edge.module_level:
+                continue
+            if edge.target not in graph.nodes:
+                continue
+            if scc is not None and edge.target in scc:
+                others = [m for m in scc if m != module]
+                findings.append(Finding(
+                    rule="ARCH001",
+                    path=node.relpath,
+                    line=edge.line,
+                    col=edge.col,
+                    message=(
+                        f"import cycle: {module} -> {edge.target} "
+                        f"(cycle through {', '.join(others)})"
+                    ),
+                    fixit=fixit,
+                ))
+                continue
+            if src_layer is None:
+                continue
+            tgt_token = layer_token(edge.target, package_root)
+            tgt_layer = layer_index(tgt_token, layers)
+            if tgt_layer is None or tgt_layer <= src_layer:
+                continue
+            findings.append(Finding(
+                rule="ARCH001",
+                path=node.relpath,
+                line=edge.line,
+                col=edge.col,
+                message=(
+                    f"upward import: {src_token} (layer {src_layer}) "
+                    f"imports {edge.target} ({tgt_token} is layer "
+                    f"{tgt_layer})"
+                ),
+                fixit=fixit,
+            ))
+
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.message))
+    return findings

@@ -22,7 +22,10 @@ from typing import Callable, Protocol
 
 from repro.statcheck.findings import Finding
 
-__all__ = ["RuleInfo", "RULES", "RuleVisitor", "checker", "all_codes"]
+__all__ = [
+    "RuleInfo", "RULES", "RuleVisitor", "checker", "all_codes",
+    "project_codes",
+]
 
 
 @dataclass(frozen=True)
@@ -41,6 +44,9 @@ class RuleInfo:
     fixit: str
     only: tuple[str, ...] = ()
     allow: tuple[str, ...] = ()
+    #: project rules run over the whole-program graph/summaries in the
+    #: engine, not through the per-file :class:`RuleVisitor`
+    project: bool = False
 
 
 RULES: dict[str, RuleInfo] = {}
@@ -53,6 +59,10 @@ def _register(info: RuleInfo) -> RuleInfo:
 
 def all_codes() -> tuple[str, ...]:
     return tuple(RULES)
+
+
+def project_codes() -> tuple[str, ...]:
+    return tuple(c for c, info in RULES.items() if info.project)
 
 
 _register(RuleInfo(
@@ -106,6 +116,33 @@ _register(RuleInfo(
     summary="mutable default argument",
     fixit="default to None and create the mutable value inside the "
           "function body",
+))
+_register(RuleInfo(
+    code="DET005",
+    summary="RNG seeded from a non-seed-derived value "
+            "(interprocedural provenance)",
+    fixit="derive the seed from an explicit seed parameter (or a "
+          "repro.rl seed stream) and thread it to the construction "
+          "site — wall clocks, OS entropy, and unrelated values break "
+          "the reproducibility chain across module boundaries",
+    project=True,
+))
+_register(RuleInfo(
+    code="ARCH001",
+    summary="module-level import violates the architecture layer DAG",
+    fixit="depend downward only: move the shared code below both "
+          "layers, invert the dependency, or defer the import into "
+          "the function that needs it (deferred and TYPE_CHECKING "
+          "imports are exempt)",
+    project=True,
+))
+_register(RuleInfo(
+    code="OBS002",
+    summary="observer reachable from engine hooks mutates engine state",
+    fixit="observers aggregate into their own state (self.*) and "
+          "return values; never assign attributes on the engine "
+          "objects passed into a lifecycle/profile hook",
+    project=True,
 ))
 _register(RuleInfo(
     code="HYG002",

@@ -1,0 +1,116 @@
+"""SARIF 2.1.0 export for statcheck reports.
+
+``repro-gpu statcheck --format sarif`` emits one SARIF log suitable
+for GitHub code-scanning upload (``github/codeql-action/upload-sarif``)
+or any SARIF viewer. Mapping decisions:
+
+* every statcheck rule becomes a ``reportingDescriptor`` with its
+  summary and fix-it guidance, so viewers show remediation inline;
+* new findings become ``results`` at level ``error`` (they fail the
+  gate); grandfathered baseline findings are included at level
+  ``note`` with a ``suppressions`` entry so code scanning shows them
+  as suppressed instead of resurfacing old debt;
+* artifact URIs are repo-root-relative with ``uriBaseId`` SRCROOT —
+  no absolute paths, so the document is byte-identical across
+  machines and reruns;
+* the statcheck fingerprint rides in ``partialFingerprints`` under
+  ``statcheckFingerprint/v1``, giving code scanning stable identity
+  across line churn (same property the baseline ratchet uses).
+
+All arrays are deterministically ordered.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.statcheck.findings import Finding
+from repro.statcheck.rules import RULES
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.statcheck.engine import Report
+
+__all__ = ["SARIF_VERSION", "SARIF_SCHEMA_URI", "to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+def _sort_key(f: Finding) -> tuple[str, int, int, str, str]:
+    return (f.path, f.line, f.col, f.rule, f.message)
+
+
+def _result(f: Finding, rule_index: dict[str, int],
+            suppressed: bool) -> dict[str, object]:
+    doc: dict[str, object] = {
+        "ruleId": f.rule,
+        "ruleIndex": rule_index[f.rule],
+        "level": "note" if suppressed else "error",
+        "message": {"text": f.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": f.path,
+                    "uriBaseId": "SRCROOT",
+                },
+                "region": {
+                    "startLine": f.line,
+                    "startColumn": f.col + 1,
+                },
+            },
+        }],
+        "partialFingerprints": {
+            "statcheckFingerprint/v1": f.fingerprint,
+        },
+    }
+    if suppressed:
+        doc["suppressions"] = [{
+            "kind": "external",
+            "justification": (
+                "grandfathered in statcheck-baseline.json (ratchet)"
+            ),
+        }]
+    return doc
+
+
+def to_sarif(report: "Report") -> dict[str, object]:
+    """The SARIF 2.1.0 document for one statcheck run."""
+    codes = sorted(RULES)
+    rule_index = {code: i for i, code in enumerate(codes)}
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {"text": RULES[code].summary},
+            "help": {"text": RULES[code].fixit},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in codes
+    ]
+    results = [
+        _result(f, rule_index, suppressed=False)
+        for f in sorted(report.new, key=_sort_key)
+    ] + [
+        _result(f, rule_index, suppressed=True)
+        for f in sorted(report.grandfathered, key=_sort_key)
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.statcheck",
+                    "informationUri": (
+                        "https://github.com/repro/repro"
+                    ),
+                    "version": "2.0.0",
+                    "rules": rules,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }

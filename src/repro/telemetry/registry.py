@@ -197,8 +197,13 @@ class Histogram(_Metric):
         self.buckets = tuple(float(b) for b in buckets)
         self.reservoir_size = reservoir_size
         # Private RNG: reservoir sampling must never touch global
-        # randomness (determinism contract of the simulation).
-        self._rng = random.Random(f"repro.telemetry:{name}")
+        # randomness (determinism contract of the simulation). Seeded
+        # from the metric name on purpose — the reservoir is a
+        # telemetry-only estimator and must be stable per metric
+        # without threading the experiment seed into the registry.
+        self._rng = random.Random(  # statcheck: ignore[DET005] name-keyed telemetry reservoir, not an experiment RNG
+            f"repro.telemetry:{name}"
+        )
 
     def observe(self, value: float, count: int = 1, **labels) -> None:
         """Record ``value`` (``count`` times, exactly as ``count``

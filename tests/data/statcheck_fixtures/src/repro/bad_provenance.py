@@ -1,0 +1,24 @@
+"""DET005 fixtures: RNGs whose seed provenance is broken.
+
+``fresh_rng`` constructs directly from a non-seed parameter (flagged
+at the construction site); ``os_entropy_rng`` calls the seed-consuming
+factory from another module with ``None`` (flagged at the call site,
+across the module boundary). ``good_rng`` threads a real seed and must
+stay silent.
+"""
+
+import random
+
+from repro.rng_factory import make_rng
+
+
+def fresh_rng(label):
+    return random.Random(label)
+
+
+def os_entropy_rng():
+    return make_rng(None)
+
+
+def good_rng(seed):
+    return make_rng(seed)

@@ -1,0 +1,12 @@
+"""OBS002 fixture engine: its hook call sites seed observer-root
+discovery (configured via [tool.statcheck.obs] roots)."""
+
+from repro.obs.tracer import Tracer
+
+
+class Engine:
+    def __init__(self):
+        self.tracer = Tracer()
+
+    def step(self, job):
+        self.tracer.record(job)

@@ -1,0 +1,14 @@
+"""ARCH001 fixture: core (a lower layer) imports cluster (a higher
+layer) at module level — an upward import. The deferred import in
+``lazy()`` is the sanctioned idiom and must stay silent."""
+
+from repro.cluster import bad_epsilon
+
+
+def use():
+    return bad_epsilon
+
+
+def lazy():
+    from repro.cluster import fleet
+    return fleet

@@ -1,0 +1,7 @@
+"""ARCH001 fixture: half of a module-level import cycle."""
+
+import repro.cycle_b
+
+
+def ping():
+    return repro.cycle_b.pong()

@@ -1,0 +1,7 @@
+"""ARCH001 fixture: the other half of the import cycle."""
+
+import repro.cycle_a
+
+
+def pong():
+    return repro.cycle_a.ping()

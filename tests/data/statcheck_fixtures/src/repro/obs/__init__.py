@@ -1,0 +1,1 @@
+"""Fixture observer package (OBS002 scope)."""

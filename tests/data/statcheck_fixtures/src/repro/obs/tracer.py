@@ -1,0 +1,16 @@
+"""OBS002 fixture observer: ``record`` is a hook root (the engine
+calls it), aggregates into its own state (legal), then delegates to
+``_stamp``, which mutates the engine-owned job — the violation, one
+call hop away from the hook."""
+
+
+class Tracer:
+    def __init__(self):
+        self.events = []
+
+    def record(self, job):
+        self.events.append(job.name)
+        self._stamp(job)
+
+    def _stamp(self, job):
+        job.observed = True

@@ -1,0 +1,8 @@
+"""A clean seed-consuming RNG factory (DET005 transfers the obligation
+to its callers — see bad_provenance.py)."""
+
+import random
+
+
+def make_rng(seed):
+    return random.Random(seed)

@@ -38,6 +38,8 @@ GOLDEN = {
     ("src/repro/bad_hygiene.py", 4, "HYG001"),
     ("src/repro/bad_hygiene.py", 6, "HYG002"),
     ("src/repro/bad_hygiene.py", 10, "HYG001"),
+    ("src/repro/bad_provenance.py", 16, "DET005"),
+    ("src/repro/bad_provenance.py", 20, "DET005"),
     ("src/repro/bad_rng.py", 9, "DET002"),
     ("src/repro/bad_rng.py", 13, "DET002"),
     ("src/repro/bad_rng.py", 17, "DET002"),
@@ -48,12 +50,16 @@ GOLDEN = {
     ("src/repro/bad_wallclock.py", 15, "DET001"),
     ("src/repro/cluster/bad_epsilon.py", 5, "DET004"),
     ("src/repro/cluster/bad_epsilon.py", 9, "DET004"),
+    ("src/repro/core/bad_layering.py", 5, "ARCH001"),
     ("src/repro/core/bad_registry.py", 2, "OBS001"),
     ("src/repro/core/bad_registry.py", 3, "OBS001"),
+    ("src/repro/cycle_a.py", 3, "ARCH001"),
+    ("src/repro/cycle_b.py", 3, "ARCH001"),
     ("src/repro/insight/bad_order.py", 6, "DET003"),
     ("src/repro/insight/bad_order.py", 8, "DET003"),
     ("src/repro/insight/bad_order.py", 9, "DET003"),
     ("src/repro/insight/bad_order.py", 10, "DET003"),
+    ("src/repro/obs/tracer.py", 16, "OBS002"),
     ("src/repro/pragmas.py", 8, "DET001"),
 }
 
@@ -195,11 +201,12 @@ def test_cli_json_schema(capsys):
     assert doc["version"] == 1
     assert doc["tool"] == "repro.statcheck"
     assert doc["clean"] is False
-    assert doc["files_checked"] == 10
+    assert doc["files_checked"] == 18
     assert set(doc["suppressed"]) == {"baseline", "pragma"}
     assert doc["suppressed"]["pragma"] == 4
     assert set(doc["rules"]) >= {"DET001", "DET002", "DET003", "DET004",
-                                 "OBS001", "HYG001", "HYG002"}
+                                 "DET005", "ARCH001", "OBS001", "OBS002",
+                                 "HYG001", "HYG002"}
     required = {"rule", "path", "line", "col", "message", "fixit",
                 "text", "fingerprint"}
     assert len(doc["findings"]) == len(GOLDEN)
